@@ -1,0 +1,44 @@
+"""Benchmark-suite configuration.
+
+The benchmarks are ordinary pytest tests using the ``pytest-benchmark``
+fixture; run them with ``pytest benchmarks/ --benchmark-only``.  Expensive
+structures are shared through session fixtures so that each benchmark measures
+the operation of interest rather than setup.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.systems import token_ring  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def ring2():
+    """The two-process ring M_2 (Fig. 5.1)."""
+    return token_ring.build_token_ring(2)
+
+
+@pytest.fixture(scope="session")
+def ring3():
+    """The three-process ring M_3 (the corrected base case)."""
+    return token_ring.build_token_ring(3)
+
+
+@pytest.fixture(scope="session")
+def ring4():
+    """The four-process ring M_4."""
+    return token_ring.build_token_ring(4)
+
+
+@pytest.fixture(scope="session")
+def ring5():
+    """The five-process ring M_5."""
+    return token_ring.build_token_ring(5)

@@ -1,0 +1,36 @@
+"""E10 — scaling of the correspondence decision algorithm.
+
+The paper defers the decision algorithm to Browne et al. (1987); this
+benchmark measures our implementation as the large ring (and hence the number
+of candidate state pairs) grows, and on the auxiliary process families.
+"""
+
+import pytest
+
+from repro.correspondence import find_correspondence
+from repro.kripke import reduce_to_index
+from repro.systems import barrier, round_robin, token_ring
+
+
+@pytest.mark.parametrize("size", [3, 4, 5])
+def test_e10_ring_reduction_scaling(benchmark, size, ring3):
+    left = reduce_to_index(ring3, 1)
+    right = reduce_to_index(token_ring.build_token_ring(size), 1)
+    relation = benchmark(find_correspondence, left, right)
+    assert relation is not None
+
+
+@pytest.mark.parametrize("size", [4, 8, 12])
+def test_e10_round_robin_scaling(benchmark, size):
+    small = reduce_to_index(round_robin.build_round_robin(2), 1)
+    large = reduce_to_index(round_robin.build_round_robin(size), 1)
+    relation = benchmark(find_correspondence, small, large)
+    assert relation is not None
+
+
+@pytest.mark.parametrize("size", [3, 4, 5])
+def test_e10_barrier_scaling(benchmark, size):
+    small = reduce_to_index(barrier.build_barrier(2), 1)
+    large = reduce_to_index(barrier.build_barrier(size), 1)
+    relation = benchmark(find_correspondence, small, large)
+    assert relation is not None

@@ -1,0 +1,26 @@
+"""E2 — Fig. 4.1: the counting formula and the ICTL* restrictions.
+
+Regenerates the paper's motivation for restricting ICTL*: the nested counting
+formula with ``m`` levels of ``∨_i`` holds exactly on networks with at least
+``m`` processes (so it can count), while depth-one formulas are restricted and
+cannot.
+"""
+
+from repro.analysis import experiments
+from repro.mc import ICTLStarModelChecker
+from repro.systems import figures
+
+
+def test_e2_fig41_counting_table(benchmark):
+    report = benchmark(experiments.run_e2_fig41, 4)
+    assert report["counting_matches_size"]
+    assert report["depth1_is_restricted"]
+    assert report["nested_formula_rejected_by_restrictions"]
+
+
+def test_e2_fig41_depth3_on_four_processes(benchmark):
+    network = figures.fig41_network(4)
+    checker = ICTLStarModelChecker(network, enforce_restrictions=False)
+    formula = figures.fig41_counting_formula(3)
+    result = benchmark(checker.check, formula)
+    assert result is True

@@ -1,0 +1,24 @@
+"""E3 — the Section 2 next-time counting example.
+
+``AG(t_1 ⇒ XXX t_1)`` on the circulating-token ring holds exactly when the
+ring size divides three — the reason the paper's CTL* omits the next-time
+operator.
+"""
+
+from repro.analysis import experiments
+from repro.mc import ICTLStarModelChecker
+from repro.systems import figures
+
+
+def test_e3_nexttime_counting_sweep(benchmark):
+    report = benchmark(experiments.run_e3_nexttime, (1, 2, 3, 4, 5, 6))
+    assert report["holds_only_when_size_divides_3"]
+    assert report["holds"][3] is True
+    assert report["holds"][4] is False
+
+
+def test_e3_nexttime_on_the_three_ring(benchmark):
+    ring = figures.circulating_token_ring(3)
+    checker = ICTLStarModelChecker(ring, enforce_restrictions=False)
+    formula = figures.nexttime_counting_formula(3)
+    assert benchmark(checker.check, formula) is True

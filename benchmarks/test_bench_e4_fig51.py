@@ -1,0 +1,24 @@
+"""E4 — Fig. 5.1: the two-process mutual-exclusion global state graph.
+
+Regenerates the figure: the reachable global state graph of the two-process
+ring has eight states, a total transition relation, and satisfies the
+structural partition invariant.
+"""
+
+from repro.analysis import experiments
+from repro.systems import token_ring
+
+
+def test_e4_build_two_process_ring(benchmark):
+    structure = benchmark(token_ring.build_token_ring, 2)
+    assert structure.num_states == 8
+    assert structure.num_transitions == 14
+    assert structure.is_total()
+
+
+def test_e4_fig51_experiment(benchmark):
+    report = benchmark(experiments.run_e4_fig51)
+    assert report["num_states"] == 8
+    assert report["num_transitions"] == 14
+    assert report["partition_invariant"]
+    assert report["initial_out_degree"] == 2

@@ -1,0 +1,24 @@
+"""E5 — the Section 5 invariants across ring sizes.
+
+The partition invariant, the request-persistence invariant, and the
+exactly-one-token invariant hold on every ring size checked.
+"""
+
+from repro.analysis import experiments
+from repro.mc import ICTLStarModelChecker
+from repro.systems import token_ring
+
+
+def test_e5_invariant_sweep(benchmark):
+    report = benchmark(experiments.run_e5_invariants, (2, 3, 4))
+    assert report["all_hold"]
+
+
+def test_e5_one_token_on_m4(benchmark, ring4):
+    checker = ICTLStarModelChecker(ring4)
+    assert benchmark(checker.check, token_ring.invariant_one_token()) is True
+
+
+def test_e5_request_persistence_on_m4(benchmark, ring4):
+    checker = ICTLStarModelChecker(ring4)
+    assert benchmark(checker.check, token_ring.invariant_request_persistence()) is True

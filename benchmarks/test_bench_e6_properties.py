@@ -1,0 +1,37 @@
+"""E6 — the four Section 5 properties across ring sizes.
+
+All four properties (token only on request, critical implies token, request
+until token, eventual entry) hold on every ring size checked — the truth
+values reported by the paper for M_2 carry over unchanged.
+"""
+
+from repro.analysis import experiments
+from repro.mc import ICTLStarModelChecker
+from repro.systems import token_ring
+
+
+def test_e6_property_sweep(benchmark):
+    report = benchmark(experiments.run_e6_properties, (2, 3, 4))
+    assert report["all_hold"]
+
+
+def test_e6_eventual_entry_on_m5(benchmark, ring5):
+    checker = ICTLStarModelChecker(ring5)
+    assert benchmark(checker.check, token_ring.property_eventual_entry()) is True
+
+
+def test_e6_token_only_on_request_on_m5(benchmark, ring5):
+    checker = ICTLStarModelChecker(ring5)
+    assert benchmark(checker.check, token_ring.property_token_only_on_request()) is True
+
+
+def test_e6_all_properties_on_the_base_ring(benchmark, ring3):
+    def check_all():
+        checker = ICTLStarModelChecker(ring3)
+        return {
+            name: checker.check(formula)
+            for name, formula in token_ring.ring_properties().items()
+        }
+
+    results = benchmark(check_all)
+    assert all(results.values())

@@ -1,0 +1,47 @@
+"""E7 — the Section 5 / appendix correspondence between rings.
+
+Measures (a) the decision algorithm refuting the paper's literal M_2-vs-M_r
+claim, (b) the decision algorithm establishing the corrected M_3-vs-M_r
+correspondence, and (c) the validation of the explicit rank-based relation
+against the definition (which surfaces the appendix's proof gap).
+"""
+
+from repro.correspondence import (
+    correspondence_violations,
+    find_correspondence,
+    verify_index_relation,
+)
+from repro.kripke import reduce_to_index
+from repro.systems import token_ring
+
+
+def test_e7_paper_claim_is_refuted(benchmark, ring2, ring4):
+    report = benchmark(
+        verify_index_relation, ring2, ring4, token_ring.section5_index_relation(4)
+    )
+    assert not report.holds
+    assert (1, 1) in report.failing_pairs
+
+
+def test_e7_corrected_base_corresponds(benchmark, ring3, ring4):
+    report = benchmark(
+        verify_index_relation, ring3, ring4, token_ring.corrected_index_relation(3, 4)
+    )
+    assert report.holds
+
+
+def test_e7_single_reduction_pair(benchmark, ring3, ring5):
+    left = reduce_to_index(ring3, 1)
+    right = reduce_to_index(ring5, 1)
+    relation = benchmark(find_correspondence, left, right)
+    assert relation is not None
+
+
+def test_e7_explicit_relation_validation(benchmark, ring2, ring4):
+    relation = token_ring.section5_correspondence(ring2, ring4, 1, 1)
+    left = reduce_to_index(ring2, 1)
+    right = reduce_to_index(ring4, 1)
+    violations = benchmark(correspondence_violations, left, right, relation)
+    # The reproduction's documented finding: the paper's relation is not a
+    # correspondence relation (the appendix case analysis has a gap).
+    assert violations

@@ -1,0 +1,51 @@
+"""E8 — state explosion vs. correspondence-based verification (the "1000 processes" claim).
+
+Measures how direct construction/checking of M_r grows with r, the constant
+cost of checking the base instance, and the on-the-fly spot check of the large
+(r = 1000) ring that never builds its global state graph.
+"""
+
+import pytest
+
+from repro.analysis.explosion import sample_large_ring_correspondence, token_ring_explosion_sweep
+from repro.mc import ICTLStarModelChecker
+from repro.systems import token_ring
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 5, 6])
+def test_e8_direct_checking_grows_with_size(benchmark, size):
+    structure = token_ring.build_token_ring(size)
+
+    def check_all():
+        checker = ICTLStarModelChecker(structure)
+        return all(
+            checker.check(formula) for formula in token_ring.ring_properties().values()
+        )
+
+    assert benchmark(check_all) is True
+
+
+def test_e8_build_cost_sweep(benchmark):
+    points = benchmark(token_ring_explosion_sweep, [2, 3, 4, 5])
+    sizes = [point.num_states for point in points]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > 10 * sizes[0]
+
+
+def test_e8_base_instance_check_is_small(benchmark, ring3):
+    def check_base():
+        checker = ICTLStarModelChecker(ring3)
+        return {
+            name: checker.check(formula)
+            for name, formula in token_ring.ring_properties().items()
+        }
+
+    results = benchmark(check_base)
+    assert all(results.values())
+
+
+def test_e8_large_ring_spot_check_without_building_it(benchmark):
+    counters = benchmark(
+        sample_large_ring_correspondence, 1000, 5, 20, 7
+    )
+    assert counters["visited"] == counters["paired"] == counters["partition_ok"]

@@ -1,0 +1,26 @@
+"""E9 — the Section 6 conjecture about k levels of index-quantifier nesting.
+
+On free products of identical processes, a formula with at most ``k`` nested
+index quantifiers cannot distinguish products with more than ``k`` components:
+the Fig. 4.1 counting family realises the bound exactly.
+"""
+
+from repro.analysis import experiments
+from repro.mc import ICTLStarModelChecker
+from repro.systems import figures
+
+
+def test_e9_conjecture_sweep(benchmark):
+    report = benchmark(experiments.run_e9_conjecture, 4, 3)
+    assert report["conjecture_holds_on_family"]
+    # Depth k distinguishes k-1 from k components...
+    assert report["rows"][1][2] is False and report["rows"][2][2] is True
+    # ... but not k from anything larger.
+    assert report["rows"][3][2] == report["rows"][4][2] == report["rows"][2][2]
+
+
+def test_e9_free_product_checking_cost(benchmark):
+    network = figures.fig41_network(5)
+    checker = ICTLStarModelChecker(network, enforce_restrictions=False)
+    formula = figures.fig41_counting_formula(2)
+    assert benchmark(checker.check, formula) is True

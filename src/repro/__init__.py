@@ -1,0 +1,69 @@
+"""repro — a reproduction of Browne, Clarke & Grumberg (1986/1989):
+*Reasoning about Networks with Many Identical Finite State Processes*.
+
+The library provides, as reusable components:
+
+* the temporal logics **CTL\\***, **CTL**, **LTL** and **indexed CTL\\***
+  (:mod:`repro.logic`);
+* **Kripke structures** and **indexed Kripke structures** with products,
+  reductions and reachability (:mod:`repro.kripke`);
+* explicit-state **model checkers** for CTL (labelling algorithm), CTL*
+  (via an LTL tableau core) and ICTL* (:mod:`repro.mc`);
+* the paper's **correspondence** relation (a block bisimulation with degrees),
+  a decision algorithm, and the indexed correspondence / parameterized
+  verification workflow (:mod:`repro.correspondence`);
+* **process families** and their compositions (:mod:`repro.network`);
+* the paper's **example systems** — the Section 5 token ring, the Fig. 3.1 /
+  Fig. 4.1 illustrations, and two additional identical-process families
+  (:mod:`repro.systems`);
+* **experiment drivers** regenerating every figure and claim
+  (:mod:`repro.analysis`).
+
+Quick start::
+
+    from repro.systems import token_ring
+    from repro.correspondence import ParameterizedVerifier
+
+    small = token_ring.build_token_ring(2)
+    large = token_ring.build_token_ring(5)
+    verifier = ParameterizedVerifier(small, large, token_ring.section5_index_relation(5))
+    result = verifier.check(token_ring.property_eventual_entry())
+    assert result.holds          # verified on M_2, valid for M_5 by Theorem 5
+"""
+
+from repro import analysis, correspondence, kripke, logic, mc, network, systems
+from repro.errors import (
+    CompositionError,
+    CorrespondenceError,
+    FormulaError,
+    FragmentError,
+    ModelCheckingError,
+    ParseError,
+    ReproError,
+    RestrictionError,
+    StructureError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "logic",
+    "kripke",
+    "mc",
+    "correspondence",
+    "network",
+    "systems",
+    "analysis",
+    "ReproError",
+    "FormulaError",
+    "ParseError",
+    "FragmentError",
+    "RestrictionError",
+    "StructureError",
+    "ValidationError",
+    "ModelCheckingError",
+    "CorrespondenceError",
+    "CompositionError",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Analysis helpers: state-explosion sweeps, timing, and the experiment drivers."""
+
+from repro.analysis.explosion import (
+    ExplosionPoint,
+    sample_large_ring_correspondence,
+    token_ring_explosion_sweep,
+)
+from repro.analysis.timing import Timed, timed_call
+from repro.analysis import experiments
+
+__all__ = [
+    "ExplosionPoint",
+    "token_ring_explosion_sweep",
+    "sample_large_ring_correspondence",
+    "Timed",
+    "timed_call",
+    "experiments",
+]

@@ -1,0 +1,25 @@
+"""Small timing helpers shared by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+__all__ = ["Timed", "timed_call"]
+
+
+@dataclass(frozen=True)
+class Timed:
+    """The result of a timed call: the returned value and the wall-clock seconds it took."""
+
+    value: Any
+    seconds: float
+
+
+def timed_call(function: Callable[..., Any], *args: Any, **kwargs: Any) -> Timed:
+    """Call ``function`` and measure the wall-clock time it takes."""
+    start = time.perf_counter()
+    value = function(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    return Timed(value=value, seconds=elapsed)

@@ -1,0 +1,43 @@
+"""Correspondence (block bisimulation with degrees) and its indexed extension."""
+
+from repro.correspondence.blocks import BlockMatching, blocks_correspond, corresponding_path
+from repro.correspondence.check import (
+    find_correspondence,
+    minimal_degrees,
+    structures_correspond,
+)
+from repro.correspondence.definition import (
+    assert_correspondence,
+    correspondence_violations,
+    is_correspondence,
+    pair_clause_violations,
+)
+from repro.correspondence.indexed import (
+    IndexRelation,
+    IndexedCorrespondenceReport,
+    ParameterizedVerifier,
+    TransferredResult,
+    indexed_correspondence,
+    verify_index_relation,
+)
+from repro.correspondence.relation import CorrespondenceRelation
+
+__all__ = [
+    "CorrespondenceRelation",
+    "correspondence_violations",
+    "pair_clause_violations",
+    "is_correspondence",
+    "assert_correspondence",
+    "find_correspondence",
+    "minimal_degrees",
+    "structures_correspond",
+    "BlockMatching",
+    "corresponding_path",
+    "blocks_correspond",
+    "IndexRelation",
+    "IndexedCorrespondenceReport",
+    "indexed_correspondence",
+    "verify_index_relation",
+    "ParameterizedVerifier",
+    "TransferredResult",
+]

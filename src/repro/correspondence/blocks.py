@@ -1,0 +1,185 @@
+"""Block partitions of corresponding paths (Lemma 1 of the paper).
+
+Lemma 1 states that whenever ``s E s'`` and ``π`` is a path of ``M`` starting
+at ``s``, there is a path ``π'`` of ``M'`` starting at ``s'`` and partitions of
+the two paths into finite *blocks* ``B₁B₂…`` / ``B₁'B₂'…`` such that every
+state of ``B_j`` corresponds to every state of ``B_j'``.  Blocks are runs of
+states with identical labelling — exactly the stuttering that CTL* without
+next-time cannot observe.
+
+:func:`corresponding_path` makes the lemma executable: given a correspondence
+relation and a finite path of the left structure it constructs a matching
+right path together with the two block partitions, following the inductive
+construction in the paper's proof (cases 1–3).  It is used by the tests to
+validate relations produced by the decision algorithm and by the examples to
+illustrate how stuttering is absorbed into blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import CorrespondenceError
+from repro.kripke.structure import KripkeStructure, State
+from repro.correspondence.relation import CorrespondenceRelation
+
+__all__ = ["BlockMatching", "corresponding_path", "blocks_correspond"]
+
+
+@dataclass(frozen=True)
+class BlockMatching:
+    """A pair of block partitions witnessing Lemma 1 for one finite path.
+
+    ``left_blocks`` concatenates to the input path; ``right_blocks``
+    concatenates to the constructed right path; the two lists have the same
+    length and ``left_blocks[j]`` corresponds block-wise to ``right_blocks[j]``.
+    """
+
+    left_blocks: Tuple[Tuple[State, ...], ...]
+    right_blocks: Tuple[Tuple[State, ...], ...]
+
+    @property
+    def left_path(self) -> Tuple[State, ...]:
+        """The left path (concatenation of the left blocks)."""
+        return tuple(state for block in self.left_blocks for state in block)
+
+    @property
+    def right_path(self) -> Tuple[State, ...]:
+        """The constructed right path (concatenation of the right blocks)."""
+        return tuple(state for block in self.right_blocks for state in block)
+
+
+def blocks_correspond(
+    relation: CorrespondenceRelation, matching: BlockMatching
+) -> bool:
+    """Return ``True`` when every state of each left block corresponds to every state of the matching right block."""
+    if len(matching.left_blocks) != len(matching.right_blocks):
+        return False
+    for left_block, right_block in zip(matching.left_blocks, matching.right_blocks):
+        if not left_block or not right_block:
+            return False
+        for left_state in left_block:
+            for right_state in right_block:
+                if not relation.corresponds(left_state, right_state):
+                    return False
+    return True
+
+
+def corresponding_path(
+    left: KripkeStructure,
+    right: KripkeStructure,
+    relation: CorrespondenceRelation,
+    path: Sequence[State],
+    right_start: State | None = None,
+    max_steps: int | None = None,
+) -> BlockMatching:
+    """Construct a right path and block partitions matching ``path`` (Lemma 1).
+
+    Parameters
+    ----------
+    path:
+        A finite path of ``left`` (consecutive states related by the
+        transition relation) whose first state corresponds to ``right_start``.
+    right_start:
+        The right structure's starting state; defaults to its initial state.
+    max_steps:
+        Safety bound on the number of construction steps (defaults to
+        ``(len(path) + 1) × (|S| + |S'|)``, the bound implied by Lemma 1).
+
+    Raises
+    ------
+    CorrespondenceError
+        If the relation does not allow the construction — which, by Lemma 1,
+        means the relation is not a correspondence relation.
+    """
+    if not path:
+        raise CorrespondenceError("cannot match an empty path")
+    start_right = right.initial_state if right_start is None else right_start
+    if not relation.corresponds(path[0], start_right):
+        raise CorrespondenceError(
+            "the first state of the path does not correspond to the right start state"
+        )
+
+    left_blocks: List[List[State]] = [[path[0]]]
+    right_blocks: List[List[State]] = [[start_right]]
+    budget = (len(path) + 1) * (left.num_states + right.num_states) if max_steps is None else max_steps
+
+    for next_state in path[1:]:
+        budget = _extend(
+            left, right, relation, left_blocks, right_blocks, next_state, budget
+        )
+
+    return BlockMatching(
+        left_blocks=tuple(tuple(block) for block in left_blocks),
+        right_blocks=tuple(tuple(block) for block in right_blocks),
+    )
+
+
+def _extend(
+    left: KripkeStructure,
+    right: KripkeStructure,
+    relation: CorrespondenceRelation,
+    left_blocks: List[List[State]],
+    right_blocks: List[List[State]],
+    next_state: State,
+    budget: int,
+) -> int:
+    """Extend the partitions with ``next_state``, mirroring the proof of Lemma 1."""
+    while True:
+        if budget <= 0:
+            raise CorrespondenceError(
+                "path matching did not terminate within the Lemma 1 bound; the "
+                "relation is not a correspondence relation"
+            )
+        budget -= 1
+
+        current_left = left_blocks[-1][-1]
+        current_right = right_blocks[-1][-1]
+        degree = relation.degree_or_none(current_left, current_right)
+        if degree is None:
+            raise CorrespondenceError(
+                "internal construction reached a non-corresponding pair (%r, %r)"
+                % (current_left, current_right)
+            )
+
+        # Case 1: both sides step together into corresponding states.
+        for right_successor in sorted(right.successors(current_right), key=repr):
+            if relation.corresponds(next_state, right_successor):
+                left_blocks.append([next_state])
+                right_blocks.append([right_successor])
+                return budget
+
+        # Case 3: the left state steps alone (next_state still corresponds to
+        # the current right state with a smaller degree).
+        stays = relation.degree_or_none(next_state, current_right)
+        if stays is not None and stays < degree:
+            if len(right_blocks[-1]) != 1:
+                moved = right_blocks[-1].pop()
+                right_blocks.append([moved])
+                left_blocks.append([next_state])
+            else:
+                left_blocks[-1].append(next_state)
+            return budget
+
+        # Case 2: the right state steps alone with a smaller degree; afterwards
+        # we retry from the new configuration.
+        stepped = False
+        for right_successor in sorted(right.successors(current_right), key=repr):
+            partner = relation.degree_or_none(current_left, right_successor)
+            if partner is not None and partner < degree:
+                if len(left_blocks[-1]) != 1:
+                    moved = left_blocks[-1].pop()
+                    left_blocks.append([moved])
+                    right_blocks.append([right_successor])
+                else:
+                    right_blocks[-1].append(right_successor)
+                stepped = True
+                break
+        if stepped:
+            continue
+
+        raise CorrespondenceError(
+            "pair (%r, %r) with degree %d offers no way to match the move to %r; "
+            "the relation violates clause 2b" % (current_left, current_right, degree, next_state)
+        )

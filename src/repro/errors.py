@@ -1,0 +1,83 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FormulaError",
+    "ParseError",
+    "FragmentError",
+    "RestrictionError",
+    "StructureError",
+    "ValidationError",
+    "ModelCheckingError",
+    "CorrespondenceError",
+    "CompositionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FormulaError(ReproError):
+    """A formula is malformed or used in a context where it is not allowed."""
+
+
+class ParseError(FormulaError):
+    """The textual formula syntax could not be parsed.
+
+    Attributes
+    ----------
+    position:
+        Index into the input text at which the error was detected, or ``None``
+        when the error is not tied to a specific location (e.g. unexpected end
+        of input).
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class FragmentError(FormulaError):
+    """A formula does not belong to the logic fragment required by an operation.
+
+    Raised, for example, when the CTL model checker is handed a formula that is
+    not in CTL, or when a next-free context receives a formula containing the
+    next-time operator.
+    """
+
+
+class RestrictionError(FormulaError):
+    """An ICTL* formula violates the syntactic restrictions of Section 4.
+
+    The restrictions forbid nesting index quantifiers and forbid index
+    quantifiers inside the operands of an until operator; without them the
+    logic can count the number of processes (Fig. 4.1 of the paper).
+    """
+
+
+class StructureError(ReproError):
+    """A Kripke structure is malformed or used incorrectly."""
+
+
+class ValidationError(StructureError):
+    """A structure failed validation (e.g. the transition relation is not total)."""
+
+
+class ModelCheckingError(ReproError):
+    """A model-checking run could not be carried out."""
+
+
+class CorrespondenceError(ReproError):
+    """A correspondence (bisimulation) relation is invalid or could not be built."""
+
+
+class CompositionError(ReproError):
+    """A network composition (product of processes) could not be constructed."""

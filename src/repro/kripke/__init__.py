@@ -1,0 +1,46 @@
+"""Kripke structures, indexed Kripke structures, and structure manipulation."""
+
+from repro.kripke.builders import IndexedKripkeBuilder, KripkeBuilder
+from repro.kripke.export import to_dot, to_json
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.paths import (
+    Lasso,
+    enumerate_finite_paths,
+    enumerate_lassos,
+    is_path,
+    random_walk,
+)
+from repro.kripke.product import interleaved_product, synchronous_product
+from repro.kripke.reachable import reachable_states, restrict_to_reachable
+from repro.kripke.reduction import CANONICAL_INDEX, reduce_to_index
+from repro.kripke.stats import StructureStats, structure_stats
+from repro.kripke.structure import IndexedProp, KripkeStructure, Label, State
+from repro.kripke.validation import assert_total, validate, validation_issues
+
+__all__ = [
+    "KripkeStructure",
+    "IndexedKripkeStructure",
+    "IndexedProp",
+    "Label",
+    "State",
+    "KripkeBuilder",
+    "IndexedKripkeBuilder",
+    "validate",
+    "validation_issues",
+    "assert_total",
+    "reachable_states",
+    "restrict_to_reachable",
+    "reduce_to_index",
+    "CANONICAL_INDEX",
+    "interleaved_product",
+    "synchronous_product",
+    "Lasso",
+    "is_path",
+    "enumerate_finite_paths",
+    "enumerate_lassos",
+    "random_walk",
+    "to_dot",
+    "to_json",
+    "StructureStats",
+    "structure_stats",
+]

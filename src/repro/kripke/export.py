@@ -1,0 +1,60 @@
+"""Export helpers: Graphviz DOT and JSON-friendly dictionaries.
+
+These are convenience utilities for inspecting the structures produced by the
+library (e.g. rendering Fig. 5.1, the two-process mutual-exclusion global
+state graph, for comparison with the paper).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from repro.kripke.structure import KripkeStructure, State
+
+__all__ = ["to_dot", "to_json"]
+
+
+def _default_state_name(state: State) -> str:
+    return repr(state)
+
+
+def to_dot(
+    structure: KripkeStructure,
+    state_name: Callable[[State], str] | None = None,
+    include_labels: bool = True,
+) -> str:
+    """Render ``structure`` as a Graphviz DOT digraph.
+
+    Parameters
+    ----------
+    state_name:
+        Optional function mapping a state to the node caption; defaults to
+        ``repr``.
+    include_labels:
+        When true (default) each node caption also lists the atomic
+        propositions true in the state.
+    """
+    naming = state_name or _default_state_name
+    ordered = sorted(structure.states, key=repr)
+    identifiers = {state: "s%d" % index for index, state in enumerate(ordered)}
+    lines = ["digraph kripke {", "  rankdir=LR;"]
+    for state in ordered:
+        caption = naming(state)
+        if include_labels:
+            props = ", ".join(sorted(str(element) for element in structure.label(state)))
+            caption = "%s\\n{%s}" % (caption, props)
+        shape = "doublecircle" if state == structure.initial_state else "circle"
+        lines.append(
+            '  %s [label="%s", shape=%s];' % (identifiers[state], caption.replace('"', "'"), shape)
+        )
+    for source in ordered:
+        for target in sorted(structure.successors(source), key=repr):
+            lines.append("  %s -> %s;" % (identifiers[source], identifiers[target]))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_json(structure: KripkeStructure, indent: int | None = 2) -> str:
+    """Serialise ``structure`` to a JSON string (states rendered via ``repr``)."""
+    return json.dumps(structure.to_dict(), indent=indent, sort_keys=True)

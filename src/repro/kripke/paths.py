@@ -1,0 +1,156 @@
+"""Path utilities: finite paths, lassos, and random walks.
+
+A *path* in a Kripke structure is an infinite sequence of states related by
+the transition relation; on finite structures every satisfiable path property
+has an ultimately periodic ("lasso") witness, which is why the brute-force
+oracle in :mod:`repro.mc.oracle` enumerates lassos.  Random walks are used by
+the large-ring spot checks of experiment E8, where the global state graph of
+the 1000-process ring is never built explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+from repro.errors import StructureError
+from repro.kripke.structure import KripkeStructure, State
+
+__all__ = ["Lasso", "is_path", "enumerate_finite_paths", "enumerate_lassos", "random_walk"]
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """An ultimately periodic path ``stem · cycle^ω``.
+
+    ``stem`` may be empty; ``cycle`` is non-empty and its last state has a
+    transition back to its first state.  The first state of the lasso is
+    ``stem[0]`` when the stem is non-empty, otherwise ``cycle[0]``.
+    """
+
+    stem: Tuple[State, ...]
+    cycle: Tuple[State, ...]
+
+    @property
+    def first_state(self) -> State:
+        """The state the lasso starts in."""
+        return self.stem[0] if self.stem else self.cycle[0]
+
+    def positions(self) -> Tuple[State, ...]:
+        """The finite carrier of the lasso: stem followed by one unrolling of the cycle."""
+        return tuple(self.stem) + tuple(self.cycle)
+
+    def successor_position(self, position: int) -> int:
+        """Return the position following ``position`` in the lasso's carrier."""
+        total = len(self.stem) + len(self.cycle)
+        if position < 0 or position >= total:
+            raise IndexError("position %d outside lasso carrier of length %d" % (position, total))
+        if position == total - 1:
+            return len(self.stem)
+        return position + 1
+
+
+def is_path(structure: KripkeStructure, states: Sequence[State]) -> bool:
+    """Return ``True`` when ``states`` is a finite path of ``structure`` (consecutive states related by R)."""
+    if not states:
+        return False
+    for state in states:
+        if state not in structure:
+            return False
+    return all(
+        states[index + 1] in structure.successors(states[index])
+        for index in range(len(states) - 1)
+    )
+
+
+def enumerate_finite_paths(
+    structure: KripkeStructure, source: State, length: int
+) -> Iterator[Tuple[State, ...]]:
+    """Yield every finite path of exactly ``length`` states starting at ``source``.
+
+    Intended for small structures only — the number of paths grows
+    exponentially with ``length``.
+    """
+    if length <= 0:
+        return
+    stack: List[Tuple[State, ...]] = [(source,)]
+    while stack:
+        path = stack.pop()
+        if len(path) == length:
+            yield path
+            continue
+        for successor in sorted(structure.successors(path[-1]), key=repr):
+            stack.append(path + (successor,))
+
+
+def enumerate_lassos(
+    structure: KripkeStructure,
+    source: State,
+    max_stem: int | None = None,
+    max_cycle: int | None = None,
+) -> Iterator[Lasso]:
+    """Yield lassos starting at ``source`` with simple stems and simple cycles.
+
+    The stem visits no state twice and does not revisit states of the cycle;
+    the cycle visits no state twice.  Such "simple" lassos are sufficient
+    witnesses for many (not all) path properties and are used as a one-sided
+    oracle by the tests.
+    """
+    stem_bound = structure.num_states if max_stem is None else max_stem
+    cycle_bound = structure.num_states if max_cycle is None else max_cycle
+
+    def cycles_from(start: State) -> Iterator[Tuple[State, ...]]:
+        # Simple cycles beginning at `start`.
+        stack: List[Tuple[State, ...]] = [(start,)]
+        while stack:
+            partial = stack.pop()
+            current = partial[-1]
+            for successor in sorted(structure.successors(current), key=repr):
+                if successor == start:
+                    yield partial
+                elif successor not in partial and len(partial) < cycle_bound:
+                    stack.append(partial + (successor,))
+
+    stems: List[Tuple[State, ...]] = [(source,)]
+    while stems:
+        stem = stems.pop()
+        anchor = stem[-1]
+        for cycle in cycles_from(anchor):
+            yield Lasso(stem=stem[:-1], cycle=cycle)
+        if len(stem) < stem_bound:
+            for successor in sorted(structure.successors(anchor), key=repr):
+                if successor not in stem:
+                    stems.append(stem + (successor,))
+
+
+def random_walk(
+    structure_or_successors,
+    source: State,
+    length: int,
+    rng: random.Random | None = None,
+    successors: Callable[[State], Sequence[State]] | None = None,
+) -> List[State]:
+    """Return a random path of ``length`` states starting at ``source``.
+
+    Either pass a :class:`KripkeStructure`, or pass any object together with a
+    ``successors`` callable for on-the-fly exploration of structures that are
+    too large to build explicitly (experiment E8 uses this with the
+    1000-process token ring).
+    """
+    rng = rng or random.Random()
+    if successors is None:
+        if not isinstance(structure_or_successors, KripkeStructure):
+            raise StructureError(
+                "random_walk needs a KripkeStructure or an explicit successors callable"
+            )
+        successors = structure_or_successors.successors
+    walk = [source]
+    current = source
+    for _ in range(length - 1):
+        options = sorted(successors(current), key=repr)
+        if not options:
+            break
+        current = rng.choice(options)
+        walk.append(current)
+    return walk

@@ -1,0 +1,142 @@
+"""Products of Kripke structures.
+
+Two product constructions are provided:
+
+* :func:`interleaved_product` — the asynchronous (interleaving) product in
+  which exactly one component moves per global transition.  This is the *free
+  product* of Section 6 when the components do not interact; the global state
+  graph of a family of non-communicating identical processes is obtained this
+  way.
+* :func:`synchronous_product` — every component moves simultaneously; included
+  for completeness and used in tests of the correspondence machinery.
+
+The components' labels are tagged with the component's index value, so the
+result is an :class:`~repro.kripke.indexed.IndexedKripkeStructure` ready for
+ICTL* model checking.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import CompositionError
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.structure import IndexedProp, KripkeStructure, State
+
+__all__ = ["interleaved_product", "synchronous_product"]
+
+
+def _tag_labels(
+    components: Sequence[KripkeStructure], index_values: Sequence[int], global_state: Tuple[State, ...]
+) -> Set:
+    label: Set = set()
+    for component, index_value, local_state in zip(components, index_values, global_state):
+        for element in component.label(local_state):
+            if isinstance(element, IndexedProp):
+                raise CompositionError(
+                    "component structures must use plain (non-indexed) labels; "
+                    "the product adds the index"
+                )
+            label.add(IndexedProp(element, index_value))
+    return label
+
+
+def _check_components(
+    components: Sequence[KripkeStructure], index_values: Sequence[int] | None
+) -> List[int]:
+    if not components:
+        raise CompositionError("a product needs at least one component")
+    if index_values is None:
+        values = list(range(1, len(components) + 1))
+    else:
+        values = list(index_values)
+    if len(values) != len(components):
+        raise CompositionError(
+            "got %d components but %d index values" % (len(components), len(values))
+        )
+    if len(set(values)) != len(values):
+        raise CompositionError("index values must be distinct")
+    return values
+
+
+def interleaved_product(
+    components: Sequence[KripkeStructure],
+    index_values: Sequence[int] | None = None,
+    name: str | None = None,
+) -> IndexedKripkeStructure:
+    """Return the interleaving (free) product of ``components``.
+
+    Global states are tuples of component states; each global transition moves
+    exactly one component along one of its local transitions.  Component
+    labels (plain strings) become indexed propositions tagged with the
+    component's index value.
+    """
+    values = _check_components(components, index_values)
+    initial = tuple(component.initial_state for component in components)
+
+    states: Set[Tuple[State, ...]] = set()
+    transitions: Dict[Tuple[State, ...], Set[Tuple[State, ...]]] = {}
+    frontier = [initial]
+    states.add(initial)
+    while frontier:
+        current = frontier.pop()
+        successors: Set[Tuple[State, ...]] = set()
+        for position, component in enumerate(components):
+            for local_successor in component.successors(current[position]):
+                next_state = current[:position] + (local_successor,) + current[position + 1 :]
+                successors.add(next_state)
+                if next_state not in states:
+                    states.add(next_state)
+                    frontier.append(next_state)
+        transitions[current] = successors
+
+    labeling = {state: _tag_labels(components, values, state) for state in states}
+    return IndexedKripkeStructure(
+        states,
+        transitions,
+        labeling,
+        initial,
+        index_values=values,
+        name=name or "interleaved_product",
+    )
+
+
+def synchronous_product(
+    components: Sequence[KripkeStructure],
+    index_values: Sequence[int] | None = None,
+    name: str | None = None,
+) -> IndexedKripkeStructure:
+    """Return the synchronous product of ``components`` (all components step together)."""
+    values = _check_components(components, index_values)
+    initial = tuple(component.initial_state for component in components)
+
+    states: Set[Tuple[State, ...]] = set()
+    transitions: Dict[Tuple[State, ...], Set[Tuple[State, ...]]] = {}
+    frontier = [initial]
+    states.add(initial)
+    while frontier:
+        current = frontier.pop()
+        successor_choices = [
+            sorted(component.successors(local_state), key=repr)
+            for component, local_state in zip(components, current)
+        ]
+        successors: Set[Tuple[State, ...]] = set()
+        if all(successor_choices):
+            for combination in iter_product(*successor_choices):
+                next_state = tuple(combination)
+                successors.add(next_state)
+                if next_state not in states:
+                    states.add(next_state)
+                    frontier.append(next_state)
+        transitions[current] = successors
+
+    labeling = {state: _tag_labels(components, values, state) for state in states}
+    return IndexedKripkeStructure(
+        states,
+        transitions,
+        labeling,
+        initial,
+        index_values=values,
+        name=name or "synchronous_product",
+    )

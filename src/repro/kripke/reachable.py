@@ -1,0 +1,60 @@
+"""Reachability restriction.
+
+The token-ring transition graph ``G_r`` of Section 5 is not a Kripke structure
+as written — the state in which every process is delayed and nobody holds the
+token has no successors — but restricting it to the states *reachable* from the
+initial state yields one (the paper denotes the result ``M_r``).  This module
+provides exactly that restriction for arbitrary structures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import FrozenSet
+
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.structure import KripkeStructure, State
+
+__all__ = ["reachable_states", "restrict_to_reachable"]
+
+
+def reachable_states(structure: KripkeStructure, source: State | None = None) -> FrozenSet[State]:
+    """Return the set of states reachable from ``source`` (default: the initial state)."""
+    start = structure.initial_state if source is None else source
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        state = frontier.popleft()
+        for successor in structure.successors(state):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return frozenset(seen)
+
+
+def restrict_to_reachable(structure: KripkeStructure) -> KripkeStructure:
+    """Return the sub-structure induced by the states reachable from the initial state.
+
+    The result preserves the concrete class: restricting an
+    :class:`IndexedKripkeStructure` yields an indexed structure with the same
+    index set.
+    """
+    reachable = reachable_states(structure)
+    transitions = {
+        state: [target for target in structure.successors(state) if target in reachable]
+        for state in reachable
+    }
+    labeling = {state: structure.label(state) for state in reachable}
+    if isinstance(structure, IndexedKripkeStructure):
+        return IndexedKripkeStructure(
+            reachable,
+            transitions,
+            labeling,
+            structure.initial_state,
+            index_values=structure.index_values,
+            indexed_prop_names=structure.indexed_prop_names,
+            name=structure.name,
+        )
+    return KripkeStructure(
+        reachable, transitions, labeling, structure.initial_state, name=structure.name
+    )

@@ -1,0 +1,47 @@
+"""Structure statistics used by the state-explosion experiments (E8)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.structure import KripkeStructure
+
+__all__ = ["StructureStats", "structure_stats"]
+
+
+@dataclass(frozen=True)
+class StructureStats:
+    """Summary statistics of a Kripke structure."""
+
+    name: str
+    num_states: int
+    num_transitions: int
+    num_atomic_propositions: int
+    num_indexed_propositions: int
+    num_index_values: int
+    average_out_degree: float
+    is_total: bool
+
+    def as_dict(self) -> dict:
+        """Return the statistics as a plain dictionary (for reports and benchmarks)."""
+        return asdict(self)
+
+
+def structure_stats(structure: KripkeStructure) -> StructureStats:
+    """Compute :class:`StructureStats` for ``structure``."""
+    num_states = structure.num_states
+    num_transitions = structure.num_transitions
+    index_values = (
+        len(structure.index_values) if isinstance(structure, IndexedKripkeStructure) else 0
+    )
+    return StructureStats(
+        name=structure.name or structure.__class__.__name__,
+        num_states=num_states,
+        num_transitions=num_transitions,
+        num_atomic_propositions=len(structure.atomic_propositions),
+        num_indexed_propositions=len(structure.indexed_propositions),
+        num_index_values=index_values,
+        average_out_degree=(num_transitions / num_states) if num_states else 0.0,
+        is_total=structure.is_total(),
+    )

@@ -1,0 +1,53 @@
+"""Validation of Kripke structures.
+
+The CTL*/ICTL* semantics of the paper require the transition relation to be
+*total* (every state has at least one successor) so that every state starts an
+infinite path.  Model-checking a non-total structure silently gives wrong
+answers for liveness formulas, so the checkers call :func:`validate` first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ValidationError
+from repro.kripke.structure import KripkeStructure
+
+__all__ = ["validation_issues", "validate", "assert_total"]
+
+
+def validation_issues(structure: KripkeStructure) -> List[str]:
+    """Return human-readable descriptions of every validation problem found.
+
+    Checks performed:
+
+    * every state has at least one successor (the relation is total);
+    * the initial state belongs to the state set (enforced by the constructor,
+      re-checked here for completeness).
+    """
+    issues: List[str] = []
+    if structure.initial_state not in structure.states:
+        issues.append("initial state is not a member of the state set")
+    deadlocks = [state for state in structure.states if not structure.successors(state)]
+    for state in sorted(deadlocks, key=repr):
+        issues.append("state %r has no successors (transition relation is not total)" % (state,))
+    return issues
+
+
+def validate(structure: KripkeStructure) -> None:
+    """Raise :class:`ValidationError` if the structure is not a valid Kripke structure."""
+    issues = validation_issues(structure)
+    if issues:
+        raise ValidationError(
+            "invalid Kripke structure%s: %s"
+            % (
+                " %r" % structure.name if structure.name else "",
+                "; ".join(issues[:10]) + (" ..." if len(issues) > 10 else ""),
+            )
+        )
+
+
+def assert_total(structure: KripkeStructure) -> None:
+    """Raise :class:`ValidationError` unless the transition relation is total."""
+    if not structure.is_total():
+        validate(structure)

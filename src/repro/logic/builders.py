@@ -1,0 +1,221 @@
+"""Convenience constructors for building formulas programmatically.
+
+These helpers mirror the notation used in the paper: ``AG``, ``AF``, ``EF``,
+``EG``, the quantified ``∧_i`` / ``∨_i`` forms, and the n-ary boolean
+connectives.  They build the same AST nodes as :mod:`repro.logic.ast` but read
+much closer to the formulas that appear in Section 5, e.g.::
+
+    prop4 = index_forall("i", AG(implies(iatom("d", "i"), AF(iatom("c", "i")))))
+
+which is the paper's ``∧_i AG(d_i ⇒ AF c_i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    Index,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+)
+
+__all__ = [
+    "true",
+    "false",
+    "atom",
+    "iatom",
+    "exactly_one",
+    "lnot",
+    "land",
+    "lor",
+    "implies",
+    "iff",
+    "E",
+    "A",
+    "X",
+    "F",
+    "G",
+    "U",
+    "R",
+    "W",
+    "EX",
+    "EF",
+    "EG",
+    "EU",
+    "AX",
+    "AF",
+    "AG",
+    "AU",
+    "index_exists",
+    "index_forall",
+]
+
+
+def true() -> TrueLiteral:
+    """The constant ``true``."""
+    return TrueLiteral()
+
+
+def false() -> FalseLiteral:
+    """The constant ``false``."""
+    return FalseLiteral()
+
+
+def atom(name: str) -> Atom:
+    """A non-indexed atomic proposition."""
+    return Atom(name)
+
+
+def iatom(name: str, index: Index) -> IndexedAtom:
+    """An indexed atomic proposition ``name_index``."""
+    return IndexedAtom(name, index)
+
+
+def exactly_one(name: str) -> ExactlyOne:
+    """The ``Θ_i name_i`` proposition: exactly one index value satisfies ``name``."""
+    return ExactlyOne(name)
+
+
+def lnot(operand: Formula) -> Not:
+    """Negation."""
+    return Not(operand)
+
+
+def land(*operands: Formula) -> Formula:
+    """N-ary conjunction (right-nested); with no operands returns ``true``."""
+    return _fold(And, operands, TrueLiteral())
+
+
+def lor(*operands: Formula) -> Formula:
+    """N-ary disjunction (right-nested); with no operands returns ``false``."""
+    return _fold(Or, operands, FalseLiteral())
+
+
+def _fold(node_type, operands: Iterable[Formula], empty: Formula) -> Formula:
+    operands = list(operands)
+    if not operands:
+        return empty
+    result = operands[-1]
+    for operand in reversed(operands[:-1]):
+        result = node_type(operand, result)
+    return result
+
+
+def implies(left: Formula, right: Formula) -> Implies:
+    """Implication ``left ⇒ right``."""
+    return Implies(left, right)
+
+
+def iff(left: Formula, right: Formula) -> Iff:
+    """Bi-implication ``left ⇔ right``."""
+    return Iff(left, right)
+
+
+def E(path: Formula) -> Exists:
+    """Existential path quantifier."""
+    return Exists(path)
+
+
+def A(path: Formula) -> ForAll:
+    """Universal path quantifier."""
+    return ForAll(path)
+
+
+def X(operand: Formula) -> Next:
+    """Next-time (excluded from the paper's logic; see :class:`repro.logic.ast.Next`)."""
+    return Next(operand)
+
+
+def F(operand: Formula) -> Finally:
+    """Eventually."""
+    return Finally(operand)
+
+
+def G(operand: Formula) -> Globally:
+    """Always."""
+    return Globally(operand)
+
+
+def U(left: Formula, right: Formula) -> Until:
+    """Strong until."""
+    return Until(left, right)
+
+
+def R(left: Formula, right: Formula) -> Release:
+    """Release."""
+    return Release(left, right)
+
+
+def W(left: Formula, right: Formula) -> WeakUntil:
+    """Weak until."""
+    return WeakUntil(left, right)
+
+
+def EX(operand: Formula) -> Exists:
+    """``EX f``: some successor satisfies ``f``."""
+    return Exists(Next(operand))
+
+
+def EF(operand: Formula) -> Exists:
+    """``EF f``: ``f`` is reachable along some path."""
+    return Exists(Finally(operand))
+
+
+def EG(operand: Formula) -> Exists:
+    """``EG f``: some path satisfies ``f`` globally."""
+    return Exists(Globally(operand))
+
+
+def EU(left: Formula, right: Formula) -> Exists:
+    """``E[left U right]``."""
+    return Exists(Until(left, right))
+
+
+def AX(operand: Formula) -> ForAll:
+    """``AX f``: every successor satisfies ``f``."""
+    return ForAll(Next(operand))
+
+
+def AF(operand: Formula) -> ForAll:
+    """``AF f``: ``f`` eventually holds along every path."""
+    return ForAll(Finally(operand))
+
+
+def AG(operand: Formula) -> ForAll:
+    """``AG f``: ``f`` holds globally along every path."""
+    return ForAll(Globally(operand))
+
+
+def AU(left: Formula, right: Formula) -> ForAll:
+    """``A[left U right]``."""
+    return ForAll(Until(left, right))
+
+
+def index_exists(variable: str, body: Formula) -> IndexExists:
+    """The quantifier ``∨_variable body``."""
+    return IndexExists(variable, body)
+
+
+def index_forall(variable: str, body: Formula) -> IndexForall:
+    """The quantifier ``∧_variable body``."""
+    return IndexForall(variable, body)

@@ -1,0 +1,286 @@
+"""A recursive-descent parser for a textual CTL*/ICTL* syntax.
+
+The grammar (binding strength increases downward)::
+
+    formula   :=  iff
+    iff       :=  implies ( '<->' implies )*
+    implies   :=  or ( '->' implies )?                    (right associative)
+    or        :=  and ( '|' and )*
+    and       :=  until ( '&' until )*
+    until     :=  unary ( ('U' | 'R' | 'W') until )?      (right associative)
+    unary     :=  '!' unary
+               |  'E' unary | 'A' unary
+               |  'X' unary | 'F' unary | 'G' unary
+               |  'forall' IDENT '.' formula
+               |  'exists' IDENT '.' formula
+               |  'one' IDENT
+               |  'true' | 'false'
+               |  IDENT ( '[' (IDENT | NUMBER) ']' )?
+               |  '(' formula ')'
+
+Examples
+--------
+>>> parse("forall i . AG(d[i] -> AF c[i])")          # doctest: +ELLIPSIS
+IndexForall(...)
+>>> parse("AG one t")                                 # doctest: +ELLIPSIS
+ForAll(...)
+
+The printed form of a formula (``str(f)``) parses back to a structurally equal
+formula.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+)
+
+__all__ = ["parse", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow2><->)
+  | (?P<arrow>->)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<dot>\.)
+  | (?P<and>&)
+  | (?P<or>\|)
+  | (?P<not>!)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+#: Identifiers treated as keywords rather than proposition names.
+_KEYWORDS = {"E", "A", "X", "F", "G", "U", "R", "W", "true", "false", "forall", "exists", "one"}
+
+#: Compact path-quantifier/temporal combinations accepted as single tokens, so
+#: that the familiar CTL spellings ``AG f``, ``EF f`` … parse without a space.
+_COMBINED = {
+    "AX": ("A", "X"),
+    "AF": ("A", "F"),
+    "AG": ("A", "G"),
+    "EX": ("E", "X"),
+    "EF": ("E", "F"),
+    "EG": ("E", "G"),
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> List[_Token]:
+    """Split ``text`` into tokens; raises :class:`ParseError` on unknown characters."""
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character %r" % text[position], position)
+        kind = match.lastgroup
+        value = match.group()
+        if kind != "ws":
+            # A keyword immediately followed by '[' is an indexed proposition
+            # whose name merely collides with the keyword (e.g. ``A[2]`` in the
+            # Fig. 4.1 example), so keep it as a plain identifier.
+            followed_by_index = match.end() < len(text) and text[match.end()] == "["
+            if kind == "ident" and value in _COMBINED and not followed_by_index:
+                for part in _COMBINED[value]:
+                    tokens.append(_Token(part, part, position))
+            else:
+                if kind == "ident" and value in _KEYWORDS and not followed_by_index:
+                    kind = value
+                tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", len(self._text))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            found = token.text if token is not None else "end of formula"
+            position = token.position if token is not None else len(self._text)
+            raise ParseError("expected %r but found %r" % (kind, found), position)
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            return self._advance()
+        return None
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self._iff()
+        token = self._peek()
+        if token is not None:
+            raise ParseError("unexpected trailing input %r" % token.text, token.position)
+        return formula
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self._accept("arrow2"):
+            right = self._implies()
+            left = Iff(left, right)
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self._accept("arrow"):
+            right = self._implies()
+            return Implies(left, right)
+        return left
+
+    def _or(self) -> Formula:
+        left = self._and()
+        while self._accept("or"):
+            right = self._and()
+            left = Or(left, right)
+        return left
+
+    def _and(self) -> Formula:
+        left = self._until()
+        while self._accept("and"):
+            right = self._until()
+            left = And(left, right)
+        return left
+
+    def _until(self) -> Formula:
+        left = self._unary()
+        token = self._peek()
+        if token is not None and token.kind in ("U", "R", "W"):
+            self._advance()
+            right = self._until()
+            node = {"U": Until, "R": Release, "W": WeakUntil}[token.kind]
+            return node(left, right)
+        return left
+
+    def _unary(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", len(self._text))
+        if token.kind == "not":
+            self._advance()
+            return Not(self._unary())
+        if token.kind == "E":
+            self._advance()
+            return Exists(self._unary())
+        if token.kind == "A":
+            self._advance()
+            return ForAll(self._unary())
+        if token.kind == "X":
+            self._advance()
+            return Next(self._unary())
+        if token.kind == "F":
+            self._advance()
+            return Finally(self._unary())
+        if token.kind == "G":
+            self._advance()
+            return Globally(self._unary())
+        if token.kind in ("forall", "exists"):
+            self._advance()
+            variable = self._expect("ident").text
+            self._expect("dot")
+            body = self._iff()
+            node = IndexForall if token.kind == "forall" else IndexExists
+            return node(variable, body)
+        if token.kind == "one":
+            self._advance()
+            name = self._expect("ident").text
+            return ExactlyOne(name)
+        if token.kind == "true":
+            self._advance()
+            return TrueLiteral()
+        if token.kind == "false":
+            self._advance()
+            return FalseLiteral()
+        if token.kind == "ident":
+            self._advance()
+            if self._accept("lbracket"):
+                index_token = self._peek()
+                if index_token is None or index_token.kind not in ("ident", "number"):
+                    raise ParseError(
+                        "expected an index variable or number inside [...]",
+                        index_token.position if index_token else len(self._text),
+                    )
+                self._advance()
+                self._expect("rbracket")
+                index = (
+                    int(index_token.text) if index_token.kind == "number" else index_token.text
+                )
+                return IndexedAtom(token.text, index)
+            return Atom(token.text)
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._iff()
+            self._expect("rparen")
+            return inner
+        raise ParseError("unexpected token %r" % token.text, token.position)
+
+
+def parse(text: str) -> Formula:
+    """Parse ``text`` into a formula AST.
+
+    Raises
+    ------
+    ParseError
+        If the text is not a well-formed formula.
+    """
+    return _Parser(tokenize(text), text).parse()

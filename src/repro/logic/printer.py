@@ -1,0 +1,127 @@
+"""Rendering formulas back to the textual syntax accepted by the parser.
+
+The printed form round-trips: ``parse(format_formula(f))`` is structurally
+equal to ``f`` for every formula built from the public constructors.
+"""
+
+from __future__ import annotations
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+)
+
+__all__ = ["format_formula"]
+
+# Binding strength of each operator family, used to decide where parentheses
+# are required.  Larger numbers bind tighter.
+_PRECEDENCE = {
+    Iff: 1,
+    Implies: 2,
+    Or: 3,
+    And: 4,
+    Until: 5,
+    Release: 5,
+    WeakUntil: 5,
+    Not: 6,
+    Exists: 6,
+    ForAll: 6,
+    Next: 6,
+    Finally: 6,
+    Globally: 6,
+}
+
+_ATOMIC = (Atom, IndexedAtom, ExactlyOne, TrueLiteral, FalseLiteral)
+
+
+def format_formula(formula: Formula) -> str:
+    """Render ``formula`` in the textual syntax understood by :func:`repro.logic.parser.parse`."""
+    return _render(formula, 0)
+
+
+def _precedence(formula: Formula) -> int:
+    if isinstance(formula, _ATOMIC):
+        return 10
+    if isinstance(formula, (IndexExists, IndexForall)):
+        return 0
+    return _PRECEDENCE[type(formula)]
+
+
+def _render(formula: Formula, parent_precedence: int) -> str:
+    text = _render_bare(formula)
+    if _precedence(formula) < parent_precedence:
+        return "(" + text + ")"
+    return text
+
+
+def _render_bare(formula: Formula) -> str:
+    if isinstance(formula, TrueLiteral):
+        return "true"
+    if isinstance(formula, FalseLiteral):
+        return "false"
+    if isinstance(formula, Atom):
+        return formula.name
+    if isinstance(formula, IndexedAtom):
+        return "%s[%s]" % (formula.name, formula.index)
+    if isinstance(formula, ExactlyOne):
+        return "one %s" % formula.name
+    if isinstance(formula, Not):
+        return "!" + _render(formula.operand, _PRECEDENCE[Not] + 1)
+    if isinstance(formula, And):
+        # '&' parses left-associatively, so a nested right operand needs parentheses.
+        level = _PRECEDENCE[And]
+        return "%s & %s" % (_render(formula.left, level), _render(formula.right, level + 1))
+    if isinstance(formula, Or):
+        level = _PRECEDENCE[Or]
+        return "%s | %s" % (_render(formula.left, level), _render(formula.right, level + 1))
+    if isinstance(formula, Implies):
+        # '->' parses right-associatively.
+        level = _PRECEDENCE[Implies]
+        return "%s -> %s" % (_render(formula.left, level + 1), _render(formula.right, level))
+    if isinstance(formula, Iff):
+        # '<->' parses left-associatively.
+        level = _PRECEDENCE[Iff]
+        return "%s <-> %s" % (_render(formula.left, level), _render(formula.right, level + 1))
+    if isinstance(formula, Until):
+        level = _PRECEDENCE[Until]
+        return "%s U %s" % (_render(formula.left, level + 1), _render(formula.right, level + 1))
+    if isinstance(formula, Release):
+        level = _PRECEDENCE[Release]
+        return "%s R %s" % (_render(formula.left, level + 1), _render(formula.right, level + 1))
+    if isinstance(formula, WeakUntil):
+        level = _PRECEDENCE[WeakUntil]
+        return "%s W %s" % (_render(formula.left, level + 1), _render(formula.right, level + 1))
+    if isinstance(formula, Exists):
+        return "E " + _render(formula.path, _PRECEDENCE[Exists])
+    if isinstance(formula, ForAll):
+        return "A " + _render(formula.path, _PRECEDENCE[ForAll])
+    if isinstance(formula, Next):
+        return "X " + _render(formula.operand, _PRECEDENCE[Next])
+    if isinstance(formula, Finally):
+        return "F " + _render(formula.operand, _PRECEDENCE[Finally])
+    if isinstance(formula, Globally):
+        return "G " + _render(formula.operand, _PRECEDENCE[Globally])
+    if isinstance(formula, IndexExists):
+        return "exists %s . %s" % (formula.variable, _render(formula.body, 0))
+    if isinstance(formula, IndexForall):
+        return "forall %s . %s" % (formula.variable, _render(formula.body, 0))
+    raise TypeError("unknown formula node: %r" % (formula,))

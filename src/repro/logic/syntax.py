@@ -1,0 +1,286 @@
+"""Fragment classification and the ICTL* syntactic restrictions.
+
+The paper uses several syntactic classes of formulas:
+
+* *state formulas* vs. *path formulas* (Section 2);
+* CTL*, which by convention in the paper excludes the next-time operator;
+* CTL, the fragment where every temporal operator is immediately preceded by a
+  path quantifier (this is the fragment the efficient labelling model checker
+  of Clarke–Emerson–Sistla handles);
+* *closed* indexed formulas, in which every indexed proposition is within the
+  scope of an index quantifier (Section 4);
+* *restricted* ICTL*, where index quantifiers may not be nested and may not
+  appear inside the operands of an until (Section 4) — without the
+  restriction the logic can count processes (Fig. 4.1).
+
+This module implements predicates and ``assert_*`` helpers for all of them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FragmentError, RestrictionError
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+    walk,
+)
+from repro.logic.transform import free_index_variables
+
+__all__ = [
+    "is_state_formula",
+    "is_path_formula",
+    "is_next_free",
+    "assert_next_free",
+    "is_closed",
+    "assert_closed",
+    "is_ctl",
+    "assert_ctl",
+    "is_ltl_path_formula",
+    "uses_indexing",
+    "is_restricted_ictl",
+    "assert_restricted_ictl",
+    "restriction_violations",
+]
+
+_ATOMIC = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
+_BOOLEAN = (Not, And, Or, Implies, Iff)
+_TEMPORAL_UNARY = (Next, Finally, Globally)
+_TEMPORAL_BINARY = (Until, Release, WeakUntil)
+_PATH_QUANTIFIERS = (Exists, ForAll)
+_INDEX_QUANTIFIERS = (IndexExists, IndexForall)
+
+
+# ---------------------------------------------------------------------------
+# State vs. path formulas
+# ---------------------------------------------------------------------------
+
+
+def is_state_formula(formula: Formula) -> bool:
+    """Return ``True`` when ``formula`` is a state formula in the sense of Section 2.
+
+    A state formula is an atomic proposition, a boolean combination of state
+    formulas, a path quantifier applied to a path formula, or an index
+    quantifier applied to a state formula.
+    """
+    if isinstance(formula, _ATOMIC):
+        return True
+    if isinstance(formula, _BOOLEAN):
+        return all(is_state_formula(child) for child in formula.children())
+    if isinstance(formula, _PATH_QUANTIFIERS):
+        return is_path_formula(formula.path)
+    if isinstance(formula, _INDEX_QUANTIFIERS):
+        return is_state_formula(formula.body)
+    if isinstance(formula, _TEMPORAL_UNARY + _TEMPORAL_BINARY):
+        return False
+    raise TypeError("unknown formula node: %r" % (formula,))
+
+
+def is_path_formula(formula: Formula) -> bool:
+    """Return ``True`` when ``formula`` is a path formula.
+
+    Every state formula is also a path formula; in addition boolean and
+    temporal combinations of path formulas are path formulas.
+    """
+    if is_state_formula(formula):
+        return True
+    if isinstance(formula, _BOOLEAN + _TEMPORAL_UNARY + _TEMPORAL_BINARY):
+        return all(is_path_formula(child) for child in formula.children())
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Next-freeness
+# ---------------------------------------------------------------------------
+
+
+def is_next_free(formula: Formula) -> bool:
+    """Return ``True`` when ``formula`` contains no next-time operator."""
+    return not any(isinstance(node, Next) for node in walk(formula))
+
+
+def assert_next_free(formula: Formula) -> None:
+    """Raise :class:`FragmentError` if ``formula`` uses the next-time operator."""
+    if not is_next_free(formula):
+        raise FragmentError(
+            "the paper's CTL* excludes the next-time operator "
+            "(it can count processes); formula uses X: %s" % formula
+        )
+
+
+# ---------------------------------------------------------------------------
+# Closedness of indexed formulas
+# ---------------------------------------------------------------------------
+
+
+def is_closed(formula: Formula) -> bool:
+    """Return ``True`` when every indexed proposition is bound by a quantifier.
+
+    Closed formulas cannot refer to a specific process, which is what makes the
+    ICTL* correspondence theorem possible.  Indexed atoms with *concrete*
+    integer indices make a formula non-closed.
+    """
+    if free_index_variables(formula):
+        return False
+    return not any(
+        isinstance(node, IndexedAtom) and isinstance(node.index, int)
+        for node in walk(formula)
+    )
+
+
+def assert_closed(formula: Formula) -> None:
+    """Raise :class:`FragmentError` if ``formula`` is not closed."""
+    if not is_closed(formula):
+        raise FragmentError(
+            "ICTL* formulas must be closed: every indexed proposition must be "
+            "bound by an index quantifier and no concrete process numbers may "
+            "appear (got %s)" % formula
+        )
+
+
+# ---------------------------------------------------------------------------
+# CTL
+# ---------------------------------------------------------------------------
+
+
+def is_ctl(formula: Formula) -> bool:
+    """Return ``True`` when ``formula`` is a CTL state formula.
+
+    In CTL every temporal operator is immediately preceded by a path
+    quantifier and its operands are again CTL state formulas.  Index
+    quantifiers are permitted (over CTL bodies), which is what the ICTL*
+    checker relies on to dispatch the Section 5 properties to the efficient
+    labelling algorithm.
+    """
+    if isinstance(formula, _ATOMIC):
+        return True
+    if isinstance(formula, _BOOLEAN):
+        return all(is_ctl(child) for child in formula.children())
+    if isinstance(formula, _INDEX_QUANTIFIERS):
+        return is_ctl(formula.body)
+    if isinstance(formula, _PATH_QUANTIFIERS):
+        path = formula.path
+        if isinstance(path, _TEMPORAL_UNARY):
+            return is_ctl(path.operand)
+        if isinstance(path, _TEMPORAL_BINARY):
+            return is_ctl(path.left) and is_ctl(path.right)
+        return False
+    return False
+
+
+def assert_ctl(formula: Formula) -> None:
+    """Raise :class:`FragmentError` if ``formula`` is not in CTL."""
+    if not is_ctl(formula):
+        raise FragmentError("formula is not in CTL: %s" % formula)
+
+
+def is_ltl_path_formula(formula: Formula) -> bool:
+    """Return ``True`` when ``formula`` is a pure path (LTL) formula.
+
+    A pure path formula contains no path quantifiers and no index
+    quantifiers; its leaves are atomic propositions.
+    """
+    return not any(
+        isinstance(node, _PATH_QUANTIFIERS + _INDEX_QUANTIFIERS) for node in walk(formula)
+    )
+
+
+# ---------------------------------------------------------------------------
+# The ICTL* restrictions of Section 4
+# ---------------------------------------------------------------------------
+
+
+def uses_indexing(formula: Formula) -> bool:
+    """Return ``True`` when ``formula`` mentions indexed propositions or quantifiers."""
+    return any(
+        isinstance(node, (IndexedAtom, ExactlyOne) + _INDEX_QUANTIFIERS)
+        for node in walk(formula)
+    )
+
+
+def restriction_violations(formula: Formula) -> list:
+    """Return a list of human-readable descriptions of ICTL* restriction violations.
+
+    The restrictions (Section 4 of the paper) are:
+
+    1. The formula must be closed.
+    2. The formula must not use the next-time operator.
+    3. An index quantifier may not appear in the scope of another index
+       quantifier (``∧_i`` abbreviates ``¬∨_i ¬``, so both count).
+    4. Neither operand of an until (or of the derived ``F``/``G``/``R``/``W``
+       operators, which expand to untils) may contain an index quantifier.
+
+    An empty list means the formula is a well-formed restricted ICTL* formula.
+    """
+    violations = []
+    if not is_state_formula(formula):
+        violations.append("formula is not a state formula")
+    if not is_closed(formula):
+        violations.append("formula is not closed")
+    if not is_next_free(formula):
+        violations.append("formula uses the next-time operator X")
+    violations.extend(_nesting_violations(formula, under_quantifier=False))
+    violations.extend(_until_violations(formula))
+    return violations
+
+
+def _nesting_violations(formula: Formula, under_quantifier: bool) -> list:
+    violations = []
+    if isinstance(formula, _INDEX_QUANTIFIERS):
+        if under_quantifier:
+            violations.append(
+                "index quantifier over '%s' is nested inside another index quantifier"
+                % formula.variable
+            )
+        violations.extend(_nesting_violations(formula.body, under_quantifier=True))
+        return violations
+    for child in formula.children():
+        violations.extend(_nesting_violations(child, under_quantifier))
+    return violations
+
+
+def _until_violations(formula: Formula) -> list:
+    violations = []
+    if isinstance(formula, _TEMPORAL_BINARY + (Finally, Globally)):
+        for child in formula.children():
+            if any(isinstance(node, _INDEX_QUANTIFIERS) for node in walk(child)):
+                violations.append(
+                    "index quantifier appears inside an operand of a temporal "
+                    "operator (%s)" % type(formula).__name__
+                )
+    for child in formula.children():
+        violations.extend(_until_violations(child))
+    return violations
+
+
+def is_restricted_ictl(formula: Formula) -> bool:
+    """Return ``True`` when ``formula`` is a restricted (well-formed) ICTL* formula."""
+    return not restriction_violations(formula)
+
+
+def assert_restricted_ictl(formula: Formula) -> None:
+    """Raise :class:`RestrictionError` unless ``formula`` is restricted ICTL*."""
+    violations = restriction_violations(formula)
+    if violations:
+        raise RestrictionError(
+            "formula violates the ICTL* restrictions: %s (formula: %s)"
+            % ("; ".join(violations), formula)
+        )

@@ -1,0 +1,315 @@
+"""Structural transformations on formulas.
+
+The important transformations are:
+
+* :func:`expand` — rewrite derived operators into the core connectives
+  (``¬``, ``∧``, ``∨``, ``E``, ``U``, ``X``, ``∨_i``).  The model checkers work
+  on expanded formulas so that they only need to handle the core.
+* :func:`negation_normal_form` — push negations down to the atoms (used by the
+  LTL tableau construction and useful for readable counterexamples).
+* :func:`substitute_index` — instantiate an index variable with a concrete
+  process number, the operation at the heart of evaluating ``∨_i f(i)`` over a
+  finite index set.
+* :func:`instantiate_quantifiers` — eliminate index quantifiers over a given
+  finite index set, producing a plain CTL* formula.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+from repro.errors import FormulaError
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    Index,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+    walk,
+)
+
+__all__ = [
+    "expand",
+    "negation_normal_form",
+    "substitute_index",
+    "free_index_variables",
+    "bound_index_variables",
+    "atoms",
+    "indexed_atom_names",
+    "instantiate_quantifiers",
+    "map_children",
+]
+
+
+def map_children(formula: Formula, mapper) -> Formula:
+    """Rebuild ``formula`` with each child replaced by ``mapper(child)``.
+
+    Leaf nodes are returned unchanged.  The helper keeps the individual
+    transformations below free of per-node-type boilerplate.
+    """
+    if isinstance(formula, (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(mapper(formula.operand))
+    if isinstance(formula, And):
+        return And(mapper(formula.left), mapper(formula.right))
+    if isinstance(formula, Or):
+        return Or(mapper(formula.left), mapper(formula.right))
+    if isinstance(formula, Implies):
+        return Implies(mapper(formula.left), mapper(formula.right))
+    if isinstance(formula, Iff):
+        return Iff(mapper(formula.left), mapper(formula.right))
+    if isinstance(formula, Exists):
+        return Exists(mapper(formula.path))
+    if isinstance(formula, ForAll):
+        return ForAll(mapper(formula.path))
+    if isinstance(formula, Next):
+        return Next(mapper(formula.operand))
+    if isinstance(formula, Finally):
+        return Finally(mapper(formula.operand))
+    if isinstance(formula, Globally):
+        return Globally(mapper(formula.operand))
+    if isinstance(formula, Until):
+        return Until(mapper(formula.left), mapper(formula.right))
+    if isinstance(formula, Release):
+        return Release(mapper(formula.left), mapper(formula.right))
+    if isinstance(formula, WeakUntil):
+        return WeakUntil(mapper(formula.left), mapper(formula.right))
+    if isinstance(formula, IndexExists):
+        return IndexExists(formula.variable, mapper(formula.body))
+    if isinstance(formula, IndexForall):
+        return IndexForall(formula.variable, mapper(formula.body))
+    raise TypeError("unknown formula node: %r" % (formula,))
+
+
+# ---------------------------------------------------------------------------
+# Derived-operator expansion
+# ---------------------------------------------------------------------------
+
+
+def expand(formula: Formula) -> Formula:
+    """Rewrite derived operators into the core connectives.
+
+    The core consists of ``true``, ``false``, atoms, ``¬``, ``∧``, ``∨``,
+    ``E``, ``X``, ``U`` and ``∨_i``.  The rewrites are the standard ones used
+    in the paper:
+
+    * ``f ⇒ g``      becomes ``¬f ∨ g``
+    * ``f ⇔ g``      becomes ``(¬f ∨ g) ∧ (¬g ∨ f)``
+    * ``A(g)``       becomes ``¬E(¬g)``
+    * ``F g``        becomes ``true U g``
+    * ``G g``        becomes ``¬(true U ¬g)``
+    * ``f R g``      becomes ``¬(¬f U ¬g)``
+    * ``f W g``      becomes ``(f U g) ∨ ¬(true U ¬f)``
+    * ``∧_i f(i)``   becomes ``¬∨_i ¬f(i)``
+    """
+    expanded = map_children(formula, expand)
+    if isinstance(expanded, Implies):
+        return Or(Not(expanded.left), expanded.right)
+    if isinstance(expanded, Iff):
+        left, right = expanded.left, expanded.right
+        return And(Or(Not(left), right), Or(Not(right), left))
+    if isinstance(expanded, ForAll):
+        return Not(Exists(Not(expanded.path)))
+    if isinstance(expanded, Finally):
+        return Until(TrueLiteral(), expanded.operand)
+    if isinstance(expanded, Globally):
+        return Not(Until(TrueLiteral(), Not(expanded.operand)))
+    if isinstance(expanded, Release):
+        return Not(Until(Not(expanded.left), Not(expanded.right)))
+    if isinstance(expanded, WeakUntil):
+        left, right = expanded.left, expanded.right
+        return Or(Until(left, right), Not(Until(TrueLiteral(), Not(left))))
+    if isinstance(expanded, IndexForall):
+        return Not(IndexExists(expanded.variable, Not(expanded.body)))
+    return expanded
+
+
+# ---------------------------------------------------------------------------
+# Negation normal form
+# ---------------------------------------------------------------------------
+
+
+def negation_normal_form(formula: Formula) -> Formula:
+    """Push negations inward so they only apply to atomic formulas.
+
+    The input may contain derived operators; the output uses
+    ``∧ / ∨ / ¬ (on atoms) / E / A / X / U / R / ∨_i / ∧_i``.
+    """
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, TrueLiteral):
+        return FalseLiteral() if negate else formula
+    if isinstance(formula, FalseLiteral):
+        return TrueLiteral() if negate else formula
+    if isinstance(formula, (Atom, IndexedAtom, ExactlyOne)):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negate)
+    if isinstance(formula, And):
+        node = Or if negate else And
+        return node(_nnf(formula.left, negate), _nnf(formula.right, negate))
+    if isinstance(formula, Or):
+        node = And if negate else Or
+        return node(_nnf(formula.left, negate), _nnf(formula.right, negate))
+    if isinstance(formula, Implies):
+        return _nnf(Or(Not(formula.left), formula.right), negate)
+    if isinstance(formula, Iff):
+        rewritten = And(Implies(formula.left, formula.right), Implies(formula.right, formula.left))
+        return _nnf(rewritten, negate)
+    if isinstance(formula, Exists):
+        node = ForAll if negate else Exists
+        return node(_nnf(formula.path, negate))
+    if isinstance(formula, ForAll):
+        node = Exists if negate else ForAll
+        return node(_nnf(formula.path, negate))
+    if isinstance(formula, Next):
+        return Next(_nnf(formula.operand, negate))
+    if isinstance(formula, Finally):
+        if negate:
+            return Globally(_nnf(formula.operand, True))
+        return Finally(_nnf(formula.operand, False))
+    if isinstance(formula, Globally):
+        if negate:
+            return Finally(_nnf(formula.operand, True))
+        return Globally(_nnf(formula.operand, False))
+    if isinstance(formula, Until):
+        if negate:
+            return Release(_nnf(formula.left, True), _nnf(formula.right, True))
+        return Until(_nnf(formula.left, False), _nnf(formula.right, False))
+    if isinstance(formula, Release):
+        if negate:
+            return Until(_nnf(formula.left, True), _nnf(formula.right, True))
+        return Release(_nnf(formula.left, False), _nnf(formula.right, False))
+    if isinstance(formula, WeakUntil):
+        rewritten = Or(Until(formula.left, formula.right), Globally(formula.left))
+        return _nnf(rewritten, negate)
+    if isinstance(formula, IndexExists):
+        node = IndexForall if negate else IndexExists
+        return node(formula.variable, _nnf(formula.body, negate))
+    if isinstance(formula, IndexForall):
+        node = IndexExists if negate else IndexForall
+        return node(formula.variable, _nnf(formula.body, negate))
+    raise TypeError("unknown formula node: %r" % (formula,))
+
+
+# ---------------------------------------------------------------------------
+# Index variables
+# ---------------------------------------------------------------------------
+
+
+def substitute_index(formula: Formula, variable: str, value: Index) -> Formula:
+    """Replace every free occurrence of index ``variable`` with ``value``.
+
+    Quantifiers that re-bind ``variable`` shadow the substitution, exactly as
+    in first-order logic.
+    """
+    if isinstance(formula, IndexedAtom):
+        if formula.index == variable:
+            return IndexedAtom(formula.name, value)
+        return formula
+    if isinstance(formula, (IndexExists, IndexForall)) and formula.variable == variable:
+        return formula
+    return map_children(formula, lambda child: substitute_index(child, variable, value))
+
+
+def free_index_variables(formula: Formula) -> Set[str]:
+    """Return the index variables that occur free in ``formula``."""
+    if isinstance(formula, IndexedAtom):
+        return {formula.index} if isinstance(formula.index, str) else set()
+    if isinstance(formula, (IndexExists, IndexForall)):
+        return free_index_variables(formula.body) - {formula.variable}
+    result: Set[str] = set()
+    for child in formula.children():
+        result |= free_index_variables(child)
+    return result
+
+
+def bound_index_variables(formula: Formula) -> Set[str]:
+    """Return every index variable bound by a quantifier somewhere in ``formula``."""
+    return {
+        node.variable
+        for node in walk(formula)
+        if isinstance(node, (IndexExists, IndexForall))
+    }
+
+
+def atoms(formula: Formula) -> Set[str]:
+    """Return the names of the non-indexed atomic propositions used in ``formula``."""
+    return {node.name for node in walk(formula) if isinstance(node, Atom)}
+
+
+def indexed_atom_names(formula: Formula) -> Set[str]:
+    """Return the names of the indexed atomic propositions used in ``formula``."""
+    names = {node.name for node in walk(formula) if isinstance(node, IndexedAtom)}
+    names |= {node.name for node in walk(formula) if isinstance(node, ExactlyOne)}
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Quantifier instantiation
+# ---------------------------------------------------------------------------
+
+
+def instantiate_quantifiers(formula: Formula, index_values: Iterable[int]) -> Formula:
+    """Eliminate index quantifiers by instantiating them over ``index_values``.
+
+    ``∨_i f(i)`` becomes the disjunction of ``f(c)`` over every ``c`` in the
+    index set and ``∧_i f(i)`` the corresponding conjunction.  The result is a
+    plain CTL* formula whose indexed atoms all carry concrete index values, so
+    it can be handed to the (non-indexed) model checkers.
+
+    Raises
+    ------
+    FormulaError
+        If the index set is empty (quantification over an empty set has no
+        sensible interpretation in the paper's semantics).
+    """
+    values: Sequence[int] = sorted(set(index_values))
+    if not values:
+        raise FormulaError("cannot instantiate index quantifiers over an empty index set")
+    return _instantiate(formula, values)
+
+
+def _instantiate(formula: Formula, values: Sequence[int]) -> Formula:
+    if isinstance(formula, IndexExists):
+        instances = [
+            _instantiate(substitute_index(formula.body, formula.variable, value), values)
+            for value in values
+        ]
+        return _fold_binary(Or, instances, FalseLiteral())
+    if isinstance(formula, IndexForall):
+        instances = [
+            _instantiate(substitute_index(formula.body, formula.variable, value), values)
+            for value in values
+        ]
+        return _fold_binary(And, instances, TrueLiteral())
+    return map_children(formula, lambda child: _instantiate(child, values))
+
+
+def _fold_binary(node_type, operands: Sequence[Formula], empty: Formula) -> Formula:
+    if not operands:
+        return empty
+    result = operands[-1]
+    for operand in reversed(operands[:-1]):
+        result = node_type(operand, result)
+    return result

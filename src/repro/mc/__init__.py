@@ -1,0 +1,42 @@
+"""Model checkers: CTL, existential LTL, CTL*, and indexed CTL*."""
+
+from repro.mc.counterexample import (
+    counterexample_af,
+    counterexample_ag,
+    witness_ef,
+    witness_eg,
+    witness_eu,
+)
+from repro.mc.ctl import CTLModelChecker
+from repro.mc.ctl import check as check_ctl
+from repro.mc.ctl import satisfaction_set as ctl_satisfaction_set
+from repro.mc.ctlstar import CTLStarModelChecker
+from repro.mc.ctlstar import check as check_ctlstar
+from repro.mc.ctlstar import satisfaction_set as ctlstar_satisfaction_set
+from repro.mc.indexed import ICTLStarModelChecker
+from repro.mc.indexed import check as check_ictlstar
+from repro.mc.indexed import satisfaction_set as ictlstar_satisfaction_set
+from repro.mc.ltl import exists_path_satisfying, existential_states
+from repro.mc.oracle import find_lasso_witness, lasso_satisfies, simple_lasso_exists
+
+__all__ = [
+    "CTLModelChecker",
+    "CTLStarModelChecker",
+    "ICTLStarModelChecker",
+    "check_ctl",
+    "check_ctlstar",
+    "check_ictlstar",
+    "ctl_satisfaction_set",
+    "ctlstar_satisfaction_set",
+    "ictlstar_satisfaction_set",
+    "existential_states",
+    "exists_path_satisfying",
+    "witness_ef",
+    "witness_eu",
+    "witness_eg",
+    "counterexample_ag",
+    "counterexample_af",
+    "lasso_satisfies",
+    "find_lasso_witness",
+    "simple_lasso_exists",
+]

@@ -1,0 +1,152 @@
+"""Witness and counterexample extraction for CTL properties.
+
+Model checking answers "does the property hold?"; for debugging one also
+wants *why not*.  This module extracts:
+
+* a finite witness path for ``EF f`` / ``E[f U g]``;
+* a lasso witness for ``EG f``;
+* a counterexample path for ``AG f`` (a reachable state violating ``f``);
+* a counterexample lasso for ``AF f`` (a path along which ``f`` never holds).
+
+Witnesses always start at the structure's initial state unless another start
+state is supplied.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.kripke.paths import Lasso
+from repro.kripke.structure import KripkeStructure, State
+from repro.logic.ast import Formula, Not
+from repro.mc.ctl import CTLModelChecker
+
+__all__ = [
+    "witness_ef",
+    "witness_eu",
+    "witness_eg",
+    "counterexample_ag",
+    "counterexample_af",
+]
+
+
+def _bfs_path(
+    structure: KripkeStructure,
+    start: State,
+    targets: FrozenSet[State],
+    allowed: Optional[FrozenSet[State]] = None,
+) -> Optional[List[State]]:
+    """Shortest path from ``start`` to any state in ``targets`` through ``allowed`` states.
+
+    Intermediate states (everything except the final target) must lie in
+    ``allowed`` when it is given; the start state is always allowed.
+    """
+    if start in targets:
+        return [start]
+    parents: Dict[State, State] = {}
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        current = frontier.popleft()
+        if allowed is not None and current != start and current not in allowed:
+            continue
+        for successor in sorted(structure.successors(current), key=repr):
+            if successor in seen:
+                continue
+            seen.add(successor)
+            parents[successor] = current
+            if successor in targets:
+                path = [successor]
+                while path[-1] != start:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            frontier.append(successor)
+    return None
+
+
+def witness_ef(
+    structure: KripkeStructure, formula: Formula, start: Optional[State] = None
+) -> Optional[List[State]]:
+    """Return a finite path from ``start`` to a state satisfying ``formula``, or ``None``.
+
+    This is a witness for ``EF formula``.
+    """
+    checker = CTLModelChecker(structure)
+    targets = checker.satisfaction_set(formula)
+    origin = structure.initial_state if start is None else start
+    return _bfs_path(structure, origin, targets)
+
+
+def witness_eu(
+    structure: KripkeStructure,
+    left: Formula,
+    right: Formula,
+    start: Optional[State] = None,
+) -> Optional[List[State]]:
+    """Return a witness path for ``E[left U right]`` from ``start``, or ``None``.
+
+    Every state on the path before the last satisfies ``left``; the last state
+    satisfies ``right``.
+    """
+    checker = CTLModelChecker(structure)
+    left_set = checker.satisfaction_set(left)
+    right_set = checker.satisfaction_set(right)
+    origin = structure.initial_state if start is None else start
+    if origin not in right_set and origin not in left_set:
+        return None
+    path = _bfs_path(structure, origin, right_set, allowed=left_set)
+    if path is None:
+        return None
+    if all(state in left_set for state in path[:-1]):
+        return path
+    return None
+
+
+def witness_eg(
+    structure: KripkeStructure, formula: Formula, start: Optional[State] = None
+) -> Optional[Lasso]:
+    """Return a lasso witnessing ``EG formula`` from ``start``, or ``None``.
+
+    Every state on the stem and the cycle satisfies ``formula``.
+    """
+    checker = CTLModelChecker(structure)
+    good = checker.satisfaction_set(formula)
+    # States satisfying EG formula: greatest fixpoint inside `good`.
+    from repro.logic.ast import Exists, Globally
+
+    eg_set = checker.satisfaction_set(Exists(Globally(formula)))
+    origin = structure.initial_state if start is None else start
+    if origin not in eg_set:
+        return None
+    # Follow successors inside the EG set until a state repeats.
+    path = [origin]
+    positions = {origin: 0}
+    current = origin
+    while True:
+        candidates = sorted(
+            (s for s in structure.successors(current) if s in eg_set and s in good), key=repr
+        )
+        if not candidates:  # pragma: no cover - cannot happen when eg_set is correct
+            return None
+        current = candidates[0]
+        if current in positions:
+            split = positions[current]
+            return Lasso(stem=tuple(path[:split]), cycle=tuple(path[split:]))
+        positions[current] = len(path)
+        path.append(current)
+
+
+def counterexample_ag(
+    structure: KripkeStructure, formula: Formula, start: Optional[State] = None
+) -> Optional[List[State]]:
+    """Return a path to a state violating ``formula`` (a counterexample to ``AG formula``)."""
+    return witness_ef(structure, Not(formula), start=start)
+
+
+def counterexample_af(
+    structure: KripkeStructure, formula: Formula, start: Optional[State] = None
+) -> Optional[Lasso]:
+    """Return a lasso along which ``formula`` never holds (a counterexample to ``AF formula``)."""
+    return witness_eg(structure, Not(formula), start=start)

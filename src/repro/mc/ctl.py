@@ -1,0 +1,224 @@
+"""CTL model checking by the labelling algorithm of Clarke, Emerson and Sistla.
+
+This is the algorithm the paper invokes in Section 5 ("we can use the CTL
+model checking algorithm to establish the following properties").  It runs in
+time linear in ``|S| + |R|`` per sub-formula by computing satisfaction sets
+bottom-up with fixpoint iterations for ``EU`` and ``EG``.
+
+The checker accepts CTL state formulas built from the derived operators
+(``AG``, ``AF``, ``EF``, ``EG``, ``A[· U ·]`` …); universal operators are
+rewritten into existential ones using the standard dualities.  Index
+quantifiers are *not* handled here — :mod:`repro.mc.indexed` instantiates them
+over the structure's finite index set first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import FragmentError
+from repro.kripke.structure import KripkeStructure, State
+from repro.kripke.validation import assert_total
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+)
+
+__all__ = ["CTLModelChecker", "satisfaction_set", "check"]
+
+_ATOMIC = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
+
+
+class CTLModelChecker:
+    """Labelling-algorithm CTL model checker bound to one Kripke structure.
+
+    Satisfaction sets are memoised per formula, so checking a batch of
+    formulas that share sub-formulas (e.g. the four Section 5 properties
+    instantiated for every process) re-uses earlier work.
+    """
+
+    def __init__(self, structure: KripkeStructure, validate_structure: bool = True) -> None:
+        if validate_structure:
+            assert_total(structure)
+        self._structure = structure
+        self._cache: Dict[Formula, FrozenSet[State]] = {}
+
+    @property
+    def structure(self) -> KripkeStructure:
+        """The structure this checker operates on."""
+        return self._structure
+
+    # -- public API ----------------------------------------------------------
+
+    def satisfaction_set(self, formula: Formula) -> FrozenSet[State]:
+        """Return the set of states satisfying the CTL state formula ``formula``."""
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        result = self._compute(formula)
+        self._cache[formula] = result
+        return result
+
+    def check(self, formula: Formula, state: Optional[State] = None) -> bool:
+        """Decide ``M, state ⊨ formula`` (default state: the initial state)."""
+        target = self._structure.initial_state if state is None else state
+        return target in self.satisfaction_set(formula)
+
+    # -- recursive computation -------------------------------------------------
+
+    def _compute(self, formula: Formula) -> FrozenSet[State]:
+        structure = self._structure
+        if isinstance(formula, TrueLiteral):
+            return structure.states
+        if isinstance(formula, FalseLiteral):
+            return frozenset()
+        if isinstance(formula, (Atom, IndexedAtom, ExactlyOne)):
+            return frozenset(
+                state for state in structure.states if structure.atom_holds(state, formula)
+            )
+        if isinstance(formula, Not):
+            return structure.states - self.satisfaction_set(formula.operand)
+        if isinstance(formula, And):
+            return self.satisfaction_set(formula.left) & self.satisfaction_set(formula.right)
+        if isinstance(formula, Or):
+            return self.satisfaction_set(formula.left) | self.satisfaction_set(formula.right)
+        if isinstance(formula, Implies):
+            return self.satisfaction_set(Or(Not(formula.left), formula.right))
+        if isinstance(formula, Iff):
+            left = self.satisfaction_set(formula.left)
+            right = self.satisfaction_set(formula.right)
+            return frozenset(
+                state
+                for state in structure.states
+                if (state in left) == (state in right)
+            )
+        if isinstance(formula, (IndexExists, IndexForall)):
+            raise FragmentError(
+                "the CTL checker does not handle index quantifiers; instantiate "
+                "them with repro.mc.indexed first (formula: %s)" % formula
+            )
+        if isinstance(formula, Exists):
+            return self._compute_exists(formula.path)
+        if isinstance(formula, ForAll):
+            return self._compute_forall(formula.path)
+        raise FragmentError("formula is not a CTL state formula: %s" % formula)
+
+    def _compute_exists(self, path: Formula) -> FrozenSet[State]:
+        if isinstance(path, Next):
+            return self._preimage(self.satisfaction_set(path.operand))
+        if isinstance(path, Finally):
+            return self._eu(self._structure.states, self.satisfaction_set(path.operand))
+        if isinstance(path, Globally):
+            return self._eg(self.satisfaction_set(path.operand))
+        if isinstance(path, Until):
+            return self._eu(
+                self.satisfaction_set(path.left), self.satisfaction_set(path.right)
+            )
+        if isinstance(path, Release):
+            # E[f R g]  ≡  ¬A[¬f U ¬g]
+            return self._structure.states - self._compute_forall(
+                Until(Not(path.left), Not(path.right))
+            )
+        if isinstance(path, WeakUntil):
+            # E[f W g]  ≡  E[f U g] ∨ EG f
+            return self._compute_exists(Until(path.left, path.right)) | self._compute_exists(
+                Globally(path.left)
+            )
+        raise FragmentError(
+            "E must be applied to a single temporal operator over state formulas "
+            "for CTL checking; got E(%s)" % path
+        )
+
+    def _compute_forall(self, path: Formula) -> FrozenSet[State]:
+        states = self._structure.states
+        if isinstance(path, Next):
+            # AX f ≡ ¬EX ¬f
+            return states - self._preimage(states - self.satisfaction_set(path.operand))
+        if isinstance(path, Finally):
+            # AF f ≡ ¬EG ¬f
+            return states - self._eg(states - self.satisfaction_set(path.operand))
+        if isinstance(path, Globally):
+            # AG f ≡ ¬EF ¬f
+            return states - self._eu(states, states - self.satisfaction_set(path.operand))
+        if isinstance(path, Until):
+            # A[f U g] ≡ ¬( E[¬g U (¬f ∧ ¬g)] ∨ EG ¬g )
+            not_f = states - self.satisfaction_set(path.left)
+            not_g = states - self.satisfaction_set(path.right)
+            bad = self._eu(not_g, not_f & not_g) | self._eg(not_g)
+            return states - bad
+        if isinstance(path, Release):
+            # A[f R g] ≡ ¬E[¬f U ¬g]
+            return states - self._compute_exists(Until(Not(path.left), Not(path.right)))
+        if isinstance(path, WeakUntil):
+            # A[f W g] ≡ ¬E[¬g U (¬f ∧ ¬g)]
+            not_f = states - self.satisfaction_set(path.left)
+            not_g = states - self.satisfaction_set(path.right)
+            return states - self._eu(not_g, not_f & not_g)
+        raise FragmentError(
+            "A must be applied to a single temporal operator over state formulas "
+            "for CTL checking; got A(%s)" % path
+        )
+
+    # -- fixpoint primitives -----------------------------------------------------
+
+    def _preimage(self, target: FrozenSet[State]) -> FrozenSet[State]:
+        """States with at least one successor in ``target`` (the EX pre-image)."""
+        structure = self._structure
+        return frozenset(
+            state for state in structure.states if structure.successors(state) & target
+        )
+
+    def _eu(self, left: FrozenSet[State], right: FrozenSet[State]) -> FrozenSet[State]:
+        """Least fixpoint for ``E[left U right]`` (backwards reachability through ``left``)."""
+        structure = self._structure
+        satisfied = set(right)
+        frontier = list(right)
+        while frontier:
+            state = frontier.pop()
+            for predecessor in structure.predecessors(state):
+                if predecessor not in satisfied and predecessor in left:
+                    satisfied.add(predecessor)
+                    frontier.append(predecessor)
+        return frozenset(satisfied)
+
+    def _eg(self, operand: FrozenSet[State]) -> FrozenSet[State]:
+        """Greatest fixpoint for ``EG operand`` (prune states with no successor inside)."""
+        structure = self._structure
+        current = set(operand)
+        changed = True
+        while changed:
+            changed = False
+            for state in list(current):
+                if not (structure.successors(state) & current):
+                    current.discard(state)
+                    changed = True
+        return frozenset(current)
+
+
+def satisfaction_set(structure: KripkeStructure, formula: Formula) -> FrozenSet[State]:
+    """One-shot helper: the satisfaction set of ``formula`` on ``structure``."""
+    return CTLModelChecker(structure).satisfaction_set(formula)
+
+
+def check(structure: KripkeStructure, formula: Formula, state: Optional[State] = None) -> bool:
+    """One-shot helper: decide ``structure, state ⊨ formula`` (default: initial state)."""
+    return CTLModelChecker(structure).check(formula, state)

@@ -1,0 +1,184 @@
+"""Full CTL* model checking.
+
+CTL* state formulas are decided recursively: boolean structure is handled with
+set operations, and the essential case ``E g`` (for an arbitrary path formula
+``g``) is reduced to existential LTL model checking by replacing the maximal
+proper *state* sub-formulas of ``g`` with fresh proxy atoms whose satisfaction
+sets have already been computed.  This is the standard reduction of CTL* model
+checking to LTL model checking; the LTL core lives in :mod:`repro.mc.ltl`.
+
+The checker accepts the full syntax of :mod:`repro.logic.ast` except index
+quantifiers, which must be instantiated over a finite index set first (see
+:mod:`repro.mc.indexed`).  When a formula happens to lie in CTL the much
+faster labelling algorithm of :mod:`repro.mc.ctl` is used instead, so calling
+this checker uniformly carries no penalty for CTL inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import FragmentError
+from repro.kripke.structure import KripkeStructure, State
+from repro.kripke.validation import assert_total
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Not,
+    Or,
+    TrueLiteral,
+    walk,
+)
+from repro.logic.syntax import is_ctl, is_state_formula
+from repro.logic.transform import map_children
+from repro.mc import ltl
+from repro.mc.ctl import CTLModelChecker
+
+__all__ = ["CTLStarModelChecker", "satisfaction_set", "check"]
+
+_ATOMIC = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
+_PROXY_PREFIX = "__ctlstar_proxy_"
+
+
+class CTLStarModelChecker:
+    """CTL* model checker bound to one Kripke structure."""
+
+    def __init__(
+        self,
+        structure: KripkeStructure,
+        validate_structure: bool = True,
+        use_ctl_fast_path: bool = True,
+    ) -> None:
+        if validate_structure:
+            assert_total(structure)
+        self._structure = structure
+        self._cache: Dict[Formula, FrozenSet[State]] = {}
+        self._use_ctl_fast_path = use_ctl_fast_path
+        self._ctl = CTLModelChecker(structure, validate_structure=False)
+
+    @property
+    def structure(self) -> KripkeStructure:
+        """The structure this checker operates on."""
+        return self._structure
+
+    # -- public API ----------------------------------------------------------
+
+    def satisfaction_set(self, formula: Formula) -> FrozenSet[State]:
+        """Return the set of states satisfying the CTL* state formula ``formula``."""
+        if not is_state_formula(formula):
+            raise FragmentError(
+                "CTL* model checking decides state formulas; %s is a path formula "
+                "(wrap it in E or A)" % formula
+            )
+        return self._sat(formula)
+
+    def check(self, formula: Formula, state: Optional[State] = None) -> bool:
+        """Decide ``M, state ⊨ formula`` (default state: the initial state)."""
+        target = self._structure.initial_state if state is None else state
+        return target in self.satisfaction_set(formula)
+
+    # -- recursive evaluation --------------------------------------------------
+
+    def _sat(self, formula: Formula) -> FrozenSet[State]:
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        result = self._compute(formula)
+        self._cache[formula] = result
+        return result
+
+    def _compute(self, formula: Formula) -> FrozenSet[State]:
+        structure = self._structure
+        if isinstance(formula, (IndexExists, IndexForall)):
+            raise FragmentError(
+                "index quantifiers must be instantiated over a finite index set "
+                "before CTL* checking (use repro.mc.indexed); got %s" % formula
+            )
+        if self._use_ctl_fast_path and self._is_plain_ctl(formula):
+            return self._ctl.satisfaction_set(formula)
+        if isinstance(formula, TrueLiteral):
+            return structure.states
+        if isinstance(formula, FalseLiteral):
+            return frozenset()
+        if isinstance(formula, (Atom, IndexedAtom, ExactlyOne)):
+            return frozenset(
+                state for state in structure.states if structure.atom_holds(state, formula)
+            )
+        if isinstance(formula, Not):
+            return structure.states - self._sat(formula.operand)
+        if isinstance(formula, And):
+            return self._sat(formula.left) & self._sat(formula.right)
+        if isinstance(formula, Or):
+            return self._sat(formula.left) | self._sat(formula.right)
+        if isinstance(formula, Implies):
+            return (structure.states - self._sat(formula.left)) | self._sat(formula.right)
+        if isinstance(formula, Iff):
+            left = self._sat(formula.left)
+            right = self._sat(formula.right)
+            return frozenset(
+                state for state in structure.states if (state in left) == (state in right)
+            )
+        if isinstance(formula, Exists):
+            return self._exists(formula.path)
+        if isinstance(formula, ForAll):
+            return structure.states - self._exists(Not(formula.path))
+        raise FragmentError("cannot evaluate %s as a CTL* state formula" % formula)
+
+    @staticmethod
+    def _is_plain_ctl(formula: Formula) -> bool:
+        if not is_ctl(formula):
+            return False
+        return not any(isinstance(node, (IndexExists, IndexForall)) for node in walk(formula))
+
+    # -- the E(path formula) case ----------------------------------------------
+
+    def _exists(self, path: Formula) -> FrozenSet[State]:
+        # E f for a state formula f is equivalent to f (the transition relation
+        # is total, so every state starts at least one path).
+        if is_state_formula(path):
+            return self._sat(path)
+
+        proxies: Dict[str, FrozenSet[State]] = {}
+        proxied_path = self._proxy_state_subformulas(path, proxies)
+
+        def atom_eval(state: State, leaf: Formula) -> bool:
+            if isinstance(leaf, Atom) and leaf.name in proxies:
+                return state in proxies[leaf.name]
+            return self._structure.atom_holds(state, leaf)
+
+        return ltl.existential_states(self._structure, proxied_path, atom_eval)
+
+    def _proxy_state_subformulas(self, path: Formula, proxies: Dict[str, FrozenSet[State]]) -> Formula:
+        """Replace maximal proper state sub-formulas of ``path`` with fresh proxy atoms.
+
+        Atomic leaves are left alone (the LTL core evaluates them directly);
+        every other maximal state sub-formula is evaluated recursively and
+        replaced by a proxy atom labelled with its satisfaction set.
+        """
+        if isinstance(path, _ATOMIC):
+            return path
+        if is_state_formula(path):
+            name = "%s%d" % (_PROXY_PREFIX, len(proxies))
+            proxies[name] = self._sat(path)
+            return Atom(name)
+        return map_children(path, lambda child: self._proxy_state_subformulas(child, proxies))
+
+
+def satisfaction_set(structure: KripkeStructure, formula: Formula) -> FrozenSet[State]:
+    """One-shot helper: the satisfaction set of a CTL* state formula."""
+    return CTLStarModelChecker(structure).satisfaction_set(formula)
+
+
+def check(structure: KripkeStructure, formula: Formula, state: Optional[State] = None) -> bool:
+    """One-shot helper: decide ``structure, state ⊨ formula`` (default: initial state)."""
+    return CTLStarModelChecker(structure).check(formula, state)

@@ -1,0 +1,125 @@
+"""Model checking indexed CTL* (ICTL*) formulas on indexed Kripke structures.
+
+For a *finite* index set ``I`` the semantics of the index quantifiers is just
+a finite disjunction/conjunction: ``s ⊨ ∨_i f(i)`` iff ``s ⊨ f(c)`` for some
+``c ∈ I``.  The checker therefore instantiates every quantifier over the
+structure's index set and dispatches the resulting plain formula to the CTL
+labelling algorithm when possible and to the full CTL* checker otherwise.
+The ``Θ_i P_i`` ("exactly one") proposition is evaluated directly from the
+structure's labels.
+
+By default the checker *enforces* the Section 4 restrictions (closed, no
+next-time, no nested index quantifiers, no index quantifiers inside until
+operands).  The restrictions are what make the correspondence theorem of the
+paper applicable — an unrestricted formula such as the Fig. 4.1 counting
+formula can distinguish networks of different sizes, so verifying it on a
+small instance says nothing about larger ones.  Pass
+``enforce_restrictions=False`` to evaluate such formulas anyway (the Fig. 4.1
+experiment does exactly this to demonstrate the problem).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import FragmentError
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.structure import State
+from repro.kripke.validation import assert_total
+from repro.logic.ast import Formula, IndexExists, IndexForall, walk
+from repro.logic.syntax import (
+    assert_restricted_ictl,
+    is_ctl,
+    is_state_formula,
+)
+from repro.logic.transform import free_index_variables, instantiate_quantifiers
+from repro.mc.ctl import CTLModelChecker
+from repro.mc.ctlstar import CTLStarModelChecker
+
+__all__ = ["ICTLStarModelChecker", "satisfaction_set", "check"]
+
+
+class ICTLStarModelChecker:
+    """ICTL* model checker bound to one indexed Kripke structure."""
+
+    def __init__(
+        self,
+        structure: IndexedKripkeStructure,
+        enforce_restrictions: bool = True,
+        validate_structure: bool = True,
+    ) -> None:
+        if validate_structure:
+            assert_total(structure)
+        self._structure = structure
+        self._enforce_restrictions = enforce_restrictions
+        self._ctl = CTLModelChecker(structure, validate_structure=False)
+        self._ctlstar = CTLStarModelChecker(structure, validate_structure=False)
+        self._cache: Dict[Formula, FrozenSet[State]] = {}
+
+    @property
+    def structure(self) -> IndexedKripkeStructure:
+        """The indexed structure this checker operates on."""
+        return self._structure
+
+    # -- public API ----------------------------------------------------------
+
+    def satisfaction_set(self, formula: Formula) -> FrozenSet[State]:
+        """Return the set of states satisfying the ICTL* formula ``formula``."""
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        self._validate_formula(formula)
+        instantiated = instantiate_quantifiers(formula, self._structure.index_values)
+        if self._is_plain_ctl(instantiated):
+            result = self._ctl.satisfaction_set(instantiated)
+        else:
+            result = self._ctlstar.satisfaction_set(instantiated)
+        self._cache[formula] = result
+        return result
+
+    def check(self, formula: Formula, state: Optional[State] = None) -> bool:
+        """Decide ``M, state ⊨ formula`` (default state: the initial state)."""
+        target = self._structure.initial_state if state is None else state
+        return target in self.satisfaction_set(formula)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _validate_formula(self, formula: Formula) -> None:
+        if self._enforce_restrictions:
+            assert_restricted_ictl(formula)
+            return
+        if not is_state_formula(formula):
+            raise FragmentError("ICTL* checking decides state formulas; got %s" % formula)
+        unbound = free_index_variables(formula)
+        if unbound:
+            raise FragmentError(
+                "formula has free index variables %s; bind them with an index "
+                "quantifier or substitute concrete process numbers" % sorted(unbound)
+            )
+
+    @staticmethod
+    def _is_plain_ctl(formula: Formula) -> bool:
+        if not is_ctl(formula):
+            return False
+        return not any(isinstance(node, (IndexExists, IndexForall)) for node in walk(formula))
+
+
+def satisfaction_set(
+    structure: IndexedKripkeStructure,
+    formula: Formula,
+    enforce_restrictions: bool = True,
+) -> FrozenSet[State]:
+    """One-shot helper: the satisfaction set of an ICTL* formula."""
+    checker = ICTLStarModelChecker(structure, enforce_restrictions=enforce_restrictions)
+    return checker.satisfaction_set(formula)
+
+
+def check(
+    structure: IndexedKripkeStructure,
+    formula: Formula,
+    state: Optional[State] = None,
+    enforce_restrictions: bool = True,
+) -> bool:
+    """One-shot helper: decide an ICTL* formula at ``state`` (default: initial state)."""
+    checker = ICTLStarModelChecker(structure, enforce_restrictions=enforce_restrictions)
+    return checker.check(formula, state)

@@ -1,0 +1,303 @@
+"""Existential LTL model checking via the tableau (atoms) construction.
+
+The CTL* model checker reduces the hard case — deciding ``E g`` for a path
+formula ``g`` whose proper state sub-formulas have already been evaluated — to
+*existential LTL model checking*: which states of a Kripke structure start a
+path satisfying a pure linear-time formula?  This module answers that question
+with the classical closure/atom construction (Lichtenstein & Pnueli 1985, the
+same technique cited in the paper's introduction):
+
+1.  expand the formula to the core connectives (``¬ ∧ ∨ U X`` over atomic
+    leaves) and compute its *closure* (all sub-formulas, plus ``X(f U g)`` for
+    every until, which encodes the one-step unfolding
+    ``f U g ≡ g ∨ (f ∧ X(f U g))``);
+2.  an *atom* for a structure state ``s`` is determined by ``s`` (which fixes
+    the truth of the atomic leaves) together with a guessed subset ``K`` of the
+    ``X``-formulas in the closure; membership of every other closure formula
+    follows deterministically bottom-up;
+3.  build the product graph over nodes ``(s, K)`` with edges that respect both
+    the structure's transition relation and the ``X`` obligations;
+4.  ``E g`` holds at ``s`` iff some node ``(s, K)`` whose atom contains ``g``
+    can reach a non-trivial *self-fulfilling* strongly connected component —
+    one in which every until formula present in some atom has its right-hand
+    side present in some atom of the component.
+
+The construction is exponential in the number of ``X``/``U`` sub-formulas of
+``g`` (not in the structure), which is unavoidable for CTL* and perfectly
+adequate for the formulas in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import ModelCheckingError
+from repro.kripke.structure import KripkeStructure, State
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    FalseLiteral,
+    Formula,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    TrueLiteral,
+    Until,
+    subformulas,
+)
+from repro.logic.syntax import is_ltl_path_formula
+from repro.logic.transform import expand
+
+__all__ = ["existential_states", "exists_path_satisfying", "AtomEval"]
+
+#: Callback deciding an atomic leaf at a structure state.
+AtomEval = Callable[[State, Formula], bool]
+
+_LEAVES = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
+
+
+def _default_atom_eval(structure: KripkeStructure) -> AtomEval:
+    def evaluate(state: State, leaf: Formula) -> bool:
+        return structure.atom_holds(state, leaf)
+
+    return evaluate
+
+
+class _Tableau:
+    """The closure/atom machinery for one path formula."""
+
+    def __init__(self, path_formula: Formula) -> None:
+        if not is_ltl_path_formula(path_formula):
+            raise ModelCheckingError(
+                "existential LTL checking expects a pure path formula without "
+                "path or index quantifiers; got %s" % path_formula
+            )
+        self.formula = expand(path_formula)
+        closure: List[Formula] = list(subformulas(self.formula))
+        # One-step unfolding of untils introduces X(f U g) formulas.
+        for candidate in list(closure):
+            if isinstance(candidate, Until):
+                unfolding = Next(candidate)
+                if unfolding not in closure:
+                    closure.append(unfolding)
+        self.closure: Tuple[Formula, ...] = tuple(closure)
+        self.next_formulas: Tuple[Next, ...] = tuple(
+            candidate for candidate in self.closure if isinstance(candidate, Next)
+        )
+        self.until_formulas: Tuple[Until, ...] = tuple(
+            candidate for candidate in self.closure if isinstance(candidate, Until)
+        )
+
+    def member(
+        self,
+        formula: Formula,
+        state: State,
+        guess: FrozenSet[Next],
+        atom_eval: AtomEval,
+        cache: Dict[Tuple[Formula, State, FrozenSet[Next]], bool],
+    ) -> bool:
+        """Decide membership of ``formula`` in the atom determined by ``(state, guess)``."""
+        key = (formula, state, guess)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(formula, TrueLiteral):
+            value = True
+        elif isinstance(formula, FalseLiteral):
+            value = False
+        elif isinstance(formula, _LEAVES):
+            value = atom_eval(state, formula)
+        elif isinstance(formula, Not):
+            value = not self.member(formula.operand, state, guess, atom_eval, cache)
+        elif isinstance(formula, And):
+            value = self.member(formula.left, state, guess, atom_eval, cache) and self.member(
+                formula.right, state, guess, atom_eval, cache
+            )
+        elif isinstance(formula, Or):
+            value = self.member(formula.left, state, guess, atom_eval, cache) or self.member(
+                formula.right, state, guess, atom_eval, cache
+            )
+        elif isinstance(formula, Next):
+            value = formula in guess
+        elif isinstance(formula, Until):
+            value = self.member(formula.right, state, guess, atom_eval, cache) or (
+                self.member(formula.left, state, guess, atom_eval, cache)
+                and Next(formula) in guess
+            )
+        else:
+            raise ModelCheckingError(
+                "unexpected operator in expanded LTL formula: %r" % (formula,)
+            )
+        cache[key] = value
+        return value
+
+
+def _powerset(items: Tuple[Next, ...]) -> Iterable[FrozenSet[Next]]:
+    size = len(items)
+    for mask in range(1 << size):
+        yield frozenset(items[bit] for bit in range(size) if mask & (1 << bit))
+
+
+def _strongly_connected_components(
+    nodes: List, successors: Dict
+) -> List[Set]:
+    """Iterative Tarjan SCC computation."""
+    index_counter = 0
+    indices: Dict = {}
+    lowlinks: Dict = {}
+    on_stack: Set = set()
+    stack: List = []
+    components: List[Set] = []
+
+    for root in nodes:
+        if root in indices:
+            continue
+        work = [(root, iter(successors[root]))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, iterator = work[-1]
+            advanced = False
+            for successor in iterator:
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(successors[successor])))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component: Set = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def existential_states(
+    structure: KripkeStructure,
+    path_formula: Formula,
+    atom_eval: AtomEval | None = None,
+) -> FrozenSet[State]:
+    """Return the states ``s`` with ``M, s ⊨ E path_formula``.
+
+    Parameters
+    ----------
+    structure:
+        The Kripke structure (its transition relation should be total).
+    path_formula:
+        A pure path formula (no ``E``/``A``, no index quantifiers).  Atomic
+        leaves may be :class:`Atom`, :class:`IndexedAtom` (with concrete
+        index), :class:`ExactlyOne`, or proxy atoms introduced by the CTL*
+        checker.
+    atom_eval:
+        Callback deciding atomic leaves at a state; defaults to the
+        structure's own labelling.
+    """
+    evaluator = atom_eval or _default_atom_eval(structure)
+    tableau = _Tableau(path_formula)
+    membership_cache: Dict[Tuple[Formula, State, FrozenSet[Next]], bool] = {}
+    guesses = list(_powerset(tableau.next_formulas))
+
+    # Product nodes and edges.
+    nodes: List[Tuple[State, FrozenSet[Next]]] = [
+        (state, guess) for state in structure.states for guess in guesses
+    ]
+    successors: Dict[Tuple[State, FrozenSet[Next]], List[Tuple[State, FrozenSet[Next]]]] = {
+        node: [] for node in nodes
+    }
+    for state, guess in nodes:
+        obligations = {
+            next_formula: (next_formula in guess) for next_formula in tableau.next_formulas
+        }
+        for target in structure.successors(state):
+            for target_guess in guesses:
+                consistent = all(
+                    obligations[next_formula]
+                    == tableau.member(
+                        next_formula.operand, target, target_guess, evaluator, membership_cache
+                    )
+                    for next_formula in tableau.next_formulas
+                )
+                if consistent:
+                    successors[(state, guess)].append((target, target_guess))
+
+    # Self-fulfilling, non-trivial SCCs.
+    components = _strongly_connected_components(nodes, successors)
+    fair_nodes: Set[Tuple[State, FrozenSet[Next]]] = set()
+    for component in components:
+        non_trivial = len(component) > 1 or any(
+            node in successors[node] for node in component
+        )
+        if not non_trivial:
+            continue
+        fulfilling = True
+        for until in tableau.until_formulas:
+            promised = any(
+                tableau.member(until, state, guess, evaluator, membership_cache)
+                for state, guess in component
+            )
+            if not promised:
+                continue
+            fulfilled = any(
+                tableau.member(until.right, state, guess, evaluator, membership_cache)
+                for state, guess in component
+            )
+            if not fulfilled:
+                fulfilling = False
+                break
+        if fulfilling:
+            fair_nodes |= component
+
+    # Backwards reachability from the fair nodes.
+    predecessors: Dict[Tuple[State, FrozenSet[Next]], List[Tuple[State, FrozenSet[Next]]]] = {
+        node: [] for node in nodes
+    }
+    for node, targets in successors.items():
+        for target in targets:
+            predecessors[target].append(node)
+    can_reach_fair: Set[Tuple[State, FrozenSet[Next]]] = set(fair_nodes)
+    frontier = list(fair_nodes)
+    while frontier:
+        node = frontier.pop()
+        for predecessor in predecessors[node]:
+            if predecessor not in can_reach_fair:
+                can_reach_fair.add(predecessor)
+                frontier.append(predecessor)
+
+    result = set()
+    for state in structure.states:
+        for guess in guesses:
+            if (state, guess) in can_reach_fair and tableau.member(
+                tableau.formula, state, guess, evaluator, membership_cache
+            ):
+                result.add(state)
+                break
+    return frozenset(result)
+
+
+def exists_path_satisfying(
+    structure: KripkeStructure,
+    state: State,
+    path_formula: Formula,
+    atom_eval: AtomEval | None = None,
+) -> bool:
+    """Decide ``M, state ⊨ E path_formula``."""
+    return state in existential_states(structure, path_formula, atom_eval)

@@ -1,0 +1,129 @@
+"""A brute-force lasso oracle used to cross-validate the model checkers.
+
+On a finite Kripke structure every satisfiable path property has an
+*ultimately periodic* witness.  This module evaluates LTL path formulas
+directly on lassos (``stem · cycle^ω``) and searches for simple-lasso
+witnesses.  Because the search is restricted to lassos whose stem and cycle
+are simple (no repeated states), finding a witness proves ``E g`` but failing
+to find one does not refute it; the test-suite therefore uses the oracle as a
+*one-sided* check against :mod:`repro.mc.ltl` together with exact agreement
+tests on deterministic structures (where simple lassos are exhaustive).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelCheckingError
+from repro.kripke.paths import Lasso, enumerate_lassos
+from repro.kripke.structure import KripkeStructure, State
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    FalseLiteral,
+    Formula,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    TrueLiteral,
+    Until,
+    subformulas,
+)
+from repro.logic.syntax import is_ltl_path_formula
+from repro.logic.transform import expand
+from repro.mc.ltl import AtomEval
+
+__all__ = ["lasso_satisfies", "find_lasso_witness", "simple_lasso_exists"]
+
+_LEAVES = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
+
+
+def lasso_satisfies(
+    structure: KripkeStructure,
+    lasso: Lasso,
+    path_formula: Formula,
+    atom_eval: AtomEval | None = None,
+) -> bool:
+    """Decide whether the infinite path represented by ``lasso`` satisfies ``path_formula``.
+
+    The lasso is a finite object (stem plus cycle); satisfaction is computed
+    with fixpoint iteration over its positions, which is exact because the
+    path is deterministic from every position onward.
+    """
+    if not is_ltl_path_formula(path_formula):
+        raise ModelCheckingError(
+            "the lasso oracle evaluates pure path formulas; got %s" % path_formula
+        )
+    evaluate = atom_eval or (lambda state, leaf: structure.atom_holds(state, leaf))
+    core = expand(path_formula)
+    positions = lasso.positions()
+    count = len(positions)
+    successor = [lasso.successor_position(index) for index in range(count)]
+
+    values: Dict[Formula, List[bool]] = {}
+    for formula in subformulas(core):
+        if isinstance(formula, TrueLiteral):
+            values[formula] = [True] * count
+        elif isinstance(formula, FalseLiteral):
+            values[formula] = [False] * count
+        elif isinstance(formula, _LEAVES):
+            values[formula] = [evaluate(positions[index], formula) for index in range(count)]
+        elif isinstance(formula, Not):
+            operand = values[formula.operand]
+            values[formula] = [not value for value in operand]
+        elif isinstance(formula, And):
+            left, right = values[formula.left], values[formula.right]
+            values[formula] = [left[index] and right[index] for index in range(count)]
+        elif isinstance(formula, Or):
+            left, right = values[formula.left], values[formula.right]
+            values[formula] = [left[index] or right[index] for index in range(count)]
+        elif isinstance(formula, Next):
+            operand = values[formula.operand]
+            values[formula] = [operand[successor[index]] for index in range(count)]
+        elif isinstance(formula, Until):
+            left, right = values[formula.left], values[formula.right]
+            # Least fixpoint of v[i] = right[i] or (left[i] and v[succ(i)]).
+            current = [False] * count
+            for _ in range(count + 1):
+                updated = [
+                    right[index] or (left[index] and current[successor[index]])
+                    for index in range(count)
+                ]
+                if updated == current:
+                    break
+                current = updated
+            values[formula] = current
+        else:
+            raise ModelCheckingError("unexpected operator in expanded formula: %r" % (formula,))
+    return values[core][0]
+
+
+def find_lasso_witness(
+    structure: KripkeStructure,
+    state: State,
+    path_formula: Formula,
+    atom_eval: AtomEval | None = None,
+    max_stem: Optional[int] = None,
+    max_cycle: Optional[int] = None,
+) -> Optional[Lasso]:
+    """Search for a simple lasso from ``state`` satisfying ``path_formula``.
+
+    Returns the first witness found, or ``None`` when no *simple* lasso
+    witness exists (which does not by itself refute ``E path_formula``).
+    """
+    for lasso in enumerate_lassos(structure, state, max_stem=max_stem, max_cycle=max_cycle):
+        if lasso_satisfies(structure, lasso, path_formula, atom_eval):
+            return lasso
+    return None
+
+
+def simple_lasso_exists(
+    structure: KripkeStructure,
+    state: State,
+    path_formula: Formula,
+    atom_eval: AtomEval | None = None,
+) -> bool:
+    """Return ``True`` when some simple lasso from ``state`` satisfies ``path_formula``."""
+    return find_lasso_witness(structure, state, path_formula, atom_eval) is not None

@@ -1,0 +1,43 @@
+"""The free (unsynchronised) product of identical processes (Section 6).
+
+In a *free* product the processes do not interact at all: the global state
+graph is the interleaving of the local graphs, every local transition is
+always enabled, and a process with no local transitions simply stutters.
+Section 6 of the paper conjectures that a formula with at most ``k`` nested
+index quantifiers cannot distinguish free products with more than ``k``
+components and remarks that the free case is easy to prove; experiment E9
+explores the conjecture empirically with the structures built here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.product import interleaved_product
+from repro.network.process import ProcessTemplate
+
+__all__ = ["free_product"]
+
+
+def free_product(
+    template: ProcessTemplate,
+    size: int,
+    index_values: Optional[Sequence[int]] = None,
+    name: Optional[str] = None,
+) -> IndexedKripkeStructure:
+    """Return the free product of ``size`` copies of ``template``.
+
+    Guards and shared-variable updates on the template's transitions are
+    ignored — by definition the free product has no interaction.  Local states
+    with no outgoing transition receive a self-loop so that the product is a
+    valid (total) Kripke structure.
+    """
+    component = template.to_kripke(require_total=True)
+    components = [component] * size
+    values = list(index_values) if index_values is not None else list(range(1, size + 1))
+    return interleaved_product(
+        components,
+        index_values=values,
+        name=name or "free(%s)×%d" % (template.name, size),
+    )

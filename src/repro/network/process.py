@@ -1,0 +1,143 @@
+"""Finite-state process templates.
+
+A :class:`ProcessTemplate` describes *one* process of a family of identical
+processes: its local states, its local labelling (plain proposition names —
+the composition machinery adds the process index), and its local transitions.
+Transitions may carry guards and updates that refer to a shared global
+variable, which is how simple synchronisation (a token, a semaphore, a
+barrier counter) is modelled; see :mod:`repro.network.composition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import CompositionError
+from repro.kripke.structure import KripkeStructure
+
+__all__ = ["LocalState", "Guard", "Update", "LocalTransition", "ProcessTemplate"]
+
+#: Local states are opaque hashable objects (typically short strings).
+LocalState = Hashable
+
+#: A guard reads the shared variable, the process's index value, and the tuple
+#: of all local states; it returns ``True`` when the transition is enabled.
+Guard = Callable[[Hashable, int, Tuple[LocalState, ...]], bool]
+
+#: An update produces the new value of the shared variable.
+Update = Callable[[Hashable, int, Tuple[LocalState, ...]], Hashable]
+
+
+@dataclass(frozen=True)
+class LocalTransition:
+    """A local transition of one process.
+
+    ``guard`` and ``update`` are optional; a transition without a guard is
+    always enabled and a transition without an update leaves the shared
+    variable unchanged.  Guards and updates are ignored by the *free* product,
+    which by definition involves no interaction.
+    """
+
+    source: LocalState
+    target: LocalState
+    action: str = "tau"
+    guard: Optional[Guard] = field(default=None, compare=False)
+    update: Optional[Update] = field(default=None, compare=False)
+
+
+class ProcessTemplate:
+    """The description of one process in a family of identical processes."""
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[LocalState],
+        initial_state: LocalState,
+        labels: Mapping[LocalState, Iterable[str]],
+        transitions: Iterable[LocalTransition],
+    ) -> None:
+        self._name = name
+        self._states: FrozenSet[LocalState] = frozenset(states)
+        if not self._states:
+            raise CompositionError("a process template needs at least one local state")
+        if initial_state not in self._states:
+            raise CompositionError("initial local state %r is not a local state" % (initial_state,))
+        self._initial_state = initial_state
+
+        self._labels: Dict[LocalState, FrozenSet[str]] = {}
+        for state, props in labels.items():
+            if state not in self._states:
+                raise CompositionError("labelled local state %r is not a local state" % (state,))
+            self._labels[state] = frozenset(props)
+        for state in self._states:
+            self._labels.setdefault(state, frozenset())
+
+        self._transitions: Tuple[LocalTransition, ...] = tuple(transitions)
+        for transition in self._transitions:
+            if transition.source not in self._states or transition.target not in self._states:
+                raise CompositionError(
+                    "transition %r uses a state outside the template" % (transition,)
+                )
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The template's name (used in composed-structure names)."""
+        return self._name
+
+    @property
+    def states(self) -> FrozenSet[LocalState]:
+        """The local state set."""
+        return self._states
+
+    @property
+    def initial_state(self) -> LocalState:
+        """The local initial state."""
+        return self._initial_state
+
+    @property
+    def transitions(self) -> Tuple[LocalTransition, ...]:
+        """All local transitions."""
+        return self._transitions
+
+    def label(self, state: LocalState) -> FrozenSet[str]:
+        """The plain (non-indexed) labels of a local state."""
+        return self._labels[state]
+
+    def transitions_from(self, state: LocalState) -> Tuple[LocalTransition, ...]:
+        """The local transitions leaving ``state``."""
+        return tuple(t for t in self._transitions if t.source == state)
+
+    # -- conversions -----------------------------------------------------------
+
+    def to_kripke(self, require_total: bool = True) -> KripkeStructure:
+        """View the template in isolation as a Kripke structure (guards ignored).
+
+        When ``require_total`` is set, local states without outgoing
+        transitions receive a self-loop so that the result is a valid Kripke
+        structure (this matches the usual convention that an idle process
+        stutters).
+        """
+        successors: Dict[LocalState, set] = {state: set() for state in self._states}
+        for transition in self._transitions:
+            successors[transition.source].add(transition.target)
+        if require_total:
+            for state, targets in successors.items():
+                if not targets:
+                    targets.add(state)
+        return KripkeStructure(
+            self._states,
+            successors,
+            {state: self._labels[state] for state in self._states},
+            self._initial_state,
+            name=self._name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<ProcessTemplate %r: %d states, %d transitions>" % (
+            self._name,
+            len(self._states),
+            len(self._transitions),
+        )

@@ -1,0 +1,96 @@
+"""Index-set topologies: rings, lines, stars, cliques.
+
+The paper's running example arranges processes in a ring and needs the
+"closest neighbour to the left" function; other identical-process families use
+different neighbourhood structures.  A topology here is simply a mapping from
+each index value to the ordered tuple of its neighbours, plus ring-arithmetic
+helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import CompositionError
+
+__all__ = [
+    "ring_topology",
+    "line_topology",
+    "star_topology",
+    "complete_topology",
+    "left_neighbor",
+    "right_neighbor",
+    "ring_distance_left",
+]
+
+
+def _check_indices(indices: Sequence[int]) -> List[int]:
+    values = list(indices)
+    if len(values) < 1:
+        raise CompositionError("a topology needs at least one index value")
+    if len(set(values)) != len(values):
+        raise CompositionError("index values must be distinct")
+    return values
+
+
+def ring_topology(indices: Sequence[int]) -> Dict[int, Tuple[int, ...]]:
+    """Each index is adjacent to its left and right neighbours on the ring."""
+    values = _check_indices(indices)
+    size = len(values)
+    return {
+        values[position]: (values[(position - 1) % size], values[(position + 1) % size])
+        for position in range(size)
+    }
+
+
+def line_topology(indices: Sequence[int]) -> Dict[int, Tuple[int, ...]]:
+    """Each index is adjacent to its predecessor and successor on a line."""
+    values = _check_indices(indices)
+    result: Dict[int, Tuple[int, ...]] = {}
+    for position, value in enumerate(values):
+        neighbors = []
+        if position > 0:
+            neighbors.append(values[position - 1])
+        if position + 1 < len(values):
+            neighbors.append(values[position + 1])
+        result[value] = tuple(neighbors)
+    return result
+
+
+def star_topology(indices: Sequence[int]) -> Dict[int, Tuple[int, ...]]:
+    """The first index is the hub; every other index is adjacent only to the hub."""
+    values = _check_indices(indices)
+    hub = values[0]
+    result: Dict[int, Tuple[int, ...]] = {hub: tuple(values[1:])}
+    for value in values[1:]:
+        result[value] = (hub,)
+    return result
+
+
+def complete_topology(indices: Sequence[int]) -> Dict[int, Tuple[int, ...]]:
+    """Every index is adjacent to every other index."""
+    values = _check_indices(indices)
+    return {
+        value: tuple(other for other in values if other != value) for value in values
+    }
+
+
+def left_neighbor(index: int, size: int) -> int:
+    """The left neighbour of ``index`` on the ring ``1..size`` (decreasing index, wrapping)."""
+    if not 1 <= index <= size:
+        raise CompositionError("index %d outside ring 1..%d" % (index, size))
+    return size if index == 1 else index - 1
+
+
+def right_neighbor(index: int, size: int) -> int:
+    """The right neighbour of ``index`` on the ring ``1..size`` (increasing index, wrapping)."""
+    if not 1 <= index <= size:
+        raise CompositionError("index %d outside ring 1..%d" % (index, size))
+    return 1 if index == size else index + 1
+
+
+def ring_distance_left(source: int, target: int, size: int) -> int:
+    """How many left-steps it takes to walk from ``source`` to ``target`` on the ring ``1..size``."""
+    if not 1 <= source <= size or not 1 <= target <= size:
+        raise CompositionError("indices must lie in 1..%d" % size)
+    return (source - target) % size

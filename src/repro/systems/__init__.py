@@ -1,0 +1,5 @@
+"""Concrete identical-process systems: the Section 5 token ring, the paper's figures, and two extra families."""
+
+from repro.systems import barrier, figures, round_robin, token_ring
+
+__all__ = ["token_ring", "figures", "round_robin", "barrier"]

@@ -1,0 +1,532 @@
+"""The Section 5 distributed mutual-exclusion token ring.
+
+``r`` identical processes are arranged in a ring.  Each process ``P_i`` is in
+one of three local situations: *neutral* (``n_i``), *delayed* waiting to enter
+its critical region (``d_i``), or *critical* (``c_i``).  Exactly one process
+holds the token (``t_i``); the paper's global state is the five-tuple
+``(D, N, T, C, O)`` of index sets:
+
+* ``i ∈ D`` — process ``i`` is delayed;
+* ``i ∈ N`` — neutral without the token;
+* ``i ∈ T`` — neutral with the token;
+* ``i ∈ C`` — critical (and holding the token);
+* ``i ∈ O`` — none of the above (always empty in reachable states; invariant 1).
+
+The global transitions (exactly as in the paper's definition of ``R_r``):
+
+1. a neutral process becomes delayed;
+2. the token is transferred from its holder ``j ∈ T ∪ C`` to the *closest
+   delayed neighbour to the left* ``i = cln(j)``; ``j`` becomes neutral and
+   ``i`` enters its critical region;
+3. the process in ``T`` enters its critical region;
+4. the process in ``C`` returns to ``T`` — but only when no process is
+   delayed (otherwise it must hand the token over via rule 2).
+
+``G_r`` as written is not a Kripke structure (the all-delayed/no-token state
+has no successors), but the restriction to the states reachable from the
+initial state ``s_r^0 = (∅, {2..r}, {1}, ∅, ∅)`` — which the paper calls
+``M_r`` — is; :func:`build_token_ring` constructs it directly.
+
+The module also implements the machinery of the appendix: the *rank*
+``r(s, i)`` (the maximal number of consecutive ``i``-idle transitions), the
+explicit Section 5 correspondence relation between ``M_2`` and ``M_r`` whose
+degrees are sums of ranks, the index relation ``IN``, and the ICTL* formulas
+for the invariants and the four verified properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import StructureError
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.structure import IndexedProp
+from repro.logic.ast import Formula
+from repro.logic.builders import (
+    AF,
+    AG,
+    AU,
+    EF,
+    EU,
+    exactly_one,
+    iatom,
+    implies,
+    index_exists,
+    index_forall,
+    land,
+    lnot,
+)
+from repro.correspondence.indexed import IndexRelation
+from repro.correspondence.relation import CorrespondenceRelation
+
+__all__ = [
+    "RingState",
+    "initial_state",
+    "cln",
+    "ring_successors",
+    "state_label",
+    "build_token_ring",
+    "rank",
+    "is_idle_transition",
+    "section5_index_relation",
+    "section5_pair_corresponds",
+    "section5_degree",
+    "section5_correspondence",
+    "RECOMMENDED_BASE_SIZE",
+    "corrected_index_relation",
+    "distinguishing_formula",
+    "partition_invariant_holds",
+    "invariant_request_persistence",
+    "invariant_one_token",
+    "property_token_only_on_request",
+    "property_critical_implies_token",
+    "property_request_until_token",
+    "property_eventual_entry",
+    "ring_properties",
+    "ring_invariants",
+]
+
+
+# ---------------------------------------------------------------------------
+# Global states
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RingState:
+    """A global state ``(D, N, T, C, O)`` of the token ring."""
+
+    delayed: FrozenSet[int]
+    neutral: FrozenSet[int]
+    token_neutral: FrozenSet[int]
+    critical: FrozenSet[int]
+    other: FrozenSet[int] = frozenset()
+
+    def part_of(self, index: int) -> str:
+        """Return which part (``"D"``, ``"N"``, ``"T"``, ``"C"`` or ``"O"``) contains ``index``."""
+        if index in self.delayed:
+            return "D"
+        if index in self.neutral:
+            return "N"
+        if index in self.token_neutral:
+            return "T"
+        if index in self.critical:
+            return "C"
+        return "O"
+
+    def token_holder(self) -> Optional[int]:
+        """The process holding the token, or ``None`` when no process does."""
+        holders = self.token_neutral | self.critical
+        if len(holders) == 1:
+            return next(iter(holders))
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        def show(part: FrozenSet[int]) -> str:
+            return "{%s}" % ",".join(str(value) for value in sorted(part))
+
+        return "Ring(D=%s N=%s T=%s C=%s)" % (
+            show(self.delayed),
+            show(self.neutral),
+            show(self.token_neutral),
+            show(self.critical),
+        )
+
+
+def initial_state(size: int) -> RingState:
+    """The paper's initial state ``s_r^0``: process 1 holds the token, everyone is neutral."""
+    if size < 1:
+        raise StructureError("the ring needs at least one process")
+    return RingState(
+        delayed=frozenset(),
+        neutral=frozenset(range(2, size + 1)),
+        token_neutral=frozenset({1}),
+        critical=frozenset(),
+    )
+
+
+def cln(state: RingState, holder: int, size: int) -> Optional[int]:
+    """The closest delayed neighbour to the *left* of ``holder`` (decreasing index, wrapping).
+
+    Returns ``None`` when no process is delayed.
+    """
+    if not state.delayed:
+        return None
+    candidate = holder
+    for _ in range(size):
+        candidate = size if candidate == 1 else candidate - 1
+        if candidate in state.delayed:
+            return candidate
+    return None
+
+
+def ring_successors(state: RingState, size: int) -> List[RingState]:
+    """The successors of a global state under the four transition rules of ``R_r``."""
+    successors: List[RingState] = []
+
+    # Rule 1: a neutral process becomes delayed.
+    for process in sorted(state.neutral):
+        successors.append(
+            RingState(
+                delayed=state.delayed | {process},
+                neutral=state.neutral - {process},
+                token_neutral=state.token_neutral,
+                critical=state.critical,
+                other=state.other,
+            )
+        )
+
+    # Rule 2: the token holder j ∈ T ∪ C hands the token to i = cln(j) ∈ D;
+    # j becomes neutral and i enters its critical region.
+    for holder in sorted(state.token_neutral | state.critical):
+        receiver = cln(state, holder, size)
+        if receiver is None:
+            continue
+        successors.append(
+            RingState(
+                delayed=state.delayed - {receiver},
+                neutral=state.neutral | {holder},
+                token_neutral=state.token_neutral - {holder},
+                critical=(state.critical - {holder}) | {receiver},
+                other=state.other,
+            )
+        )
+
+    # Rule 3: the process in T enters its critical region.
+    for holder in sorted(state.token_neutral):
+        successors.append(
+            RingState(
+                delayed=state.delayed,
+                neutral=state.neutral,
+                token_neutral=state.token_neutral - {holder},
+                critical=state.critical | {holder},
+                other=state.other,
+            )
+        )
+
+    # Rule 4: the process in C returns to T, but only when nobody is delayed.
+    if not state.delayed:
+        for holder in sorted(state.critical):
+            successors.append(
+                RingState(
+                    delayed=state.delayed,
+                    neutral=state.neutral,
+                    token_neutral=state.token_neutral | {holder},
+                    critical=state.critical - {holder},
+                    other=state.other,
+                )
+            )
+
+    return successors
+
+
+def state_label(state: RingState) -> FrozenSet[IndexedProp]:
+    """The paper's labelling ``L_r``: ``d_i``, ``n_i``, ``t_i``, ``c_i`` per part."""
+    label = set()
+    for process in state.delayed:
+        label.add(IndexedProp("d", process))
+    for process in state.neutral:
+        label.add(IndexedProp("n", process))
+    for process in state.token_neutral:
+        label.add(IndexedProp("n", process))
+        label.add(IndexedProp("t", process))
+    for process in state.critical:
+        label.add(IndexedProp("c", process))
+        label.add(IndexedProp("t", process))
+    return frozenset(label)
+
+
+def build_token_ring(size: int, max_states: Optional[int] = None) -> IndexedKripkeStructure:
+    """Build ``M_r``: the token ring's global state graph restricted to reachable states.
+
+    Parameters
+    ----------
+    size:
+        The number of processes ``r``.
+    max_states:
+        Optional safety bound on the exploration (the reachable state space
+        grows exponentially with ``r``).
+    """
+    start = initial_state(size)
+    states = {start}
+    transitions: Dict[RingState, List[RingState]] = {}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        successors = ring_successors(current, size)
+        transitions[current] = successors
+        for successor in successors:
+            if successor not in states:
+                states.add(successor)
+                frontier.append(successor)
+                if max_states is not None and len(states) > max_states:
+                    raise StructureError(
+                        "token ring exploration exceeded max_states=%d" % max_states
+                    )
+    labeling = {state: state_label(state) for state in states}
+    return IndexedKripkeStructure(
+        states,
+        transitions,
+        labeling,
+        start,
+        index_values=range(1, size + 1),
+        indexed_prop_names={"d", "n", "t", "c"},
+        name="M_%d" % size,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The appendix: ranks, idle transitions, and the explicit correspondence
+# ---------------------------------------------------------------------------
+
+
+def is_idle_transition(source: RingState, target: RingState, index: int) -> bool:
+    """Return ``True`` when the transition does not affect process ``index``.
+
+    Following the appendix: ``index`` stays in the same part, and — when
+    ``index`` is critical and nobody is delayed — nobody becomes delayed
+    either (that extra condition mirrors the ``D = ∅ ⇔ D' = ∅`` conjunct of
+    the Section 5 correspondence).
+    """
+    if source.part_of(index) != target.part_of(index):
+        return False
+    if index in source.critical and not source.delayed:
+        return not target.delayed
+    return True
+
+
+def rank(state: RingState, index: int, size: int) -> int:
+    """The appendix rank ``r(s, i)``: the maximal number of consecutive ``i``-idle transitions.
+
+    The rank is 0 both when an exact match is required immediately *and* when
+    infinitely many idle transitions are possible (the ``i ∈ N`` case); the
+    appendix gives the closed forms implemented here:
+
+    * ``i ∈ N`` — infinitely many idle transitions are possible, rank 0;
+    * ``i ∈ D`` — ``|N| + |T| + 2·((j − i) mod r − 1)`` where ``j`` holds the token;
+    * ``i ∈ T`` — ``|N|``;
+    * ``i ∈ C`` and ``D = ∅`` — 0;
+    * ``i ∈ C`` and ``D ≠ ∅`` — ``|N|``.
+    """
+    part = state.part_of(index)
+    if part == "N":
+        return 0
+    if part == "T":
+        return len(state.neutral)
+    if part == "C":
+        return len(state.neutral) if state.delayed else 0
+    if part == "D":
+        holder = state.token_holder()
+        if holder is None:
+            raise StructureError("unreachable ring state without a token holder: %r" % (state,))
+        distance = (holder - index) % size
+        return len(state.neutral) + len(state.token_neutral) + 2 * (distance - 1)
+    raise StructureError("process %d is in no part of state %r" % (index, state))
+
+
+def section5_index_relation(size: int) -> IndexRelation:
+    """The paper's relation ``IN = {(1, 1)} ∪ {(2, i) : i ∈ I_r − {1}}`` between ``I_2`` and ``I_r``."""
+    if size < 2:
+        raise StructureError("the Section 5 correspondence needs at least two processes")
+    pairs = {(1, 1)}
+    for value in range(2, size + 1):
+        pairs.add((2, value))
+    return IndexRelation.from_pairs(pairs)
+
+
+def section5_pair_corresponds(
+    small_state: RingState, small_index: int, large_state: RingState, large_index: int
+) -> bool:
+    """The Section 5 state condition: same part, and the ``D = ∅`` flags agree when critical."""
+    if small_state.part_of(small_index) != large_state.part_of(large_index):
+        return False
+    if small_index in small_state.critical:
+        return bool(small_state.delayed) == bool(large_state.delayed)
+    return True
+
+
+def section5_degree(
+    small_state: RingState,
+    small_index: int,
+    large_state: RingState,
+    large_index: int,
+    small_size: int,
+    large_size: int,
+) -> int:
+    """The Section 5 degree: ``r(s, i) + r(s', i')``."""
+    return rank(small_state, small_index, small_size) + rank(
+        large_state, large_index, large_size
+    )
+
+
+def section5_correspondence(
+    small: IndexedKripkeStructure,
+    large: IndexedKripkeStructure,
+    small_index: int,
+    large_index: int,
+) -> CorrespondenceRelation:
+    """Build the explicit Section 5 correspondence relation ``E_{ii'}`` between two rings.
+
+    The relation pairs every reachable state of the small ring with every
+    reachable state of the large ring that satisfies the part condition, and
+    annotates the pair with the rank-sum degree.  It is exactly the relation
+    whose correctness the appendix proves; the test-suite re-validates it with
+    the generic definition checker.
+    """
+    small_size = len(small.index_values)
+    large_size = len(large.index_values)
+    degrees: Dict[Tuple[RingState, RingState], int] = {}
+    for small_state in small.states:
+        for large_state in large.states:
+            if section5_pair_corresponds(small_state, small_index, large_state, large_index):
+                degrees[(small_state, large_state)] = section5_degree(
+                    small_state, small_index, large_state, large_index, small_size, large_size
+                )
+    return CorrespondenceRelation(degrees)
+
+
+# ---------------------------------------------------------------------------
+# The reproduction's findings about the Section 5 example
+# ---------------------------------------------------------------------------
+
+#: The smallest base instance that corresponds (in the Section 3/4 sense) to
+#: every larger ring.  The paper uses the two-process ring as the base case,
+#: but — as :func:`distinguishing_formula` witnesses — ``M_2`` satisfies a
+#: restricted ICTL* formula that every larger ring violates, so no
+#: correspondence between ``M_2`` and ``M_r`` (r ≥ 3) can exist.  Rings of
+#: size ≥ 3 do correspond pairwise (verified by the decision algorithm in the
+#: test-suite and benchmarks), so three processes are the correct base case.
+RECOMMENDED_BASE_SIZE = 3
+
+
+def corrected_index_relation(small_size: int, large_size: int) -> IndexRelation:
+    """The ``IN`` relation that actually satisfies Theorem 5's hypotheses for two rings.
+
+    Process 1 (the initial token holder) of the small ring is related to
+    process 1 of the large ring, and every other small-ring process to every
+    other large-ring process.  With ``small_size >= RECOMMENDED_BASE_SIZE``
+    every related pair of reductions corresponds, so closed restricted ICTL*
+    verdicts transfer from the small ring to the large one.
+    """
+    if small_size < 2 or large_size < 2:
+        raise StructureError("both rings need at least two processes")
+    pairs = {(1, 1)}
+    for small_value in range(2, small_size + 1):
+        for large_value in range(2, large_size + 1):
+            pairs.add((small_value, large_value))
+    return IndexRelation.from_pairs(pairs)
+
+
+def distinguishing_formula() -> Formula:
+    """A restricted ICTL* formula separating ``M_2`` from every larger ring.
+
+    The formula is::
+
+        ∧_i AG( d_i ⇒ A[ d_i U ( c_i ∧ E[ c_i U (n_i ∧ t_i) ] ) ] )
+
+    "whenever process *i* is delayed, along every path it stays delayed until
+    it enters its critical region *in a situation from which it can keep the
+    token* (i.e. return to the neutral-with-token state)".  In the two-process
+    ring a delayed process always receives the token when no other process is
+    delayed, so the inner ``E[c_i U (n_i ∧ t_i)]`` always holds at the moment
+    of entry and the formula is **true** in ``M_2``.  In any ring with three
+    or more processes there are reachable configurations in which a delayed
+    process is forced to receive the token while another process is still
+    delayed, after which it must hand the token over instead of returning to
+    ``T`` — the formula is **false** there.
+
+    Because the formula is closed, next-free and satisfies the Section 4
+    restrictions, Theorem 5 implies that ``M_2`` cannot correspond to ``M_r``
+    for ``r ≥ 3``; this is the documented deviation of the reproduction from
+    the paper's Section 5 claim (see EXPERIMENTS.md).
+    """
+    d_i = iatom("d", "i")
+    t_i = iatom("t", "i")
+    c_i = iatom("c", "i")
+    n_i = iatom("n", "i")
+    keeps_token = EU(c_i, land(n_i, t_i))
+    return index_forall("i", AG(implies(d_i, AU(d_i, land(c_i, keeps_token)))))
+
+
+# ---------------------------------------------------------------------------
+# Invariants and properties (Section 5)
+# ---------------------------------------------------------------------------
+
+
+def partition_invariant_holds(structure: IndexedKripkeStructure) -> bool:
+    """Invariant 1: in every reachable state ``D, N, T, C`` partition ``I`` and ``O`` is empty."""
+    indices = set(structure.index_values)
+    for state in structure.states:
+        if not isinstance(state, RingState):
+            raise StructureError("partition_invariant_holds expects RingState states")
+        parts = [state.delayed, state.neutral, state.token_neutral, state.critical]
+        union = set()
+        total = 0
+        for part in parts:
+            union |= part
+            total += len(part)
+        if state.other or union != indices or total != len(indices):
+            return False
+    return True
+
+
+def invariant_request_persistence() -> Formula:
+    """Invariant 2: ``∧_i AG(d_i ⇒ ¬E[d_i U (¬d_i ∧ ¬t_i)])``.
+
+    Once a process has requested the token it keeps requesting it until the
+    token is received.
+    """
+    d_i = iatom("d", "i")
+    t_i = iatom("t", "i")
+    return index_forall(
+        "i", AG(implies(d_i, lnot(EU(d_i, land(lnot(d_i), lnot(t_i))))))
+    )
+
+
+def invariant_one_token() -> Formula:
+    """Invariant 3: ``AG Θ_i t_i`` — exactly one process holds the token."""
+    return AG(exactly_one("t"))
+
+
+def property_token_only_on_request() -> Formula:
+    """Property 1: ``¬ ∨_i EF(¬d_i ∧ ¬t_i ∧ E[¬d_i U t_i])`` — the token is transferred only upon request."""
+    d_i = iatom("d", "i")
+    t_i = iatom("t", "i")
+    inner = land(lnot(d_i), lnot(t_i), EU(lnot(d_i), t_i))
+    return lnot(index_exists("i", EF(inner)))
+
+
+def property_critical_implies_token() -> Formula:
+    """Property 2: ``∧_i AG(c_i ⇒ t_i)`` — only the token holder may be critical."""
+    return index_forall("i", AG(implies(iatom("c", "i"), iatom("t", "i"))))
+
+
+def property_request_until_token() -> Formula:
+    """Property 3: ``∧_i AG(d_i ⇒ A[d_i U t_i])`` — a requesting process eventually receives the token."""
+    d_i = iatom("d", "i")
+    t_i = iatom("t", "i")
+    return index_forall("i", AG(implies(d_i, AU(d_i, t_i))))
+
+
+def property_eventual_entry() -> Formula:
+    """Property 4: ``∧_i AG(d_i ⇒ AF c_i)`` — every process that wants to enter its critical region eventually does."""
+    return index_forall("i", AG(implies(iatom("d", "i"), AF(iatom("c", "i")))))
+
+
+def ring_properties() -> Dict[str, Formula]:
+    """The four properties checked in Section 5, keyed by a short name."""
+    return {
+        "token_only_on_request": property_token_only_on_request(),
+        "critical_implies_token": property_critical_implies_token(),
+        "request_until_token": property_request_until_token(),
+        "eventual_entry": property_eventual_entry(),
+    }
+
+
+def ring_invariants() -> Dict[str, Formula]:
+    """The temporal invariants of Section 5 (the partition invariant is structural)."""
+    return {
+        "request_persistence": invariant_request_persistence(),
+        "one_token": invariant_one_token(),
+    }

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion and prints what it promises."""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "examples"
+)
+
+#: script name -> module-level constants shrunk so the smoke test stays fast.
+EXAMPLES = {
+    "quickstart.py": {},
+    "token_ring_mutex.py": {"LARGE_SIZE": 4},
+    "state_explosion.py": {"SWEEP_SIZES": (2, 3, 4), "LARGE_SIZE": 50},
+    "parameterized_families.py": {"LARGE_SIZE": 4},
+    "counting_and_restrictions.py": {},
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs(script, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), path
+    module_globals = runpy.run_path(path, run_name="not_main")
+    main = module_globals["main"]
+    # Shrink the expensive sweeps; the functions read these constants through
+    # their module globals.
+    for name, value in EXAMPLES[script].items():
+        main.__globals__[name] = value
+    main()
+    output = capsys.readouterr().out
+    assert "==" in output
+    assert len(output.splitlines()) > 5

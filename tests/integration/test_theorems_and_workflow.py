@@ -1,0 +1,154 @@
+"""Integration tests for the correspondence theorems and the other process families."""
+
+import pytest
+
+from repro.correspondence import (
+    ParameterizedVerifier,
+    blocks_correspond,
+    corresponding_path,
+    find_correspondence,
+    is_correspondence,
+    verify_index_relation,
+)
+from repro.kripke import reduce_to_index
+from repro.logic import parse
+from repro.mc import CTLStarModelChecker, ICTLStarModelChecker
+from repro.systems import barrier, round_robin, token_ring
+
+#: A battery of closed next-free CTL* formulas over the Fig. 3.1 alphabet.
+FIG31_FORMULAS = [
+    "AG(p | q)",
+    "AG(p -> A(p U q))",
+    "AG(q -> A(q U p))",
+    "AG AF p",
+    "AG AF q",
+    "E G F q",
+    "A(G F p & G F q)",
+    "EF(q & EF p)",
+    "E(p U (q & E(q U p)))",
+]
+
+#: Closed restricted ICTL* formulas over the ring alphabet.
+RING_FORMULAS = [
+    "forall i . AG(d[i] -> AF c[i])",
+    "forall i . AG(c[i] -> t[i])",
+    "forall i . AG(d[i] -> A(d[i] U t[i]))",
+    "!(exists i . EF(!d[i] & !t[i] & E(!d[i] U t[i])))",
+    "AG one t",
+    "forall i . AG AF (n[i] | d[i] | c[i])",
+    "forall i . AG(c[i] -> A(c[i] U n[i]))",
+    "exists i . EF c[i]",
+    "forall i . EF c[i]",
+    "forall i . AG EF c[i]",
+]
+
+
+def test_theorem2_on_fig31(fig31_pair):
+    """Theorem 2: corresponding structures satisfy the same CTL* formulas."""
+    left, right = fig31_pair
+    relation = find_correspondence(left, right)
+    assert relation is not None and is_correspondence(left, right, relation)
+    left_checker = CTLStarModelChecker(left)
+    right_checker = CTLStarModelChecker(right)
+    for text in FIG31_FORMULAS:
+        formula = parse(text)
+        assert left_checker.check(formula) == right_checker.check(formula), text
+
+
+def test_theorem5_on_rings_of_size_three_and_four(ring3, ring4):
+    """Theorem 5: (i, i')-corresponding indexed structures satisfy the same ICTL* formulas."""
+    report = verify_index_relation(ring3, ring4, token_ring.corrected_index_relation(3, 4))
+    assert report.holds
+    small_checker = ICTLStarModelChecker(ring3)
+    large_checker = ICTLStarModelChecker(ring4)
+    for text in RING_FORMULAS:
+        formula = parse(text)
+        assert small_checker.check(formula) == large_checker.check(formula), text
+
+
+def test_theorem5_contrapositive_on_m2(ring2, ring3):
+    """M_2 and M_3 disagree on a restricted formula, hence cannot correspond."""
+    phi = token_ring.distinguishing_formula()
+    assert ICTLStarModelChecker(ring2).check(phi) != ICTLStarModelChecker(ring3).check(phi)
+    assert verify_index_relation(
+        ring2, ring3, token_ring.section5_index_relation(3)
+    ).holds is False
+
+
+def test_lemma1_block_matching_on_the_rings(ring3, ring4):
+    """Lemma 1, executably: every finite path of M_3|1 has a block-matched path in M_4|1."""
+    left = reduce_to_index(ring3, 1)
+    right = reduce_to_index(ring4, 1)
+    relation = find_correspondence(left, right)
+    assert relation is not None
+    # A specific interesting path: process 1 goes N -> D -> C -> N.
+    path = [left.initial_state]
+    import random
+
+    rng = random.Random(3)
+    for _ in range(8):
+        path.append(rng.choice(sorted(left.successors(path[-1]), key=repr)))
+    matching = corresponding_path(left, right, relation, path)
+    assert blocks_correspond(relation, matching)
+    from repro.kripke.paths import is_path
+
+    assert is_path(right, list(matching.right_path))
+
+
+@pytest.mark.parametrize("large_size", [3, 4, 5])
+def test_round_robin_workflow(large_size, round_robin2):
+    large = round_robin.build_round_robin(large_size)
+    verifier = ParameterizedVerifier(
+        round_robin2, large, round_robin.round_robin_index_relation(large_size)
+    )
+    direct = ICTLStarModelChecker(large)
+    for name, formula in round_robin.round_robin_properties().items():
+        assert verifier.check(formula).holds == direct.check(formula), name
+
+
+@pytest.mark.parametrize("large_size", [3, 4])
+def test_barrier_workflow(large_size, barrier2):
+    large = barrier.build_barrier(large_size)
+    verifier = ParameterizedVerifier(
+        barrier2, large, barrier.barrier_index_relation(large_size)
+    )
+    direct = ICTLStarModelChecker(large)
+    for name, formula in barrier.barrier_properties().items():
+        assert verifier.check(formula).holds == direct.check(formula), name
+
+
+def test_round_robin_formulas_agree_between_sizes(round_robin2, round_robin4):
+    """A broader formula battery agrees between the 2- and 4-process schedulers."""
+    texts = [
+        "forall i . AG(t[i] -> AF c[i])",
+        "forall i . AG AF c[i]",
+        "forall i . AG(c[i] -> t[i])",
+        "AG one t",
+        "forall i . AG(c[i] -> A(c[i] U !c[i]))",
+        "exists i . AG AF t[i]",
+    ]
+    small = ICTLStarModelChecker(round_robin2)
+    large = ICTLStarModelChecker(round_robin4)
+    for text in texts:
+        formula = parse(text)
+        assert small.check(formula) == large.check(formula), text
+
+
+def test_experiment_drivers_report_the_reproduction_findings():
+    from repro.analysis import experiments
+
+    e7 = experiments.run_e7_correspondence(large_size=4)
+    assert e7["paper_claim_m2_corresponds"] is False
+    assert e7["corrected_claim_base3_corresponds"] is True
+    assert e7["distinguishing_formula_on_m2"] is True
+    assert e7["distinguishing_formula_on_large"] is False
+    assert e7["transfers_match_direct"] is True
+
+    e8 = experiments.run_e8_explosion(sizes=(2, 3, 4), large_size=100, num_walks=3, walk_length=15)
+    assert e8["states_grow_monotonically"]
+    assert e8["large_ring_spot_check"]["paired"] == e8["large_ring_spot_check"]["visited"]
+
+    e2 = experiments.run_e2_fig41(max_size=4)
+    assert e2["counting_matches_size"]
+    e10 = experiments.run_e10_scaling(sizes=(3, 4))
+    assert all(row["corresponds"] for row in e10["rows"])

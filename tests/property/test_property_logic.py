@@ -1,0 +1,57 @@
+"""Property-based tests for the logic layer (parser round-trips, NNF, expansion)."""
+
+from hypothesis import given, settings
+
+from strategies import ctl_formulas, ctlstar_path_formulas, kripke_structures
+
+from repro.logic.ast import Exists, Not
+from repro.logic.parser import parse
+from repro.logic.printer import format_formula
+from repro.logic.syntax import is_state_formula
+from repro.logic.transform import expand, negation_normal_form
+from repro.mc.ctlstar import CTLStarModelChecker
+
+
+@given(formula=ctl_formulas())
+@settings(max_examples=60, deadline=None)
+def test_print_parse_round_trip(formula):
+    assert parse(format_formula(formula)) == formula
+
+
+@given(formula=ctlstar_path_formulas(allow_next=True))
+@settings(max_examples=60, deadline=None)
+def test_print_parse_round_trip_path_formulas(formula):
+    assert parse(format_formula(formula)) == formula
+
+
+@given(formula=ctl_formulas())
+@settings(max_examples=60, deadline=None)
+def test_generated_ctl_formulas_are_state_formulas(formula):
+    assert is_state_formula(formula)
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=40, deadline=None)
+def test_expand_preserves_satisfaction(structure, formula):
+    checker = CTLStarModelChecker(structure)
+    assert checker.satisfaction_set(formula) == checker.satisfaction_set(expand(formula))
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=40, deadline=None)
+def test_nnf_preserves_satisfaction(structure, formula):
+    checker = CTLStarModelChecker(structure)
+    assert checker.satisfaction_set(formula) == checker.satisfaction_set(
+        negation_normal_form(formula)
+    )
+
+
+@given(structure=kripke_structures(), formula=ctlstar_path_formulas(max_depth=2))
+@settings(max_examples=40, deadline=None)
+def test_negation_of_existential_is_complement(structure, formula):
+    checker = CTLStarModelChecker(structure)
+    exists_set = checker.satisfaction_set(Exists(formula))
+    not_exists_not = structure.states - checker.satisfaction_set(Exists(Not(formula)))
+    # E g and ¬E¬g need not coincide, but A g = ¬E¬g must be a subset of E g
+    # on total structures (every state has at least one path).
+    assert not_exists_not <= exists_set

@@ -1,0 +1,78 @@
+"""Property-based tests cross-validating the model checkers against each other."""
+
+from hypothesis import given, settings
+
+from strategies import ctl_formulas, ctlstar_path_formulas, kripke_structures
+
+from repro.logic.ast import Exists, Finally, ForAll, Globally, Not, Until
+from repro.mc.ctl import CTLModelChecker
+from repro.mc.ctlstar import CTLStarModelChecker
+from repro.mc.ltl import existential_states
+from repro.mc.oracle import simple_lasso_exists
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=50, deadline=None)
+def test_ctl_and_ctlstar_checkers_agree_on_ctl(structure, formula):
+    ctl = CTLModelChecker(structure)
+    star = CTLStarModelChecker(structure, use_ctl_fast_path=False)
+    assert ctl.satisfaction_set(formula) == star.satisfaction_set(formula)
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=40, deadline=None)
+def test_ctl_negation_is_set_complement(structure, formula):
+    checker = CTLModelChecker(structure)
+    assert checker.satisfaction_set(Not(formula)) == structure.states - checker.satisfaction_set(
+        formula
+    )
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=1))
+@settings(max_examples=40, deadline=None)
+def test_ctl_dualities(structure, formula):
+    checker = CTLModelChecker(structure)
+    states = structure.states
+    assert checker.satisfaction_set(ForAll(Globally(formula))) == states - checker.satisfaction_set(
+        Exists(Finally(Not(formula)))
+    )
+    assert checker.satisfaction_set(ForAll(Finally(formula))) == states - checker.satisfaction_set(
+        Exists(Globally(Not(formula)))
+    )
+
+
+@given(structure=kripke_structures(), formula=ctlstar_path_formulas(max_depth=2))
+@settings(max_examples=40, deadline=None)
+def test_ef_of_path_witnesses_imply_until_form(structure, formula):
+    # E F g  ≡  E (true U g) for the LTL core.
+    from repro.logic.ast import TrueLiteral
+
+    direct = existential_states(structure, Finally(formula))
+    via_until = existential_states(structure, Until(TrueLiteral(), formula))
+    assert direct == via_until
+
+
+@given(structure=kripke_structures(max_states=4), formula=ctlstar_path_formulas(max_depth=2))
+@settings(max_examples=40, deadline=None)
+def test_simple_lasso_witness_implies_existential(structure, formula):
+    exists = existential_states(structure, formula)
+    for state in structure.states:
+        if simple_lasso_exists(structure, state, formula):
+            assert state in exists
+
+
+@given(structure=kripke_structures(max_states=4), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=30, deadline=None)
+def test_ctl_satisfaction_stable_under_reachable_restriction(structure, formula):
+    from repro.kripke.reachable import reachable_states, restrict_to_reachable
+
+    checker = CTLModelChecker(structure)
+    restricted = restrict_to_reachable(structure)
+    restricted_checker = CTLModelChecker(restricted)
+    reachable = reachable_states(structure)
+    # CTL truth only depends on the reachable part of the structure *from the
+    # initial state*; the two checkers must agree there.
+    assert (structure.initial_state in checker.satisfaction_set(formula)) == (
+        restricted.initial_state in restricted_checker.satisfaction_set(formula)
+    )
+    assert reachable == restricted.states

@@ -1,0 +1,115 @@
+"""Property-based tests for the token ring and the ICTL* layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.ast import IndexExists, IndexForall, Not
+from repro.logic.builders import AF, AG, EF, iatom, implies, index_exists, index_forall
+from repro.logic.transform import instantiate_quantifiers, substitute_index
+from repro.mc.indexed import ICTLStarModelChecker
+from repro.systems.token_ring import (
+    RingState,
+    build_token_ring,
+    initial_state,
+    partition_invariant_holds,
+    rank,
+    ring_successors,
+    state_label,
+)
+
+_RING_CACHE = {}
+
+
+def _ring(size):
+    if size not in _RING_CACHE:
+        _RING_CACHE[size] = build_token_ring(size)
+    return _RING_CACHE[size]
+
+
+@given(size=st.integers(min_value=1, max_value=5), steps=st.integers(min_value=0, max_value=40), seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_random_walks_preserve_the_partition_invariant(size, steps, seed):
+    import random
+
+    rng = random.Random(seed)
+    state = initial_state(size)
+    indices = set(range(1, size + 1))
+    for _ in range(steps):
+        union = state.delayed | state.neutral | state.token_neutral | state.critical
+        assert union == indices
+        assert not state.other
+        assert len(state.token_neutral | state.critical) == 1
+        successors = ring_successors(state, size)
+        assert successors, "reachable ring states always have a successor"
+        state = rng.choice(successors)
+
+
+@given(size=st.integers(min_value=2, max_value=4))
+@settings(max_examples=6, deadline=None)
+def test_every_reachable_state_has_consistent_labels(size):
+    structure = _ring(size)
+    for state in structure.states:
+        label = state_label(state)
+        assert label == structure.label(state)
+        # t_i is carried exactly by the token holder.
+        holders = {prop.index for prop in label if prop.name == "t"}
+        assert holders == {state.token_holder()}
+
+
+@given(size=st.integers(min_value=2, max_value=4))
+@settings(max_examples=6, deadline=None)
+def test_partition_invariant_holds_for_built_rings(size):
+    assert partition_invariant_holds(_ring(size))
+
+
+@given(size=st.integers(min_value=2, max_value=4), index=st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_ranks_are_nonnegative_and_bounded(size, index):
+    if index > size:
+        return
+    structure = _ring(size)
+    for state in structure.states:
+        value = rank(state, index, size)
+        assert value >= 0
+        # A very generous bound: every idle run is shorter than 3 · r.
+        assert value <= 3 * size
+
+
+@given(size=st.integers(min_value=2, max_value=3), value=st.integers(min_value=1, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_index_exists_is_disjunction_of_instances(size, value):
+    if value > size:
+        return
+    structure = _ring(size)
+    checker = ICTLStarModelChecker(structure, enforce_restrictions=False)
+    body = EF(iatom("c", "i"))
+    quantified = index_exists("i", body)
+    instantiated = instantiate_quantifiers(quantified, structure.index_values)
+    assert checker.satisfaction_set(quantified) == checker.satisfaction_set(instantiated)
+    single = substitute_index(body, "i", value)
+    assert checker.satisfaction_set(single) <= checker.satisfaction_set(quantified)
+
+
+@given(size=st.integers(min_value=2, max_value=3))
+@settings(max_examples=6, deadline=None)
+def test_index_forall_dual_of_index_exists(size):
+    structure = _ring(size)
+    checker = ICTLStarModelChecker(structure, enforce_restrictions=False)
+    body = AG(implies(iatom("d", "i"), AF(iatom("c", "i"))))
+    forall = index_forall("i", body)
+    dual = Not(IndexExists("i", Not(body)))
+    assert checker.satisfaction_set(forall) == checker.satisfaction_set(dual)
+
+
+@given(size=st.integers(min_value=1, max_value=4), steps=st.integers(min_value=1, max_value=30), seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_successor_states_differ_from_their_source(size, steps, seed):
+    import random
+
+    rng = random.Random(seed)
+    state = initial_state(size)
+    for _ in range(steps):
+        successors = ring_successors(state, size)
+        assert all(isinstance(successor, RingState) for successor in successors)
+        assert all(successor != state for successor in successors)
+        state = rng.choice(successors)

@@ -1,0 +1,189 @@
+"""Unit tests for the correspondence decision algorithm and the Lemma 1 block machinery."""
+
+import pytest
+
+from repro.errors import CorrespondenceError
+from repro.kripke.structure import KripkeStructure
+from repro.correspondence.blocks import BlockMatching, blocks_correspond, corresponding_path
+from repro.correspondence.check import find_correspondence, minimal_degrees, structures_correspond
+from repro.correspondence.definition import is_correspondence
+from repro.correspondence.relation import CorrespondenceRelation
+from repro.systems import figures
+
+
+def stutter_pair():
+    """A one-step toggle vs. a version that stutters the p phase."""
+    left = KripkeStructure(
+        states=["L0", "L1"],
+        transitions=[("L0", "L1"), ("L1", "L0")],
+        labeling={"L0": {"p"}, "L1": {"q"}},
+        initial_state="L0",
+    )
+    right = KripkeStructure(
+        states=["R0", "R1", "R2"],
+        transitions=[("R0", "R1"), ("R1", "R2"), ("R2", "R0")],
+        labeling={"R0": {"p"}, "R1": {"p"}, "R2": {"q"}},
+        initial_state="R0",
+    )
+    return left, right
+
+
+def test_identical_structures_correspond_with_identity_degree_zero(toggle_structure):
+    relation = find_correspondence(toggle_structure, toggle_structure)
+    assert relation is not None
+    for state in toggle_structure.states:
+        assert relation.degree_or_none(state, state) == 0
+
+
+def test_stuttering_structures_correspond():
+    left, right = stutter_pair()
+    relation = find_correspondence(left, right)
+    assert relation is not None
+    assert relation.corresponds("L0", "R0")
+    assert relation.corresponds("L0", "R1")
+    assert relation.corresponds("L1", "R2")
+    # The state one step from the label change matches exactly.
+    assert relation.degree("L0", "R1") == 0
+    # The earlier stuttering state needs one transition before an exact match.
+    assert relation.degree("L0", "R0") == 1
+    # The result satisfies the definition.
+    assert is_correspondence(left, right, relation)
+
+
+def test_fig31_degrees_match_the_paper(fig31_pair):
+    left, right = fig31_pair
+    relation = find_correspondence(left, right)
+    assert relation is not None
+    assert relation.degree("s1", "s1'''") == 0
+    assert relation.degree("s1", "s1'") == 2
+    assert relation.degree("s1", "s1''") == 1
+    assert relation.degree("s2", "s2'") == 0
+    assert is_correspondence(left, right, relation)
+
+
+def test_different_labels_do_not_correspond(toggle_structure):
+    other = KripkeStructure(
+        states=["x"],
+        transitions=[("x", "x")],
+        labeling={"x": {"r"}},
+        initial_state="x",
+    )
+    assert find_correspondence(toggle_structure, other) is None
+    assert not structures_correspond(toggle_structure, other)
+
+
+def test_divergence_blocks_correspondence():
+    # Left alternates p/q; right can stay in p forever (self-loop), so the
+    # structures must not correspond: right has a path on which q never holds.
+    left, right = stutter_pair()
+    diverging = KripkeStructure(
+        states=["R0", "R1"],
+        transitions=[("R0", "R0"), ("R0", "R1"), ("R1", "R0")],
+        labeling={"R0": {"p"}, "R1": {"q"}},
+        initial_state="R0",
+    )
+    assert find_correspondence(left, diverging) is None
+
+
+def test_correspondence_is_symmetric_between_the_two_roles(fig31_pair):
+    left, right = fig31_pair
+    forward = find_correspondence(left, right)
+    backward = find_correspondence(right, left)
+    assert forward is not None and backward is not None
+    assert {(a, b) for a, b in forward.pairs()} == {(b, a) for a, b in backward.pairs()}
+
+
+def test_require_flags_control_the_verdict(ring2, ring3):
+    from repro.kripke.reduction import reduce_to_index
+
+    left = reduce_to_index(ring2, 1)
+    right = reduce_to_index(ring3, 1)
+    # M_2|1 and M_3|1 do not correspond (see the Section 5 deviation), so the
+    # strict call returns None ...
+    assert find_correspondence(left, right) is None
+    # ... but with the global requirements relaxed the (possibly empty)
+    # fixpoint relation itself is returned instead of None.
+    partial = find_correspondence(left, right, require_initial=False, require_total=False)
+    assert partial is not None
+    assert not partial.corresponds(left.initial_state, right.initial_state)
+
+
+def test_minimal_degrees_relative_to_candidate_set():
+    left, right = stutter_pair()
+    candidates = {
+        ("L0", "R0"),
+        ("L0", "R1"),
+        ("L1", "R2"),
+    }
+    degrees = minimal_degrees(left, right, candidates)
+    assert degrees[("L0", "R1")] == 0
+    assert degrees[("L0", "R0")] == 1
+    assert degrees[("L1", "R2")] == 0
+
+
+def test_max_degree_bound_can_exclude_pairs():
+    left, right = figures.fig31_structures()
+    relation = find_correspondence(left, right, max_degree=0, require_total=False, require_initial=False)
+    # With degree capped at 0 only exactly-matching pairs remain.
+    assert relation is not None
+    assert all(degree == 0 for _, degree in relation.items())
+    assert not relation.corresponds("s1", "s1'")
+
+
+# ---------------------------------------------------------------------------
+# Lemma 1 block matching
+# ---------------------------------------------------------------------------
+
+
+def test_corresponding_path_reproduces_stuttering_blocks():
+    left, right = stutter_pair()
+    relation = find_correspondence(left, right)
+    path = ["L0", "L1", "L0", "L1"]
+    matching = corresponding_path(left, right, relation, path)
+    assert matching.left_path == tuple(path)
+    assert blocks_correspond(relation, matching)
+    # The right path is a genuine path of the right structure.
+    from repro.kripke.paths import is_path
+
+    assert is_path(right, list(matching.right_path))
+    assert matching.right_path[0] == "R0"
+
+
+def test_corresponding_path_from_the_other_side(fig31_pair):
+    left, right = fig31_pair
+    relation = find_correspondence(left, right)
+    # Match a right-structure path against the left structure by swapping roles.
+    backward = find_correspondence(right, left)
+    path = ["s1'", "s1''", "s1'''", "s2'", "s1'"]
+    matching = corresponding_path(right, left, backward, path)
+    assert blocks_correspond(backward, matching)
+    assert matching.left_path == tuple(path)
+
+
+def test_corresponding_path_rejects_unrelated_start(fig31_pair):
+    left, right = fig31_pair
+    relation = find_correspondence(left, right)
+    with pytest.raises(CorrespondenceError):
+        corresponding_path(left, right, relation, ["s2"], right_start="s1'")
+    with pytest.raises(CorrespondenceError):
+        corresponding_path(left, right, relation, [])
+
+
+def test_corresponding_path_detects_bogus_relations():
+    left, right = stutter_pair()
+    bogus = CorrespondenceRelation({("L0", "R0"): 0, ("L1", "R2"): 0})
+    with pytest.raises(CorrespondenceError):
+        corresponding_path(left, right, bogus, ["L0", "L1"])
+
+
+def test_block_matching_properties():
+    matching = BlockMatching(left_blocks=(("a",), ("b",)), right_blocks=(("x", "y"), ("z",)))
+    assert matching.left_path == ("a", "b")
+    assert matching.right_path == ("x", "y", "z")
+    relation = CorrespondenceRelation(
+        {("a", "x"): 1, ("a", "y"): 0, ("b", "z"): 0}
+    )
+    assert blocks_correspond(relation, matching)
+    assert not blocks_correspond(CorrespondenceRelation({("a", "x"): 0}), matching)
+    mismatched = BlockMatching(left_blocks=(("a",),), right_blocks=(("x",), ("z",)))
+    assert not blocks_correspond(relation, mismatched)

@@ -1,0 +1,146 @@
+"""Unit tests for the indexed correspondence and the parameterized-verification workflow."""
+
+import pytest
+
+from repro.errors import CorrespondenceError, RestrictionError
+from repro.correspondence.indexed import (
+    IndexRelation,
+    ParameterizedVerifier,
+    indexed_correspondence,
+    verify_index_relation,
+)
+from repro.systems import round_robin, token_ring
+
+
+# ---------------------------------------------------------------------------
+# IndexRelation
+# ---------------------------------------------------------------------------
+
+
+def test_index_relation_from_pairs_and_iteration():
+    relation = IndexRelation.from_pairs([(1, 1), (2, 3), (2, 2)])
+    assert len(relation) == 3
+    assert list(relation) == [(1, 1), (2, 2), (2, 3)]
+
+
+def test_index_relation_totality():
+    relation = IndexRelation.from_pairs([(1, 1), (2, 2), (2, 3)])
+    assert relation.is_total_for([1, 2], [1, 2, 3])
+    assert not relation.is_total_for([1, 2, 3], [1, 2, 3])
+    assert not relation.is_total_for([1, 2], [1, 2, 3, 4])
+
+
+def test_pivot_relation_matches_the_paper_pattern():
+    relation = IndexRelation.pivot([1, 2], [1, 2, 3, 4], pivot=1)
+    assert (1, 1) in relation.pairs
+    assert (2, 2) in relation.pairs and (2, 4) in relation.pairs
+    assert (1, 2) not in relation.pairs
+    assert relation.is_total_for([1, 2], [1, 2, 3, 4])
+
+
+def test_pivot_relation_validates_arguments():
+    with pytest.raises(CorrespondenceError):
+        IndexRelation.pivot([2, 3], [1, 2, 3], pivot=1)
+    with pytest.raises(CorrespondenceError):
+        IndexRelation.pivot([1], [1, 2], pivot=1)
+
+
+def test_section5_index_relation_shape():
+    relation = token_ring.section5_index_relation(5)
+    assert (1, 1) in relation.pairs
+    assert all((2, value) in relation.pairs for value in range(2, 6))
+    assert relation.is_total_for([1, 2], range(1, 6))
+
+
+def test_corrected_index_relation_shape():
+    relation = token_ring.corrected_index_relation(3, 5)
+    assert (1, 1) in relation.pairs
+    assert (2, 5) in relation.pairs and (3, 2) in relation.pairs
+    assert (1, 2) not in relation.pairs
+    assert relation.is_total_for(range(1, 4), range(1, 6))
+
+
+# ---------------------------------------------------------------------------
+# Indexed correspondence
+# ---------------------------------------------------------------------------
+
+
+def test_round_robin_reductions_correspond(round_robin2, round_robin4):
+    relation = indexed_correspondence(round_robin2, round_robin4, 1, 1)
+    assert relation is not None
+    relation22 = indexed_correspondence(round_robin2, round_robin4, 2, 3)
+    assert relation22 is not None
+
+
+def test_ring2_does_not_correspond_to_ring3(ring2, ring3):
+    assert indexed_correspondence(ring2, ring3, 1, 1) is None
+
+
+def test_ring3_corresponds_to_ring4(ring3, ring4):
+    assert indexed_correspondence(ring3, ring4, 1, 1) is not None
+    assert indexed_correspondence(ring3, ring4, 2, 3) is not None
+
+
+def test_verify_index_relation_reports_per_pair(ring2, ring3):
+    report = verify_index_relation(ring2, ring3, token_ring.section5_index_relation(3))
+    assert not report.holds
+    assert report.total
+    assert (1, 1) in report.failing_pairs
+
+
+def test_verify_index_relation_success(round_robin2, round_robin4):
+    report = verify_index_relation(
+        round_robin2, round_robin4, round_robin.round_robin_index_relation(4)
+    )
+    assert report.holds
+    assert report.failing_pairs == []
+    assert all(relation is not None for relation in report.relations.values())
+
+
+def test_report_requires_totality(round_robin2, round_robin4):
+    partial = IndexRelation.from_pairs([(1, 1)])
+    report = verify_index_relation(round_robin2, round_robin4, partial)
+    assert not report.total
+    assert not report.holds
+
+
+# ---------------------------------------------------------------------------
+# ParameterizedVerifier
+# ---------------------------------------------------------------------------
+
+
+def test_verifier_transfers_verdicts(round_robin2, round_robin4):
+    verifier = ParameterizedVerifier(
+        round_robin2, round_robin4, round_robin.round_robin_index_relation(4)
+    )
+    results = verifier.check_all(round_robin.round_robin_properties().values())
+    assert all(result.holds for result in results)
+    assert all(result.transferred_to == round_robin4.name for result in results)
+    assert bool(results[0]) is True
+
+
+def test_verifier_memoises_the_report(round_robin2, round_robin4):
+    verifier = ParameterizedVerifier(
+        round_robin2, round_robin4, round_robin.round_robin_index_relation(4)
+    )
+    assert verifier.report is None
+    first = verifier.establish()
+    assert verifier.establish() is first
+    assert verifier.report is first
+    assert verifier.small is round_robin2 and verifier.large is round_robin4
+
+
+def test_verifier_refuses_when_correspondence_fails(ring2, ring3):
+    verifier = ParameterizedVerifier(ring2, ring3, token_ring.section5_index_relation(3))
+    with pytest.raises(CorrespondenceError):
+        verifier.check(token_ring.property_eventual_entry())
+
+
+def test_verifier_rejects_unrestricted_formulas(round_robin2, round_robin4):
+    from repro.systems import figures
+
+    verifier = ParameterizedVerifier(
+        round_robin2, round_robin4, round_robin.round_robin_index_relation(4)
+    )
+    with pytest.raises(RestrictionError):
+        verifier.check(figures.fig41_counting_formula(2))

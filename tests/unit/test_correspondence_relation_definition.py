@@ -1,0 +1,189 @@
+"""Unit tests for the correspondence relation datatype and the definition checker."""
+
+import pytest
+
+from repro.errors import CorrespondenceError
+from repro.kripke.structure import KripkeStructure
+from repro.correspondence.definition import (
+    assert_correspondence,
+    correspondence_violations,
+    is_correspondence,
+    pair_clause_violations,
+)
+from repro.correspondence.relation import CorrespondenceRelation
+
+
+# ---------------------------------------------------------------------------
+# CorrespondenceRelation
+# ---------------------------------------------------------------------------
+
+
+def test_relation_basic_queries():
+    relation = CorrespondenceRelation({("a", "x"): 0, ("b", "y"): 2})
+    assert relation.corresponds("a", "x")
+    assert not relation.corresponds("a", "y")
+    assert relation.degree("b", "y") == 2
+    assert relation.degree_or_none("a", "y") is None
+    assert set(relation.pairs()) == {("a", "x"), ("b", "y")}
+    assert relation.left_states == frozenset({"a", "b"})
+    assert relation.right_states == frozenset({"x", "y"})
+    assert relation.max_degree == 2
+    assert len(relation) == 2
+    assert ("a", "x") in relation
+    assert dict(relation.items())[("a", "x")] == 0
+
+
+def test_relation_partners():
+    relation = CorrespondenceRelation({("a", "x"): 0, ("a", "y"): 1, ("b", "y"): 0})
+    assert relation.partners_of_left("a") == frozenset({"x", "y"})
+    assert relation.partners_of_right("y") == frozenset({"a", "b"})
+
+
+def test_relation_totality_check():
+    relation = CorrespondenceRelation({("a", "x"): 0})
+    assert relation.is_total_for(["a"], ["x"])
+    assert not relation.is_total_for(["a", "b"], ["x"])
+    assert not relation.is_total_for(["a"], ["x", "y"])
+
+
+def test_relation_degree_missing_pair_raises():
+    relation = CorrespondenceRelation({("a", "x"): 0})
+    with pytest.raises(CorrespondenceError):
+        relation.degree("a", "zzz")
+
+
+def test_relation_rejects_negative_degrees():
+    with pytest.raises(CorrespondenceError):
+        CorrespondenceRelation({("a", "x"): -1})
+
+
+def test_relation_from_pairs_and_equality():
+    first = CorrespondenceRelation.from_pairs([("a", "x"), ("b", "y")], degree=1)
+    second = CorrespondenceRelation({("a", "x"): 1, ("b", "y"): 1})
+    assert first == second
+    assert first != CorrespondenceRelation({})
+    assert first.as_dict() == {("a", "x"): 1, ("b", "y"): 1}
+
+
+def test_empty_relation_max_degree_is_zero():
+    assert CorrespondenceRelation({}).max_degree == 0
+
+
+# ---------------------------------------------------------------------------
+# The definition checker
+# ---------------------------------------------------------------------------
+
+
+def identical_pair():
+    structure = KripkeStructure(
+        states=["a", "b"],
+        transitions=[("a", "b"), ("b", "a")],
+        labeling={"a": {"p"}, "b": {"q"}},
+        initial_state="a",
+    )
+    other = KripkeStructure(
+        states=["a2", "b2"],
+        transitions=[("a2", "b2"), ("b2", "a2")],
+        labeling={"a2": {"p"}, "b2": {"q"}},
+        initial_state="a2",
+    )
+    return structure, other
+
+
+def test_isomorphic_structures_identity_relation_is_correspondence():
+    left, right = identical_pair()
+    relation = CorrespondenceRelation({("a", "a2"): 0, ("b", "b2"): 0})
+    assert is_correspondence(left, right, relation)
+    assert_correspondence(left, right, relation)
+    assert correspondence_violations(left, right, relation) == []
+
+
+def test_label_mismatch_is_reported():
+    left, right = identical_pair()
+    relation = CorrespondenceRelation({("a", "b2"): 0, ("b", "a2"): 0, ("a", "a2"): 0, ("b", "b2"): 0})
+    violations = correspondence_violations(left, right, relation)
+    assert any("labels differ" in violation for violation in violations)
+    assert not is_correspondence(left, right, relation)
+
+
+def test_missing_initial_pair_is_reported():
+    left, right = identical_pair()
+    relation = CorrespondenceRelation({("b", "b2"): 0})
+    violations = correspondence_violations(left, right, relation, require_total=False)
+    assert any("initial states" in violation for violation in violations)
+
+
+def test_totality_violations_reported_and_optional():
+    left, right = identical_pair()
+    relation = CorrespondenceRelation({("a", "a2"): 0})
+    violations = correspondence_violations(left, right, relation)
+    assert any("totality" in violation for violation in violations)
+    # Clause checks still pass for the single pair when totality is waived...
+    partial = correspondence_violations(left, right, relation, require_total=False)
+    # ...but the pair itself must still match moves: ("a","a2") needs its
+    # successors ("b","b2") to be related, which they are not.
+    assert any("clause" in violation for violation in partial)
+
+
+def test_degree_zero_requires_exact_match():
+    # Left stutters once on p before switching to q; right switches immediately.
+    left = KripkeStructure(
+        states=["p0", "p1", "q0"],
+        transitions=[("p0", "p1"), ("p1", "q0"), ("q0", "p0")],
+        labeling={"p0": {"p"}, "p1": {"p"}, "q0": {"q"}},
+        initial_state="p0",
+    )
+    right = KripkeStructure(
+        states=["P", "Q"],
+        transitions=[("P", "Q"), ("Q", "P")],
+        labeling={"P": {"p"}, "Q": {"q"}},
+        initial_state="P",
+    )
+    # Degree 0 everywhere is wrong: p0 cannot exactly match P (its move to p1
+    # has no matching move of P into a p-labelled partner with p1).
+    zero = CorrespondenceRelation(
+        {("p0", "P"): 0, ("p1", "P"): 0, ("q0", "Q"): 0}
+    )
+    assert not is_correspondence(left, right, zero)
+    # Giving the stuttering pair degree 1 fixes it.
+    fixed = CorrespondenceRelation(
+        {("p0", "P"): 1, ("p1", "P"): 0, ("q0", "Q"): 0}
+    )
+    assert is_correspondence(left, right, fixed)
+
+
+def test_pair_clause_violations_for_single_pair():
+    left, right = identical_pair()
+    relation = CorrespondenceRelation({("a", "a2"): 0, ("b", "b2"): 0})
+    assert pair_clause_violations(left, right, relation, "a", "a2") == []
+    broken = CorrespondenceRelation({("a", "a2"): 0})
+    assert pair_clause_violations(left, right, broken, "a", "a2")
+
+
+def test_assert_correspondence_raises_with_message():
+    left, right = identical_pair()
+    relation = CorrespondenceRelation({("a", "a2"): 0})
+    with pytest.raises(CorrespondenceError):
+        assert_correspondence(left, right, relation)
+
+
+def test_custom_label_key_is_respected():
+    left, right = identical_pair()
+    relation = CorrespondenceRelation(
+        {("a", "a2"): 0, ("b", "b2"): 0, ("a", "b2"): 0, ("b", "a2"): 0}
+    )
+    # With a label projection that ignores labels entirely, the cross pairs
+    # stop being label violations (and the clause conditions become easier).
+    violations = correspondence_violations(
+        left, right, relation, label_key=lambda structure, state: None
+    )
+    assert not any("labels differ" in violation for violation in violations)
+
+
+def test_max_reported_truncates_output():
+    left, right = identical_pair()
+    relation = CorrespondenceRelation(
+        {("a", "b2"): 0, ("b", "a2"): 0, ("a", "a2"): 0, ("b", "b2"): 0}
+    )
+    violations = correspondence_violations(left, right, relation, max_reported=1)
+    assert any("suppressed" in violation for violation in violations)

@@ -1,0 +1,191 @@
+"""Unit tests for :class:`KripkeStructure` and :class:`IndexedKripkeStructure`."""
+
+import pytest
+
+from repro.errors import StructureError
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.structure import IndexedProp, KripkeStructure
+from repro.logic.ast import Atom, ExactlyOne, IndexedAtom
+
+
+def make_toggle():
+    return KripkeStructure(
+        states=["on", "off"],
+        transitions=[("on", "off"), ("off", "on")],
+        labeling={"on": {"p"}, "off": set()},
+        initial_state="on",
+    )
+
+
+def test_basic_accessors():
+    structure = make_toggle()
+    assert structure.num_states == 2
+    assert structure.num_transitions == 2
+    assert structure.initial_state == "on"
+    assert structure.successors("on") == frozenset({"off"})
+    assert structure.predecessors("on") == frozenset({"off"})
+    assert structure.label("on") == frozenset({"p"})
+    assert structure.label("off") == frozenset()
+    assert "on" in structure and "nowhere" not in structure
+
+
+def test_transitions_accept_mapping_form():
+    structure = KripkeStructure(
+        states=[0, 1],
+        transitions={0: [1], 1: [0, 1]},
+        labeling={0: {"a"}},
+        initial_state=0,
+    )
+    assert structure.successors(1) == frozenset({0, 1})
+    assert structure.num_transitions == 3
+
+
+def test_unlabelled_states_get_empty_labels():
+    structure = KripkeStructure([1, 2], [(1, 2), (2, 1)], {}, 1)
+    assert structure.label(2) == frozenset()
+
+
+def test_atomic_propositions_collects_plain_names():
+    structure = make_toggle()
+    assert structure.atomic_propositions == frozenset({"p"})
+
+
+def test_constructor_rejects_bad_initial_state():
+    with pytest.raises(StructureError):
+        KripkeStructure(["a"], [("a", "a")], {}, "missing")
+
+
+def test_constructor_rejects_empty_state_set():
+    with pytest.raises(StructureError):
+        KripkeStructure([], [], {}, "a")
+
+
+def test_constructor_rejects_unknown_transition_endpoints():
+    with pytest.raises(StructureError):
+        KripkeStructure(["a"], [("a", "b")], {}, "a")
+    with pytest.raises(StructureError):
+        KripkeStructure(["a"], [("b", "a")], {}, "a")
+
+
+def test_constructor_rejects_unknown_labelled_state():
+    with pytest.raises(StructureError):
+        KripkeStructure(["a"], [("a", "a")], {"b": {"p"}}, "a")
+
+
+def test_successors_of_unknown_state_raise():
+    structure = make_toggle()
+    with pytest.raises(StructureError):
+        structure.successors("missing")
+    with pytest.raises(StructureError):
+        structure.label("missing")
+
+
+def test_is_total_detects_deadlocks():
+    total = make_toggle()
+    assert total.is_total()
+    partial = KripkeStructure(["a", "b"], [("a", "b")], {}, "a")
+    assert not partial.is_total()
+
+
+def test_transition_pairs_iterates_every_edge():
+    structure = make_toggle()
+    assert sorted(structure.transition_pairs()) == [("off", "on"), ("on", "off")]
+
+
+def test_atom_holds_for_plain_and_indexed_atoms():
+    structure = KripkeStructure(
+        states=["s"],
+        transitions=[("s", "s")],
+        labeling={"s": {"p", IndexedProp("c", 2)}},
+        initial_state="s",
+    )
+    assert structure.atom_holds("s", Atom("p"))
+    assert not structure.atom_holds("s", Atom("q"))
+    assert structure.atom_holds("s", IndexedAtom("c", 2))
+    assert not structure.atom_holds("s", IndexedAtom("c", 1))
+
+
+def test_atom_holds_rejects_exactly_one_on_plain_structure():
+    structure = make_toggle()
+    with pytest.raises(StructureError):
+        structure.atom_holds("on", ExactlyOne("t"))
+
+
+def test_atom_holds_rejects_non_atomic_formula():
+    structure = make_toggle()
+    with pytest.raises(StructureError):
+        structure.atom_holds("on", Atom("p") & Atom("q"))
+
+
+def test_with_labels_relabels_without_touching_transitions():
+    structure = make_toggle()
+    relabelled = structure.with_labels(lambda state, label: {"x"} if state == "on" else label)
+    assert relabelled.label("on") == frozenset({"x"})
+    assert relabelled.successors("on") == frozenset({"off"})
+
+
+def test_to_dict_is_json_serialisable():
+    import json
+
+    structure = make_toggle()
+    text = json.dumps(structure.to_dict())
+    assert "on" in text
+
+
+def test_indexed_structure_requires_index_set():
+    with pytest.raises(StructureError):
+        IndexedKripkeStructure(["s"], [("s", "s")], {}, "s", index_values=[])
+
+
+def test_indexed_structure_checks_label_indices():
+    with pytest.raises(StructureError):
+        IndexedKripkeStructure(
+            ["s"],
+            [("s", "s")],
+            {"s": {IndexedProp("c", 9)}},
+            "s",
+            index_values=[1, 2],
+        )
+
+
+def test_indexed_structure_checks_declared_prop_names():
+    with pytest.raises(StructureError):
+        IndexedKripkeStructure(
+            ["s"],
+            [("s", "s")],
+            {"s": {IndexedProp("c", 1)}},
+            "s",
+            index_values=[1],
+            indexed_prop_names={"d"},
+        )
+
+
+def test_indexed_structure_exactly_one_semantics():
+    structure = IndexedKripkeStructure(
+        states=["one", "two", "zero"],
+        transitions=[("one", "two"), ("two", "zero"), ("zero", "one")],
+        labeling={
+            "one": {IndexedProp("t", 1)},
+            "two": {IndexedProp("t", 1), IndexedProp("t", 2)},
+            "zero": set(),
+        },
+        initial_state="one",
+        index_values=[1, 2],
+    )
+    assert structure.atom_holds("one", ExactlyOne("t"))
+    assert not structure.atom_holds("two", ExactlyOne("t"))
+    assert not structure.atom_holds("zero", ExactlyOne("t"))
+    assert structure.count_index_values("two", "t") == 2
+
+
+def test_indexed_structure_infers_prop_names():
+    structure = IndexedKripkeStructure(
+        ["s"],
+        [("s", "s")],
+        {"s": {IndexedProp("c", 1), "plain"}},
+        "s",
+        index_values=[1],
+    )
+    assert structure.indexed_prop_names == frozenset({"c"})
+    assert structure.atomic_propositions == frozenset({"plain"})
+    assert structure.indexed_propositions == frozenset({IndexedProp("c", 1)})

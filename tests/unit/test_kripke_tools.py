@@ -1,0 +1,227 @@
+"""Unit tests for builders, validation, reachability, reduction, products, paths, export, stats."""
+
+import random
+
+import pytest
+
+from repro.errors import CompositionError, StructureError, ValidationError
+from repro.kripke.builders import IndexedKripkeBuilder, KripkeBuilder
+from repro.kripke.export import to_dot, to_json
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.paths import Lasso, enumerate_finite_paths, enumerate_lassos, is_path, random_walk
+from repro.kripke.product import interleaved_product, synchronous_product
+from repro.kripke.reachable import reachable_states, restrict_to_reachable
+from repro.kripke.reduction import CANONICAL_INDEX, reduce_to_index
+from repro.kripke.stats import structure_stats
+from repro.kripke.structure import IndexedProp, KripkeStructure
+from repro.kripke.validation import assert_total, validate, validation_issues
+
+
+def test_builder_accumulates_states_and_transitions():
+    builder = KripkeBuilder(name="built")
+    builder.add_state("a", {"p"})
+    builder.add_state("b")
+    builder.add_transition("a", "b")
+    builder.add_transition("b", "a")
+    builder.set_initial("a")
+    structure = builder.build()
+    assert structure.num_states == 2
+    assert structure.label("a") == frozenset({"p"})
+    assert structure.name == "built"
+    assert builder.has_state("a") and not builder.has_state("zzz")
+
+
+def test_builder_merges_labels_on_readd():
+    builder = KripkeBuilder()
+    builder.add_state("a", {"p"})
+    builder.add_state("a", {"q"})
+    builder.add_transition("a", "a")
+    assert builder.build(initial_state="a").label("a") == frozenset({"p", "q"})
+
+
+def test_builder_rejects_transitions_between_unknown_states():
+    builder = KripkeBuilder()
+    builder.add_state("a")
+    with pytest.raises(StructureError):
+        builder.add_transition("a", "b")
+    with pytest.raises(StructureError):
+        builder.add_transition("b", "a")
+
+
+def test_builder_requires_initial_state():
+    builder = KripkeBuilder()
+    builder.add_state("a")
+    builder.add_transition("a", "a")
+    with pytest.raises(StructureError):
+        builder.build()
+    with pytest.raises(StructureError):
+        builder.set_initial("zzz")
+
+
+def test_indexed_builder_builds_indexed_structure():
+    builder = IndexedKripkeBuilder(index_values=[1, 2])
+    builder.add_state("s", {IndexedProp("t", 1)})
+    builder.add_transition("s", "s")
+    structure = builder.build(initial_state="s")
+    assert isinstance(structure, IndexedKripkeStructure)
+    assert structure.index_values == frozenset({1, 2})
+
+
+def test_validation_reports_deadlocks():
+    partial = KripkeStructure(["a", "b"], [("a", "b")], {}, "a")
+    issues = validation_issues(partial)
+    assert any("no successors" in issue for issue in issues)
+    with pytest.raises(ValidationError):
+        validate(partial)
+    with pytest.raises(ValidationError):
+        assert_total(partial)
+
+
+def test_validation_passes_for_total_structures(toggle_structure):
+    assert validation_issues(toggle_structure) == []
+    validate(toggle_structure)
+    assert_total(toggle_structure)
+
+
+def test_reachable_states_and_restriction():
+    structure = KripkeStructure(
+        states=["a", "b", "junk"],
+        transitions=[("a", "b"), ("b", "a"), ("junk", "a")],
+        labeling={"junk": {"x"}},
+        initial_state="a",
+    )
+    assert reachable_states(structure) == frozenset({"a", "b"})
+    restricted = restrict_to_reachable(structure)
+    assert restricted.states == frozenset({"a", "b"})
+    assert restricted.num_transitions == 2
+    assert restricted.initial_state == "a"
+
+
+def test_restrict_to_reachable_preserves_indexed_class(ring2):
+    restricted = restrict_to_reachable(ring2)
+    assert isinstance(restricted, IndexedKripkeStructure)
+    assert restricted.states == ring2.states
+
+
+def test_reduce_to_index_keeps_only_one_process(ring2):
+    reduced = reduce_to_index(ring2, 1)
+    for state in reduced.states:
+        for element in reduced.label(state):
+            assert isinstance(element, IndexedProp)
+            assert element.index == CANONICAL_INDEX
+    # The transitions and states are untouched.
+    assert reduced.states == ring2.states
+    assert reduced.num_transitions == ring2.num_transitions
+
+
+def test_reduce_to_index_can_keep_original_index(ring2):
+    reduced = reduce_to_index(ring2, 2, canonical_index=None)
+    indices = {
+        element.index
+        for state in reduced.states
+        for element in reduced.label(state)
+        if isinstance(element, IndexedProp)
+    }
+    assert indices == {2}
+
+
+def test_reduce_to_index_rejects_unknown_index(ring2):
+    with pytest.raises(StructureError):
+        reduce_to_index(ring2, 99)
+
+
+def test_interleaved_product_state_count(toggle_structure):
+    product = interleaved_product([toggle_structure, toggle_structure])
+    assert product.num_states == 4
+    assert product.is_total()
+    # Each state has one move per component.
+    assert all(len(product.successors(state)) == 2 for state in product.states)
+
+
+def test_interleaved_product_labels_are_indexed(toggle_structure):
+    product = interleaved_product([toggle_structure, toggle_structure], index_values=[3, 7])
+    assert product.index_values == frozenset({3, 7})
+    initial_label = product.label(product.initial_state)
+    assert IndexedProp("p", 3) in initial_label and IndexedProp("p", 7) in initial_label
+
+
+def test_interleaved_product_rejects_indexed_component_labels(ring2, toggle_structure):
+    with pytest.raises(CompositionError):
+        interleaved_product([ring2, toggle_structure])
+
+
+def test_product_argument_validation(toggle_structure):
+    with pytest.raises(CompositionError):
+        interleaved_product([])
+    with pytest.raises(CompositionError):
+        interleaved_product([toggle_structure], index_values=[1, 2])
+    with pytest.raises(CompositionError):
+        interleaved_product([toggle_structure, toggle_structure], index_values=[1, 1])
+
+
+def test_synchronous_product_moves_all_components(toggle_structure):
+    product = synchronous_product([toggle_structure, toggle_structure])
+    assert product.num_states == 2  # components stay in lock step
+    assert all(len(product.successors(state)) == 1 for state in product.states)
+
+
+def test_is_path_and_enumerate_finite_paths(branching_structure):
+    assert is_path(branching_structure, ["a", "b", "b"])
+    assert not is_path(branching_structure, ["a", "d"])
+    assert not is_path(branching_structure, [])
+    paths = list(enumerate_finite_paths(branching_structure, "a", 3))
+    assert ("a", "b", "b") in paths
+    assert ("a", "c", "d") in paths
+    assert all(len(path) == 3 for path in paths)
+
+
+def test_enumerate_lassos_yields_valid_lassos(branching_structure):
+    lassos = list(enumerate_lassos(branching_structure, "a"))
+    assert lassos
+    for lasso in lassos:
+        carrier = list(lasso.stem) + list(lasso.cycle)
+        assert is_path(branching_structure, carrier)
+        # The cycle closes.
+        assert lasso.cycle[0] in branching_structure.successors(lasso.cycle[-1])
+
+
+def test_lasso_successor_position():
+    lasso = Lasso(stem=("a",), cycle=("b", "c"))
+    assert lasso.first_state == "a"
+    assert lasso.positions() == ("a", "b", "c")
+    assert lasso.successor_position(0) == 1
+    assert lasso.successor_position(2) == 1
+    with pytest.raises(IndexError):
+        lasso.successor_position(3)
+
+
+def test_random_walk_follows_transitions(branching_structure):
+    rng = random.Random(7)
+    walk = random_walk(branching_structure, "a", 10, rng=rng)
+    assert len(walk) == 10
+    assert is_path(branching_structure, walk)
+
+
+def test_random_walk_with_explicit_successors():
+    walk = random_walk(None, 0, 5, successors=lambda n: [n + 1])
+    assert walk == [0, 1, 2, 3, 4]
+    with pytest.raises(StructureError):
+        random_walk(object(), 0, 5)
+
+
+def test_export_dot_and_json(toggle_structure):
+    dot = to_dot(toggle_structure)
+    assert dot.startswith("digraph")
+    assert "->" in dot
+    text = to_json(toggle_structure)
+    assert '"initial"' in text
+
+
+def test_structure_stats(ring2):
+    stats = structure_stats(ring2)
+    assert stats.num_states == 8
+    assert stats.num_transitions == 14
+    assert stats.is_total
+    assert stats.num_index_values == 2
+    assert stats.average_out_degree == pytest.approx(14 / 8)
+    assert stats.as_dict()["num_states"] == 8

@@ -1,0 +1,116 @@
+"""Unit tests for the formula AST (:mod:`repro.logic.ast`)."""
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    Finally,
+    ForAll,
+    Globally,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    TrueLiteral,
+    Until,
+    subformulas,
+    walk,
+)
+
+
+def test_atoms_compare_structurally():
+    assert Atom("p") == Atom("p")
+    assert Atom("p") != Atom("q")
+    assert IndexedAtom("c", "i") == IndexedAtom("c", "i")
+    assert IndexedAtom("c", "i") != IndexedAtom("c", 1)
+
+
+def test_nodes_are_hashable_and_usable_as_dict_keys():
+    table = {Atom("p"): 1, Not(Atom("p")): 2, Until(Atom("p"), Atom("q")): 3}
+    assert table[Atom("p")] == 1
+    assert table[Not(Atom("p"))] == 2
+    assert table[Until(Atom("p"), Atom("q"))] == 3
+
+
+def test_nodes_are_immutable():
+    import dataclasses
+
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        Atom("p").name = "q"
+
+
+def test_children_of_leaf_nodes_is_empty():
+    assert Atom("p").children() == ()
+    assert TrueLiteral().children() == ()
+    assert ExactlyOne("t").children() == ()
+    assert IndexedAtom("c", 3).children() == ()
+
+
+def test_children_preserve_syntactic_order():
+    formula = Until(Atom("p"), Atom("q"))
+    assert formula.children() == (Atom("p"), Atom("q"))
+    formula = Implies(Atom("a"), Atom("b"))
+    assert formula.children() == (Atom("a"), Atom("b"))
+
+
+def test_children_of_quantifiers_skip_the_variable():
+    formula = IndexForall("i", IndexedAtom("c", "i"))
+    assert formula.children() == (IndexedAtom("c", "i"),)
+    formula = IndexExists("j", Not(IndexedAtom("d", "j")))
+    assert formula.children() == (Not(IndexedAtom("d", "j")),)
+
+
+def test_walk_yields_every_node_in_preorder():
+    formula = And(Atom("p"), Or(Atom("q"), Not(Atom("r"))))
+    nodes = list(walk(formula))
+    assert nodes[0] == formula
+    assert Atom("p") in nodes
+    assert Atom("r") in nodes
+    assert Not(Atom("r")) in nodes
+    assert len(nodes) == 6
+
+
+def test_subformulas_children_before_parents():
+    formula = Exists(Until(Atom("p"), And(Atom("q"), Atom("r"))))
+    ordered = subformulas(formula)
+    assert ordered[-1] == formula
+    assert ordered.index(Atom("q")) < ordered.index(And(Atom("q"), Atom("r")))
+    assert ordered.index(And(Atom("q"), Atom("r"))) < ordered.index(
+        Until(Atom("p"), And(Atom("q"), Atom("r")))
+    )
+
+
+def test_subformulas_deduplicates_shared_subterms():
+    shared = Atom("p")
+    formula = And(shared, Not(shared))
+    ordered = subformulas(formula)
+    assert ordered.count(Atom("p")) == 1
+    assert len(ordered) == 3
+
+
+def test_operator_overloads_build_derived_nodes():
+    p, q = Atom("p"), Atom("q")
+    assert (~p) == Not(p)
+    assert (p & q) == And(p, q)
+    assert (p | q) == Or(p, q)
+    assert (p >> q) == Implies(p, q)
+
+
+def test_str_round_trips_through_parser():
+    from repro.logic.parser import parse
+
+    formulas = [
+        ForAll(Globally(Implies(IndexedAtom("d", "i"), ForAll(Finally(IndexedAtom("c", "i")))))),
+        Exists(Until(Atom("p"), Atom("q"))),
+        IndexForall("i", ForAll(Globally(IndexedAtom("c", "i")))),
+        Next(Next(Atom("p"))),
+        ExactlyOne("t"),
+    ]
+    for formula in formulas:
+        assert parse(str(formula)) == formula

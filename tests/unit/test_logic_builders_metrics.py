@@ -1,0 +1,124 @@
+"""Unit tests for the formula builders and the structural metrics."""
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Globally,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    TrueLiteral,
+    Until,
+)
+from repro.logic.builders import (
+    AF,
+    AG,
+    AU,
+    AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    atom,
+    exactly_one,
+    false,
+    iatom,
+    iff,
+    implies,
+    index_exists,
+    index_forall,
+    land,
+    lnot,
+    lor,
+    true,
+)
+from repro.logic.metrics import (
+    formula_size,
+    index_nesting_depth,
+    index_quantifier_count,
+    temporal_depth,
+)
+
+
+def test_constant_builders():
+    assert true() == TrueLiteral()
+    assert false() == FalseLiteral()
+
+
+def test_ctl_shortcut_builders():
+    p = atom("p")
+    assert EX(p) == Exists(Next(p))
+    assert EF(p) == Exists(Finally(p))
+    assert EG(p) == Exists(Globally(p))
+    assert AX(p) == ForAll(Next(p))
+    assert AF(p) == ForAll(Finally(p))
+    assert AG(p) == ForAll(Globally(p))
+    assert EU(p, atom("q")) == Exists(Until(p, Atom("q")))
+    assert AU(p, atom("q")) == ForAll(Until(p, Atom("q")))
+
+
+def test_nary_conjunction_and_disjunction():
+    p, q, r = atom("p"), atom("q"), atom("r")
+    assert land(p, q, r) == And(p, And(q, r))
+    assert lor(p, q) == Or(p, q)
+    assert land(p) == p
+    assert lor() == FalseLiteral()
+    assert land() == TrueLiteral()
+
+
+def test_quantifier_builders():
+    body = AG(iatom("c", "i"))
+    assert index_forall("i", body) == IndexForall("i", body)
+    assert index_exists("i", body) == IndexExists("i", body)
+
+
+def test_negation_and_implication_builders():
+    assert lnot(atom("p")) == Not(Atom("p"))
+    assert implies(atom("p"), atom("q")).left == Atom("p")
+    assert iff(atom("p"), atom("q")).right == Atom("q")
+
+
+def test_indexed_builders():
+    assert iatom("c", 3) == IndexedAtom("c", 3)
+    assert exactly_one("t").name == "t"
+
+
+def test_formula_size_counts_nodes():
+    assert formula_size(atom("p")) == 1
+    assert formula_size(land(atom("p"), atom("q"))) == 3
+    assert formula_size(AG(atom("p"))) == 3  # ForAll, Globally, Atom
+
+
+def test_temporal_depth():
+    assert temporal_depth(atom("p")) == 0
+    assert temporal_depth(AG(atom("p"))) == 1
+    assert temporal_depth(AG(implies(atom("p"), AF(atom("q"))))) == 2
+    assert temporal_depth(EU(atom("p"), EF(atom("q")))) == 2
+
+
+def test_index_quantifier_count_and_nesting_depth():
+    flat = land(
+        index_forall("i", AG(iatom("c", "i"))), index_exists("j", EF(iatom("d", "j")))
+    )
+    assert index_quantifier_count(flat) == 2
+    assert index_nesting_depth(flat) == 1
+
+    nested = index_exists("i", EF(land(iatom("B", "i"), index_exists("j", iatom("A", "j")))))
+    assert index_quantifier_count(nested) == 2
+    assert index_nesting_depth(nested) == 2
+
+    assert index_nesting_depth(AG(atom("p"))) == 0
+
+
+def test_fig41_formula_depth_matches_requested_depth():
+    from repro.systems import figures
+
+    for depth in range(1, 5):
+        assert index_nesting_depth(figures.fig41_counting_formula(depth)) == depth

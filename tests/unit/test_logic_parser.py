@@ -1,0 +1,158 @@
+"""Unit tests for the formula parser and printer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Globally,
+    Iff,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+)
+from repro.logic.parser import parse, tokenize
+from repro.logic.printer import format_formula
+
+
+def test_parse_plain_atom():
+    assert parse("p") == Atom("p")
+
+
+def test_parse_indexed_atom_with_variable_and_number():
+    assert parse("c[i]") == IndexedAtom("c", "i")
+    assert parse("c[3]") == IndexedAtom("c", 3)
+
+
+def test_parse_constants():
+    assert parse("true") == TrueLiteral()
+    assert parse("false") == FalseLiteral()
+
+
+def test_parse_exactly_one():
+    assert parse("one t") == ExactlyOne("t")
+
+
+def test_parse_boolean_connectives_and_precedence():
+    assert parse("p & q | r") == Or(And(Atom("p"), Atom("q")), Atom("r"))
+    assert parse("p | q & r") == Or(Atom("p"), And(Atom("q"), Atom("r")))
+    assert parse("!p & q") == And(Not(Atom("p")), Atom("q"))
+
+
+def test_parse_implication_is_right_associative():
+    assert parse("p -> q -> r") == Implies(Atom("p"), Implies(Atom("q"), Atom("r")))
+
+
+def test_parse_iff():
+    assert parse("p <-> q") == Iff(Atom("p"), Atom("q"))
+
+
+def test_parse_temporal_operators():
+    assert parse("F p") == Finally(Atom("p"))
+    assert parse("G p") == Globally(Atom("p"))
+    assert parse("X p") == Next(Atom("p"))
+    assert parse("p U q") == Until(Atom("p"), Atom("q"))
+    assert parse("p R q") == Release(Atom("p"), Atom("q"))
+    assert parse("p W q") == WeakUntil(Atom("p"), Atom("q"))
+
+
+def test_parse_path_quantifiers():
+    assert parse("E F p") == Exists(Finally(Atom("p")))
+    assert parse("A G p") == ForAll(Globally(Atom("p")))
+
+
+def test_parse_compact_ctl_spellings():
+    assert parse("AG p") == ForAll(Globally(Atom("p")))
+    assert parse("EF p") == Exists(Finally(Atom("p")))
+    assert parse("AF p") == ForAll(Finally(Atom("p")))
+    assert parse("EG p") == Exists(Globally(Atom("p")))
+    assert parse("AX p") == ForAll(Next(Atom("p")))
+    assert parse("EX p") == Exists(Next(Atom("p")))
+
+
+def test_compact_spelling_only_applies_to_exact_identifier():
+    # An identifier that merely starts with AG is still an atom.
+    assert parse("AGx") == Atom("AGx")
+
+
+def test_parse_index_quantifiers():
+    assert parse("forall i . c[i]") == IndexForall("i", IndexedAtom("c", "i"))
+    assert parse("exists j . d[j]") == IndexExists("j", IndexedAtom("d", "j"))
+
+
+def test_parse_section5_property():
+    formula = parse("forall i . AG(d[i] -> AF c[i])")
+    expected = IndexForall(
+        "i",
+        ForAll(
+            Globally(
+                Implies(IndexedAtom("d", "i"), ForAll(Finally(IndexedAtom("c", "i"))))
+            )
+        ),
+    )
+    assert formula == expected
+
+
+def test_parse_nested_parentheses():
+    assert parse("((p))") == Atom("p")
+    assert parse("E((p U q))") == Exists(Until(Atom("p"), Atom("q")))
+
+
+def test_parse_until_is_right_associative():
+    assert parse("p U q U r") == Until(Atom("p"), Until(Atom("q"), Atom("r")))
+
+
+def test_parse_errors_report_position():
+    with pytest.raises(ParseError):
+        parse("p &")
+    with pytest.raises(ParseError):
+        parse("(p")
+    with pytest.raises(ParseError):
+        parse("p q")
+    with pytest.raises(ParseError):
+        parse("c[")
+    with pytest.raises(ParseError) as excinfo:
+        parse("p @ q")
+    assert excinfo.value.position is not None
+
+
+def test_parse_rejects_empty_input():
+    with pytest.raises(ParseError):
+        parse("")
+
+
+def test_tokenize_skips_whitespace():
+    tokens = tokenize("  p   &\tq ")
+    assert [token.text for token in tokens] == ["p", "&", "q"]
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "forall i . AG(d[i] -> AF c[i])",
+        "!(exists i . EF(!d[i] & !t[i] & E(!d[i] U t[i])))",
+        "AG one t",
+        "forall i . AG(d[i] -> A(d[i] U t[i]))",
+        "p U (q R r)",
+        "E(F p & G F q)",
+        "p <-> q -> r",
+        "X X X t[1]",
+    ],
+)
+def test_print_parse_round_trip(text):
+    formula = parse(text)
+    assert parse(format_formula(formula)) == formula

@@ -1,0 +1,173 @@
+"""Unit tests for fragment classification and the ICTL* restrictions."""
+
+import pytest
+
+from repro.errors import FragmentError, RestrictionError
+from repro.logic.builders import (
+    AF,
+    AG,
+    AU,
+    EF,
+    EG,
+    EU,
+    EX,
+    E,
+    F,
+    G,
+    U,
+    X,
+    atom,
+    exactly_one,
+    iatom,
+    implies,
+    index_exists,
+    index_forall,
+    land,
+    lnot,
+    lor,
+)
+from repro.logic.parser import parse
+from repro.logic.syntax import (
+    assert_closed,
+    assert_ctl,
+    assert_next_free,
+    assert_restricted_ictl,
+    is_closed,
+    is_ctl,
+    is_ltl_path_formula,
+    is_next_free,
+    is_path_formula,
+    is_restricted_ictl,
+    is_state_formula,
+    restriction_violations,
+    uses_indexing,
+)
+
+
+def test_atoms_are_state_formulas():
+    assert is_state_formula(atom("p"))
+    assert is_state_formula(iatom("c", "i"))
+    assert is_state_formula(exactly_one("t"))
+
+
+def test_temporal_operators_are_path_formulas_not_state_formulas():
+    assert not is_state_formula(U(atom("p"), atom("q")))
+    assert is_path_formula(U(atom("p"), atom("q")))
+    assert not is_state_formula(F(atom("p")))
+    assert is_path_formula(G(atom("p")))
+
+
+def test_path_quantified_formulas_are_state_formulas():
+    assert is_state_formula(E(U(atom("p"), atom("q"))))
+    assert is_state_formula(AG(atom("p")))
+
+
+def test_boolean_combination_of_state_formulas_is_state_formula():
+    assert is_state_formula(land(atom("p"), AG(atom("q"))))
+    assert is_state_formula(lnot(lor(atom("p"), atom("q"))))
+
+
+def test_next_freeness():
+    assert is_next_free(AG(implies(atom("p"), AF(atom("q")))))
+    assert not is_next_free(EX(atom("p")))
+    assert_next_free(AG(atom("p")))
+    with pytest.raises(FragmentError):
+        assert_next_free(AG(X(atom("p"))))
+
+
+def test_closedness_requires_bound_variables_and_no_concrete_indices():
+    assert is_closed(index_forall("i", AG(iatom("c", "i"))))
+    assert not is_closed(AG(iatom("c", "i")))
+    assert not is_closed(AG(iatom("c", 1)))
+    assert is_closed(AG(atom("p")))
+    with pytest.raises(FragmentError):
+        assert_closed(AG(iatom("c", 3)))
+
+
+def test_is_ctl_accepts_standard_ctl_shapes():
+    assert is_ctl(AG(implies(atom("p"), AF(atom("q")))))
+    assert is_ctl(EU(atom("p"), atom("q")))
+    assert is_ctl(AU(atom("p"), EG(atom("q"))))
+    assert is_ctl(index_forall("i", AG(iatom("c", "i"))))
+
+
+def test_is_ctl_rejects_path_formula_nesting():
+    # E(F p & G q) is CTL* but not CTL.
+    assert not is_ctl(E(land(F(atom("p")), G(atom("q")))))
+    assert not is_ctl(E(G(F(atom("p")))))
+    with pytest.raises(FragmentError):
+        assert_ctl(E(G(F(atom("p")))))
+
+
+def test_assert_ctl_accepts_section5_properties():
+    from repro.systems import token_ring
+
+    for formula in token_ring.ring_properties().values():
+        assert is_ctl(formula)
+
+
+def test_is_ltl_path_formula():
+    assert is_ltl_path_formula(U(atom("p"), atom("q")))
+    assert is_ltl_path_formula(G(F(atom("p"))))
+    assert not is_ltl_path_formula(E(F(atom("p"))))
+    assert not is_ltl_path_formula(index_exists("i", iatom("c", "i")))
+
+
+def test_uses_indexing():
+    assert uses_indexing(index_forall("i", AG(iatom("c", "i"))))
+    assert uses_indexing(AG(exactly_one("t")))
+    assert not uses_indexing(AG(atom("p")))
+
+
+def test_restriction_accepts_the_section5_properties():
+    for text in [
+        "forall i . AG(d[i] -> AF c[i])",
+        "forall i . AG(c[i] -> t[i])",
+        "forall i . AG(d[i] -> A(d[i] U t[i]))",
+        "!(exists i . EF(!d[i] & !t[i] & E(!d[i] U t[i])))",
+        "AG one t",
+    ]:
+        formula = parse(text)
+        assert is_restricted_ictl(formula), text
+
+
+def test_restriction_rejects_nested_quantifiers():
+    nested = index_exists("i", EF(land(iatom("B", "i"), index_exists("j", iatom("A", "j")))))
+    violations = restriction_violations(nested)
+    assert any("nested" in violation for violation in violations)
+    with pytest.raises(RestrictionError):
+        assert_restricted_ictl(nested)
+
+
+def test_restriction_rejects_quantifier_inside_until_operand():
+    bad = E(U(index_exists("i", iatom("a", "i")), atom("p")))
+    assert not is_restricted_ictl(bad)
+
+
+def test_restriction_rejects_nexttime():
+    bad = index_forall("i", AG(implies(iatom("t", "i"), EX(iatom("t", "i")))))
+    violations = restriction_violations(bad)
+    assert any("next-time" in violation for violation in violations)
+
+
+def test_restriction_rejects_open_formulas():
+    open_formula = AG(iatom("c", "i"))
+    assert not is_restricted_ictl(open_formula)
+
+
+def test_restriction_rejects_path_formulas():
+    assert restriction_violations(U(atom("p"), atom("q")))
+
+
+def test_fig41_counting_formula_is_rejected_beyond_depth_one():
+    from repro.systems import figures
+
+    assert is_restricted_ictl(figures.fig41_counting_formula(1))
+    assert not is_restricted_ictl(figures.fig41_counting_formula(2))
+    assert not is_restricted_ictl(figures.fig41_counting_formula(3))
+
+
+def test_distinguishing_formula_is_restricted():
+    from repro.systems import token_ring
+
+    assert is_restricted_ictl(token_ring.distinguishing_formula())

@@ -1,0 +1,163 @@
+"""Unit tests for formula transformations (expansion, NNF, substitution, instantiation)."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.ast import (
+    And,
+    Atom,
+    Exists,
+    Finally,
+    ForAll,
+    Globally,
+    Iff,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+    walk,
+)
+from repro.logic.transform import (
+    atoms,
+    bound_index_variables,
+    expand,
+    free_index_variables,
+    indexed_atom_names,
+    instantiate_quantifiers,
+    negation_normal_form,
+    substitute_index,
+)
+
+_SUGAR = (Implies, Iff, ForAll, Finally, Globally, Release, WeakUntil, IndexForall)
+
+
+def test_expand_removes_all_derived_operators():
+    formula = IndexForall(
+        "i",
+        ForAll(Globally(Implies(IndexedAtom("d", "i"), ForAll(Finally(IndexedAtom("c", "i")))))),
+    )
+    core = expand(formula)
+    assert not any(isinstance(node, _SUGAR) for node in walk(core))
+
+
+def test_expand_implies():
+    assert expand(Implies(Atom("p"), Atom("q"))) == Or(Not(Atom("p")), Atom("q"))
+
+
+def test_expand_forall_path_quantifier():
+    assert expand(ForAll(Atom("p"))) == Not(Exists(Not(Atom("p"))))
+
+
+def test_expand_finally_and_globally():
+    assert expand(Finally(Atom("p"))) == Until(TrueLiteral(), Atom("p"))
+    assert expand(Globally(Atom("p"))) == Not(Until(TrueLiteral(), Not(Atom("p"))))
+
+
+def test_expand_index_forall_is_not_exists_not():
+    expanded = expand(IndexForall("i", IndexedAtom("c", "i")))
+    assert expanded == Not(IndexExists("i", Not(IndexedAtom("c", "i"))))
+
+
+def test_expand_is_idempotent():
+    formula = ForAll(Globally(Implies(Atom("p"), ForAll(Finally(Atom("q"))))))
+    assert expand(expand(formula)) == expand(formula)
+
+
+def test_nnf_pushes_negation_to_atoms():
+    formula = Not(And(Atom("p"), Or(Atom("q"), Not(Atom("r")))))
+    nnf = negation_normal_form(formula)
+    for node in walk(nnf):
+        if isinstance(node, Not):
+            assert isinstance(node.operand, Atom)
+
+
+def test_nnf_dualises_temporal_operators():
+    assert negation_normal_form(Not(Finally(Atom("p")))) == Globally(Not(Atom("p")))
+    assert negation_normal_form(Not(Globally(Atom("p")))) == Finally(Not(Atom("p")))
+    assert negation_normal_form(Not(Until(Atom("p"), Atom("q")))) == Release(
+        Not(Atom("p")), Not(Atom("q"))
+    )
+
+
+def test_nnf_dualises_path_and_index_quantifiers():
+    assert negation_normal_form(Not(Exists(Atom("p")))) == ForAll(Not(Atom("p")))
+    assert negation_normal_form(Not(IndexExists("i", IndexedAtom("c", "i")))) == IndexForall(
+        "i", Not(IndexedAtom("c", "i"))
+    )
+
+
+def test_nnf_eliminates_double_negation():
+    assert negation_normal_form(Not(Not(Atom("p")))) == Atom("p")
+
+
+def test_substitute_index_replaces_free_occurrences():
+    formula = And(IndexedAtom("c", "i"), IndexedAtom("d", "j"))
+    result = substitute_index(formula, "i", 4)
+    assert result == And(IndexedAtom("c", 4), IndexedAtom("d", "j"))
+
+
+def test_substitute_index_respects_shadowing():
+    formula = And(IndexedAtom("c", "i"), IndexExists("i", IndexedAtom("c", "i")))
+    result = substitute_index(formula, "i", 2)
+    assert result == And(IndexedAtom("c", 2), IndexExists("i", IndexedAtom("c", "i")))
+
+
+def test_free_and_bound_index_variables():
+    formula = IndexExists("i", And(IndexedAtom("c", "i"), IndexedAtom("d", "j")))
+    assert free_index_variables(formula) == {"j"}
+    assert bound_index_variables(formula) == {"i"}
+
+
+def test_free_index_variables_of_closed_formula_is_empty():
+    formula = IndexForall("i", IndexedAtom("c", "i"))
+    assert free_index_variables(formula) == set()
+
+
+def test_atoms_and_indexed_atom_names():
+    formula = And(Atom("ready"), IndexExists("i", IndexedAtom("c", "i")))
+    assert atoms(formula) == {"ready"}
+    assert indexed_atom_names(formula) == {"c"}
+
+
+def test_instantiate_quantifiers_exists_becomes_disjunction():
+    formula = IndexExists("i", IndexedAtom("c", "i"))
+    instantiated = instantiate_quantifiers(formula, [1, 2])
+    assert instantiated == Or(IndexedAtom("c", 1), IndexedAtom("c", 2))
+
+
+def test_instantiate_quantifiers_forall_becomes_conjunction():
+    formula = IndexForall("i", IndexedAtom("c", "i"))
+    instantiated = instantiate_quantifiers(formula, [1, 2, 3])
+    assert instantiated == And(
+        IndexedAtom("c", 1), And(IndexedAtom("c", 2), IndexedAtom("c", 3))
+    )
+
+
+def test_instantiate_quantifiers_single_value_has_no_connective():
+    formula = IndexExists("i", IndexedAtom("c", "i"))
+    assert instantiate_quantifiers(formula, [7]) == IndexedAtom("c", 7)
+
+
+def test_instantiate_quantifiers_handles_nesting():
+    inner = IndexExists("j", And(IndexedAtom("a", "i"), IndexedAtom("b", "j")))
+    formula = IndexExists("i", inner)
+    instantiated = instantiate_quantifiers(formula, [1, 2])
+    leaves = [node for node in walk(instantiated) if isinstance(node, IndexedAtom)]
+    assert all(isinstance(leaf.index, int) for leaf in leaves)
+
+
+def test_instantiate_quantifiers_rejects_empty_index_set():
+    with pytest.raises(FormulaError):
+        instantiate_quantifiers(IndexExists("i", IndexedAtom("c", "i")), [])
+
+
+def test_instantiate_leaves_concrete_atoms_alone():
+    formula = And(IndexedAtom("c", 5), Atom("p"))
+    assert instantiate_quantifiers(formula, [1, 2]) == formula

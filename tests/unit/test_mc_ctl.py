@@ -1,0 +1,168 @@
+"""Unit tests for the CTL labelling model checker."""
+
+import pytest
+
+from repro.errors import FragmentError, ValidationError
+from repro.kripke.structure import KripkeStructure
+from repro.logic.builders import (
+    AF,
+    AG,
+    AU,
+    AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    R,
+    W,
+    A,
+    E,
+    atom,
+    false,
+    iff,
+    implies,
+    index_forall,
+    iatom,
+    land,
+    lnot,
+    lor,
+    true,
+)
+from repro.mc.ctl import CTLModelChecker, check, satisfaction_set
+
+
+@pytest.fixture(scope="module")
+def mutex_like():
+    """A tiny mutual-exclusion-flavoured structure.
+
+    ``idle → try → crit → idle`` with a self-loop on ``try`` (the process may
+    wait arbitrarily long but can always still proceed).
+    """
+    return KripkeStructure(
+        states=["idle", "try", "crit"],
+        transitions=[
+            ("idle", "try"),
+            ("try", "try"),
+            ("try", "crit"),
+            ("crit", "idle"),
+        ],
+        labeling={"idle": {"n"}, "try": {"t"}, "crit": {"c"}},
+        initial_state="idle",
+    )
+
+
+def test_atoms_and_boolean_connectives(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    assert checker.satisfaction_set(atom("n")) == frozenset({"idle"})
+    assert checker.satisfaction_set(lnot(atom("n"))) == frozenset({"try", "crit"})
+    assert checker.satisfaction_set(lor(atom("n"), atom("c"))) == frozenset({"idle", "crit"})
+    assert checker.satisfaction_set(land(atom("n"), atom("c"))) == frozenset()
+    assert checker.satisfaction_set(true()) == mutex_like.states
+    assert checker.satisfaction_set(false()) == frozenset()
+    assert checker.satisfaction_set(implies(atom("c"), atom("c"))) == mutex_like.states
+    assert checker.satisfaction_set(iff(atom("n"), lnot(atom("n")))) == frozenset()
+
+
+def test_ex_and_ax(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    assert checker.satisfaction_set(EX(atom("c"))) == frozenset({"try"})
+    assert checker.satisfaction_set(AX(atom("t"))) == frozenset({"idle"})
+    assert checker.satisfaction_set(AX(lor(atom("t"), atom("c")))) == frozenset({"idle", "try"})
+
+
+def test_ef_and_af(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    # Everything can reach the critical section.
+    assert checker.satisfaction_set(EF(atom("c"))) == mutex_like.states
+    # But it is not inevitable (the try state can loop forever).
+    assert checker.satisfaction_set(AF(atom("c"))) == frozenset({"crit"})
+
+
+def test_eg_and_ag(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    assert checker.satisfaction_set(EG(atom("t"))) == frozenset({"try"})
+    assert checker.satisfaction_set(EG(lnot(atom("c")))) == frozenset({"idle", "try"})
+    assert checker.satisfaction_set(AG(lor(atom("n"), lor(atom("t"), atom("c"))))) == mutex_like.states
+    assert checker.satisfaction_set(AG(atom("t"))) == frozenset()
+
+
+def test_eu_and_au(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    assert checker.satisfaction_set(EU(atom("t"), atom("c"))) == frozenset({"try", "crit"})
+    # A[t U c] fails on the try state because of the self-loop path.
+    assert checker.satisfaction_set(AU(atom("t"), atom("c"))) == frozenset({"crit"})
+    assert checker.satisfaction_set(AU(true(), atom("c"))) == checker.satisfaction_set(AF(atom("c")))
+
+
+def test_release_and_weak_until(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    # E[false R ¬c] == EG ¬c
+    assert checker.satisfaction_set(E(R(false(), lnot(atom("c"))))) == checker.satisfaction_set(
+        EG(lnot(atom("c")))
+    )
+    # A[t W c]: t holds unless/until c; true in try and crit, false in idle.
+    assert checker.satisfaction_set(A(W(atom("t"), atom("c")))) == frozenset({"try", "crit"})
+    assert checker.satisfaction_set(E(W(atom("t"), atom("c")))) == frozenset({"try", "crit"})
+
+
+def test_check_defaults_to_initial_state(mutex_like):
+    assert check(mutex_like, EF(atom("c")))
+    assert not check(mutex_like, atom("c"))
+    assert check(mutex_like, atom("c"), state="crit")
+
+
+def test_satisfaction_set_module_helper(mutex_like):
+    assert satisfaction_set(mutex_like, atom("t")) == frozenset({"try"})
+
+
+def test_results_are_memoised(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    first = checker.satisfaction_set(EF(atom("c")))
+    second = checker.satisfaction_set(EF(atom("c")))
+    assert first is second
+
+
+def test_rejects_non_total_structures():
+    partial = KripkeStructure(["a", "b"], [("a", "b")], {}, "a")
+    with pytest.raises(ValidationError):
+        CTLModelChecker(partial)
+
+
+def test_rejects_non_ctl_formulas(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    from repro.logic.builders import F, G
+
+    with pytest.raises(FragmentError):
+        checker.satisfaction_set(E(land(F(atom("c")), G(atom("t")))))
+    with pytest.raises(FragmentError):
+        checker.satisfaction_set(E(atom("c")))
+
+
+def test_rejects_index_quantifiers(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    with pytest.raises(FragmentError):
+        checker.satisfaction_set(index_forall("i", AG(iatom("c", "i"))))
+
+
+def test_ag_implies_af_on_ring(ring2):
+    checker = CTLModelChecker(ring2)
+    formula = AG(implies(iatom("d", 1), AF(iatom("c", 1))))
+    assert checker.check(formula)
+    formula2 = AG(implies(iatom("d", 2), AF(iatom("c", 2))))
+    assert checker.check(formula2)
+
+
+def test_duality_af_equals_not_eg_not(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    for prop in ("n", "t", "c"):
+        af = checker.satisfaction_set(AF(atom(prop)))
+        not_eg_not = mutex_like.states - checker.satisfaction_set(EG(lnot(atom(prop))))
+        assert af == not_eg_not
+
+
+def test_duality_ag_equals_not_ef_not(mutex_like):
+    checker = CTLModelChecker(mutex_like)
+    for prop in ("n", "t", "c"):
+        ag = checker.satisfaction_set(AG(atom(prop)))
+        not_ef_not = mutex_like.states - checker.satisfaction_set(EF(lnot(atom(prop))))
+        assert ag == not_ef_not

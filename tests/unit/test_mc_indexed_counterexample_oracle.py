@@ -1,0 +1,221 @@
+"""Unit tests for the ICTL* checker, counterexample extraction, and the lasso oracle."""
+
+import pytest
+
+from repro.errors import FragmentError, RestrictionError
+from repro.kripke.paths import Lasso
+from repro.kripke.structure import KripkeStructure
+from repro.logic.builders import (
+    AF,
+    AG,
+    EF,
+    EG,
+    EU,
+    F,
+    G,
+    U,
+    atom,
+    exactly_one,
+    iatom,
+    implies,
+    index_exists,
+    index_forall,
+    land,
+    lnot,
+)
+from repro.logic.parser import parse
+from repro.mc.counterexample import (
+    counterexample_af,
+    counterexample_ag,
+    witness_ef,
+    witness_eg,
+    witness_eu,
+)
+from repro.mc.ctl import CTLModelChecker
+from repro.mc.indexed import ICTLStarModelChecker, check, satisfaction_set
+from repro.mc.oracle import find_lasso_witness, lasso_satisfies, simple_lasso_exists
+from repro.systems import figures, token_ring
+
+
+# ---------------------------------------------------------------------------
+# ICTL* checking
+# ---------------------------------------------------------------------------
+
+
+def test_index_forall_instantiates_over_index_set(ring2):
+    checker = ICTLStarModelChecker(ring2)
+    assert checker.check(index_forall("i", AG(implies(iatom("c", "i"), iatom("t", "i")))))
+
+
+def test_index_exists_semantics(ring2):
+    checker = ICTLStarModelChecker(ring2)
+    # Some process eventually enters its critical region.
+    assert checker.check(index_exists("i", EF(iatom("c", "i"))))
+    # No process is critical initially.
+    assert not checker.check(index_exists("i", iatom("c", "i")))
+
+
+def test_exactly_one_token(ring2, ring3):
+    for structure in (ring2, ring3):
+        checker = ICTLStarModelChecker(structure)
+        assert checker.check(AG(exactly_one("t")))
+
+
+def test_exactly_one_is_false_when_no_index_satisfies(ring2):
+    checker = ICTLStarModelChecker(ring2)
+    assert not checker.check(exactly_one("c"))  # initially nobody is critical
+
+
+def test_restrictions_enforced_by_default(ring2):
+    checker = ICTLStarModelChecker(ring2)
+    nested = figures.fig41_counting_formula(2)
+    with pytest.raises(RestrictionError):
+        checker.check(nested)
+
+
+def test_restrictions_can_be_disabled(ring2):
+    checker = ICTLStarModelChecker(ring2, enforce_restrictions=False)
+    formula = index_exists("i", EF(iatom("c", "i")))
+    assert checker.check(formula)
+
+
+def test_unrestricted_mode_still_rejects_free_variables(ring2):
+    checker = ICTLStarModelChecker(ring2, enforce_restrictions=False)
+    with pytest.raises(FragmentError):
+        checker.check(AG(iatom("c", "i")))
+
+
+def test_concrete_indices_allowed_without_restrictions(ring2):
+    checker = ICTLStarModelChecker(ring2, enforce_restrictions=False)
+    assert checker.check(AG(implies(iatom("d", 1), AF(iatom("c", 1)))))
+
+
+def test_module_level_helpers(ring2):
+    formula = token_ring.property_critical_implies_token()
+    assert check(ring2, formula)
+    assert satisfaction_set(ring2, formula) == ring2.states
+
+
+def test_ictl_results_memoised(ring2):
+    checker = ICTLStarModelChecker(ring2)
+    formula = token_ring.property_eventual_entry()
+    assert checker.satisfaction_set(formula) is checker.satisfaction_set(formula)
+
+
+def test_non_ctl_ictl_formula_uses_ctlstar_path(ring2):
+    checker = ICTLStarModelChecker(ring2, enforce_restrictions=False)
+    # ∨i E(G F c_i): some process is critical infinitely often along some path.
+    formula = index_exists("i", parse("E G F c[i]"))
+    assert checker.check(formula)
+
+
+# ---------------------------------------------------------------------------
+# Counterexamples and witnesses
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def try_crit():
+    return KripkeStructure(
+        states=["idle", "try", "crit"],
+        transitions=[("idle", "try"), ("try", "try"), ("try", "crit"), ("crit", "idle")],
+        labeling={"idle": {"n"}, "try": {"t"}, "crit": {"c"}},
+        initial_state="idle",
+    )
+
+
+def test_witness_ef_returns_shortest_path(try_crit):
+    path = witness_ef(try_crit, atom("c"))
+    assert path == ["idle", "try", "crit"]
+
+
+def test_witness_ef_none_when_unreachable(try_crit):
+    assert witness_ef(try_crit, atom("zzz")) is None
+
+
+def test_witness_eu(try_crit):
+    path = witness_eu(try_crit, atom("t"), atom("c"), start="try")
+    assert path is not None
+    assert path[-1] == "crit"
+    assert all(state == "try" for state in path[:-1])
+    assert witness_eu(try_crit, atom("zzz"), atom("c"), start="idle") is None
+
+
+def test_witness_eg_returns_lasso_inside_satisfying_states(try_crit):
+    lasso = witness_eg(try_crit, atom("t"), start="try")
+    assert lasso is not None
+    carrier = set(lasso.stem) | set(lasso.cycle)
+    assert carrier == {"try"}
+    assert witness_eg(try_crit, atom("c")) is None
+
+
+def test_counterexample_ag_finds_violating_state(try_crit):
+    path = counterexample_ag(try_crit, lnot(atom("c")))
+    assert path is not None
+    assert path[-1] == "crit"
+    assert counterexample_ag(try_crit, lnot(atom("zzz"))) is None
+
+
+def test_counterexample_af_finds_avoiding_lasso(try_crit):
+    lasso = counterexample_af(try_crit, atom("c"))
+    assert lasso is not None
+    assert "crit" not in set(lasso.stem) | set(lasso.cycle)
+    # AF(n ∨ t ∨ c) holds, so there is no counterexample.
+    assert counterexample_af(try_crit, parse("n | t | c")) is None
+
+
+def test_counterexamples_on_the_ring(ring2):
+    # AG(¬c_1) is false: extract a path reaching a state where process 1 is critical.
+    path = counterexample_ag(ring2, lnot(iatom("c", 1)))
+    assert path is not None
+    final = path[-1]
+    assert 1 in final.critical
+    # AF(c_1) is false from the initial state: process 1 may never request.
+    lasso = counterexample_af(ring2, iatom("c", 1))
+    assert lasso is not None
+    assert all(1 not in state.critical for state in lasso.cycle)
+
+
+# ---------------------------------------------------------------------------
+# The lasso oracle
+# ---------------------------------------------------------------------------
+
+
+def test_lasso_satisfies_simple_cases(toggle_structure):
+    lasso = Lasso(stem=(), cycle=("on", "off"))
+    assert lasso_satisfies(toggle_structure, lasso, G(F(atom("p"))))
+    assert lasso_satisfies(toggle_structure, lasso, U(atom("p"), atom("q")))
+    assert not lasso_satisfies(toggle_structure, lasso, G(atom("p")))
+    assert lasso_satisfies(toggle_structure, lasso, F(atom("q")))
+
+
+def test_lasso_satisfies_respects_stem(toggle_structure):
+    lasso = Lasso(stem=("on",), cycle=("off", "on"))
+    assert lasso_satisfies(toggle_structure, lasso, atom("p"))
+    assert not lasso_satisfies(toggle_structure, lasso, atom("q"))
+
+
+def test_lasso_satisfies_rejects_state_formulas(toggle_structure):
+    from repro.errors import ModelCheckingError
+    from repro.logic.builders import E
+
+    lasso = Lasso(stem=(), cycle=("on", "off"))
+    with pytest.raises(ModelCheckingError):
+        lasso_satisfies(toggle_structure, lasso, E(F(atom("p"))))
+
+
+def test_oracle_agrees_with_ltl_core_on_witness_existence(branching_structure):
+    formulas = [F(atom("p")), G(lnot(atom("q"))), U(lnot(atom("q")), atom("p")), G(F(atom("p")))]
+    from repro.mc.ltl import exists_path_satisfying
+
+    for formula in formulas:
+        for state in branching_structure.states:
+            if simple_lasso_exists(branching_structure, state, formula):
+                assert exists_path_satisfying(branching_structure, state, formula)
+
+
+def test_find_lasso_witness_returns_satisfying_lasso(branching_structure):
+    witness = find_lasso_witness(branching_structure, "a", G(F(atom("p"))))
+    assert witness is not None
+    assert lasso_satisfies(branching_structure, witness, G(F(atom("p"))))
+    assert find_lasso_witness(branching_structure, "b", F(atom("q"))) is None

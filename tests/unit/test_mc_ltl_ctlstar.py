@@ -1,0 +1,190 @@
+"""Unit tests for the LTL tableau core and the CTL* checker."""
+
+import pytest
+
+from repro.errors import FragmentError, ModelCheckingError
+from repro.kripke.structure import KripkeStructure
+from repro.logic.builders import (
+    AF,
+    AG,
+    EF,
+    EG,
+    E,
+    F,
+    G,
+    U,
+    X,
+    A,
+    atom,
+    iatom,
+    implies,
+    index_forall,
+    land,
+    lnot,
+    lor,
+)
+from repro.logic.parser import parse
+from repro.mc.ctl import CTLModelChecker
+from repro.mc.ctlstar import CTLStarModelChecker, check, satisfaction_set
+from repro.mc.ltl import existential_states, exists_path_satisfying
+
+
+@pytest.fixture(scope="module")
+def two_branch():
+    """Initial state branches into a p-cycle and a q-cycle."""
+    return KripkeStructure(
+        states=["root", "p1", "p2", "q1", "q2"],
+        transitions=[
+            ("root", "p1"),
+            ("root", "q1"),
+            ("p1", "p2"),
+            ("p2", "p1"),
+            ("q1", "q2"),
+            ("q2", "q1"),
+        ],
+        labeling={"root": {"r"}, "p1": {"p"}, "p2": {"p"}, "q1": {"q"}, "q2": {"q"}},
+        initial_state="root",
+    )
+
+
+# ---------------------------------------------------------------------------
+# LTL core
+# ---------------------------------------------------------------------------
+
+
+def test_exists_globally(two_branch):
+    result = existential_states(two_branch, G(lor(atom("p"), atom("r"))))
+    assert result == frozenset({"root", "p1", "p2"})
+
+
+def test_exists_eventually(two_branch):
+    assert existential_states(two_branch, F(atom("q"))) == frozenset({"root", "q1", "q2"})
+
+
+def test_exists_until(two_branch):
+    result = existential_states(two_branch, U(atom("r"), atom("p")))
+    assert result == frozenset({"root", "p1", "p2"})
+
+
+def test_exists_conjunction_of_eventualities(two_branch):
+    # No single path sees both p and q.
+    assert existential_states(two_branch, land(F(atom("p")), F(atom("q")))) == frozenset()
+
+
+def test_exists_infinitely_often(two_branch):
+    assert existential_states(two_branch, G(F(atom("p")))) == frozenset({"root", "p1", "p2"})
+    assert existential_states(two_branch, F(G(atom("q")))) == frozenset({"root", "q1", "q2"})
+
+
+def test_exists_next(two_branch):
+    assert existential_states(two_branch, X(atom("p"))) == frozenset({"root", "p1", "p2"})
+    assert existential_states(two_branch, X(X(atom("q")))) == frozenset({"root", "q1", "q2"})
+
+
+def test_exists_path_satisfying_single_state(two_branch):
+    assert exists_path_satisfying(two_branch, "root", F(atom("p")))
+    assert not exists_path_satisfying(two_branch, "q1", F(atom("p")))
+
+
+def test_ltl_core_rejects_state_quantifiers(two_branch):
+    with pytest.raises(ModelCheckingError):
+        existential_states(two_branch, E(F(atom("p"))))
+
+
+def test_custom_atom_eval(two_branch):
+    # Treat a proxy atom as "state name starts with q".
+    result = existential_states(
+        two_branch,
+        G(atom("__proxy")),
+        atom_eval=lambda state, leaf: state.startswith("q") if leaf == atom("__proxy") else False,
+    )
+    assert result == frozenset({"q1", "q2"})
+
+
+# ---------------------------------------------------------------------------
+# CTL* checker
+# ---------------------------------------------------------------------------
+
+
+def test_ctlstar_agrees_with_ctl_on_ctl_formulas(two_branch, ring2):
+    formulas = [
+        AG(lor(atom("p"), lor(atom("q"), atom("r")))),
+        EF(atom("q")),
+        AF(lor(atom("p"), atom("q"))),
+        EG(atom("p")),
+    ]
+    ctl = CTLModelChecker(two_branch)
+    star = CTLStarModelChecker(two_branch, use_ctl_fast_path=False)
+    for formula in formulas:
+        assert ctl.satisfaction_set(formula) == star.satisfaction_set(formula)
+
+    ring_formulas = [
+        AG(implies(iatom("d", 1), AF(iatom("c", 1)))),
+        AG(implies(iatom("c", 2), iatom("t", 2))),
+    ]
+    ctl_ring = CTLModelChecker(ring2)
+    star_ring = CTLStarModelChecker(ring2, use_ctl_fast_path=False)
+    for formula in ring_formulas:
+        assert ctl_ring.satisfaction_set(formula) == star_ring.satisfaction_set(formula)
+
+
+def test_ctlstar_nested_path_formula(two_branch):
+    # E(F p ∧ F r) — possible only by staying at root? No: r only at root and
+    # the path starts there, so E(F p ∧ F r) holds at root.
+    checker = CTLStarModelChecker(two_branch)
+    assert checker.check(E(land(F(atom("p")), F(atom("r")))))
+    # E(F p ∧ F q) requires seeing both branches — impossible.
+    assert not checker.check(E(land(F(atom("p")), F(atom("q")))))
+
+
+def test_ctlstar_fairness_style_formula(two_branch):
+    checker = CTLStarModelChecker(two_branch)
+    # A(GF p  ∨  GF q): on every path, one of the cycles is visited forever.
+    formula = A(lor(G(F(atom("p"))), G(F(atom("q")))))
+    assert checker.check(formula)
+    # A(GF p) fails because of the q branch.
+    assert not checker.check(A(G(F(atom("p")))))
+
+
+def test_ctlstar_e_of_state_formula_is_state_formula(two_branch):
+    checker = CTLStarModelChecker(two_branch)
+    assert checker.satisfaction_set(E(atom("p"))) == checker.satisfaction_set(atom("p"))
+    assert checker.satisfaction_set(A(atom("p"))) == checker.satisfaction_set(atom("p"))
+
+
+def test_ctlstar_rejects_path_formula_at_top_level(two_branch):
+    checker = CTLStarModelChecker(two_branch)
+    with pytest.raises(FragmentError):
+        checker.satisfaction_set(F(atom("p")))
+
+
+def test_ctlstar_rejects_index_quantifiers(two_branch):
+    checker = CTLStarModelChecker(two_branch)
+    with pytest.raises(FragmentError):
+        checker.satisfaction_set(index_forall("i", AG(iatom("c", "i"))))
+
+
+def test_ctlstar_module_helpers(two_branch):
+    assert check(two_branch, EF(atom("p")))
+    assert satisfaction_set(two_branch, atom("r")) == frozenset({"root"})
+
+
+def test_ctlstar_on_parsed_formulas(fig31_pair):
+    left, right = fig31_pair
+    formula = parse("E(G F q)")
+    assert check(left, formula)
+    assert check(right, formula)
+    formula2 = parse("A(G F p & G F q)")
+    assert check(left, formula2)
+    assert check(right, formula2)
+
+
+def test_ctlstar_nexttime_distinguishes_stuttering(fig31_pair):
+    # The whole point of dropping X: with it, the two Fig 3.1 structures differ.
+    left, right = fig31_pair
+    formula = parse("AG(p -> X (p | q))")
+    left_result = check(left, formula)
+    right_result = check(right, formula)
+    assert left_result or right_result
+    formula_counting = parse("AG(q -> X X q)")
+    assert check(left, formula_counting) != check(right, formula_counting)
