@@ -4,10 +4,19 @@ The benchmarks are ordinary pytest tests using the ``pytest-benchmark``
 fixture; run them with ``pytest benchmarks/ --benchmark-only``.  Expensive
 structures are shared through session fixtures so that each benchmark measures
 the operation of interest rather than setup.
+
+After a run that executed at least one benchmark, a machine-readable summary
+is written as JSON (default ``BENCH_results.json`` in the invocation
+directory; override the path with the ``BENCH_JSON`` environment variable).
+Each record carries the benchmark name, its parameters (the problem size
+``n``), wall-clock statistics, and whatever the benchmark published through
+``benchmark.extra_info`` (e.g. the state count of the structure checked), so
+future PRs can diff their perf trajectory against this baseline.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 
@@ -18,6 +27,49 @@ if _SRC not in sys.path:  # pragma: no cover - environment dependent
     sys.path.insert(0, _SRC)
 
 from repro.systems import token_ring  # noqa: E402
+
+_STAT_FIELDS = ("min", "max", "mean", "median", "stddev", "rounds", "iterations")
+
+
+def _benchmark_record(bench) -> dict:
+    """Flatten one pytest-benchmark result into a plain JSON-serialisable dict."""
+    record = {
+        "name": bench.name,
+        "fullname": bench.fullname,
+        "group": bench.group,
+        "params": bench.params or {},
+        "extra_info": dict(bench.extra_info or {}),
+    }
+    stats = getattr(bench, "stats", None)
+    if stats is not None:
+        inner = getattr(stats, "stats", stats)
+        for field in _STAT_FIELDS:
+            value = getattr(inner, field, None)
+            if value is not None:
+                record[field] = value
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    benchmarksession = getattr(session.config, "_benchmarksession", None)
+    if benchmarksession is None:
+        return
+    records = []
+    for bench in benchmarksession.benchmarks:
+        try:
+            records.append(_benchmark_record(bench))
+        except Exception as error:  # pragma: no cover - defensive
+            records.append({"name": getattr(bench, "name", "?"), "error": repr(error)})
+    if not records:
+        return
+    path = os.environ.get("BENCH_JSON", "BENCH_results.json")
+    payload = {
+        "python": sys.version.split()[0],
+        "pytest_exitstatus": int(exitstatus),
+        "benchmarks": records,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
 
 
 @pytest.fixture(scope="session")
@@ -42,3 +94,9 @@ def ring4():
 def ring5():
     """The five-process ring M_5."""
     return token_ring.build_token_ring(5)
+
+
+@pytest.fixture(scope="session")
+def ring6():
+    """The six-process ring M_6 (the largest explosion-sweep seed size)."""
+    return token_ring.build_token_ring(6)

@@ -2,7 +2,9 @@
 
 Measures how direct construction/checking of M_r grows with r, the constant
 cost of checking the base instance, and the on-the-fly spot check of the large
-(r = 1000) ring that never builds its global state graph.
+(r = 1000) ring that never builds its global state graph.  The direct checks
+run on the compiled bitset engine (the library default); see
+``test_bench_engines.py`` for the head-to-head against the naive oracle.
 """
 
 import pytest
@@ -15,12 +17,13 @@ from repro.systems import token_ring
 @pytest.mark.parametrize("size", [2, 3, 4, 5, 6])
 def test_e8_direct_checking_grows_with_size(benchmark, size):
     structure = token_ring.build_token_ring(size)
+    benchmark.extra_info["n"] = size
+    benchmark.extra_info["states"] = structure.num_states
+    benchmark.extra_info["transitions"] = structure.num_transitions
 
     def check_all():
         checker = ICTLStarModelChecker(structure)
-        return all(
-            checker.check(formula) for formula in token_ring.ring_properties().values()
-        )
+        return all(checker.check_batch(token_ring.ring_properties()).values())
 
     assert benchmark(check_all) is True
 
@@ -28,24 +31,25 @@ def test_e8_direct_checking_grows_with_size(benchmark, size):
 def test_e8_build_cost_sweep(benchmark):
     points = benchmark(token_ring_explosion_sweep, [2, 3, 4, 5])
     sizes = [point.num_states for point in points]
+    benchmark.extra_info["states"] = sizes[-1]
     assert sizes == sorted(sizes)
     assert sizes[-1] > 10 * sizes[0]
 
 
+@pytest.mark.bench_smoke
 def test_e8_base_instance_check_is_small(benchmark, ring3):
+    benchmark.extra_info["n"] = 3
+    benchmark.extra_info["states"] = ring3.num_states
+
     def check_base():
         checker = ICTLStarModelChecker(ring3)
-        return {
-            name: checker.check(formula)
-            for name, formula in token_ring.ring_properties().items()
-        }
+        return checker.check_batch(token_ring.ring_properties())
 
     results = benchmark(check_base)
     assert all(results.values())
 
 
 def test_e8_large_ring_spot_check_without_building_it(benchmark):
-    counters = benchmark(
-        sample_large_ring_correspondence, 1000, 5, 20, 7
-    )
+    benchmark.extra_info["n"] = 1000
+    counters = benchmark(sample_large_ring_correspondence, 1000, 5, 20, 7)
     assert counters["visited"] == counters["paired"] == counters["partition_ok"]

@@ -22,7 +22,7 @@ E10    Section 3 — scaling of the correspondence decision algorithm
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.explosion import sample_large_ring_correspondence, token_ring_explosion_sweep
 from repro.analysis.timing import timed_call
@@ -33,9 +33,9 @@ from repro.correspondence import (
     verify_index_relation,
 )
 from repro.kripke import reduce_to_index, structure_stats
-from repro.logic import formula_size, index_nesting_depth
+from repro.logic import index_nesting_depth
 from repro.mc import CTLStarModelChecker, ICTLStarModelChecker
-from repro.systems import barrier, figures, round_robin, token_ring
+from repro.systems import figures, token_ring
 
 __all__ = [
     "run_e1_fig31",
@@ -167,31 +167,33 @@ def run_e4_fig51() -> Dict:
 # ---------------------------------------------------------------------------
 
 
-def run_e5_invariants(sizes: Sequence[int] = (2, 3, 4, 5)) -> Dict:
+def run_e5_invariants(sizes: Sequence[int] = (2, 3, 4, 5), engine: str = "bitset") -> Dict:
     """Check the three Section 5 invariants directly on every ring size in ``sizes``."""
     rows = {}
     for size in sizes:
         structure = token_ring.build_token_ring(size)
-        checker = ICTLStarModelChecker(structure)
-        rows[size] = {
-            "partition": token_ring.partition_invariant_holds(structure),
-            "request_persistence": checker.check(token_ring.invariant_request_persistence()),
-            "one_token": checker.check(token_ring.invariant_one_token()),
-        }
-    return {"rows": rows, "all_hold": all(all(row.values()) for row in rows.values())}
+        checker = ICTLStarModelChecker(structure, engine=engine)
+        rows[size] = {"partition": token_ring.partition_invariant_holds(structure)}
+        rows[size].update(checker.check_batch(token_ring.ring_invariants()))
+    return {
+        "rows": rows,
+        "all_hold": all(all(row.values()) for row in rows.values()),
+        "engine": engine,
+    }
 
 
-def run_e6_properties(sizes: Sequence[int] = (2, 3, 4, 5)) -> Dict:
+def run_e6_properties(sizes: Sequence[int] = (2, 3, 4, 5), engine: str = "bitset") -> Dict:
     """Check the four Section 5 properties directly on every ring size in ``sizes``."""
     rows = {}
     for size in sizes:
         structure = token_ring.build_token_ring(size)
-        checker = ICTLStarModelChecker(structure)
-        rows[size] = {
-            name: checker.check(formula)
-            for name, formula in token_ring.ring_properties().items()
-        }
-    return {"rows": rows, "all_hold": all(all(row.values()) for row in rows.values())}
+        checker = ICTLStarModelChecker(structure, engine=engine)
+        rows[size] = checker.check_batch(token_ring.ring_properties())
+    return {
+        "rows": rows,
+        "all_hold": all(all(row.values()) for row in rows.values()),
+        "engine": engine,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -273,17 +275,15 @@ def run_e8_explosion(
     large_size: int = 1000,
     num_walks: int = 10,
     walk_length: int = 30,
+    engine: str = "bitset",
 ) -> Dict:
     """Reproduce the state-explosion narrative (the "1000 processes" claim)."""
-    sweep = token_ring_explosion_sweep(sizes)
+    sweep = token_ring_explosion_sweep(sizes, engine=engine)
     base = token_ring.build_token_ring(token_ring.RECOMMENDED_BASE_SIZE)
 
     def base_check() -> Dict[str, bool]:
-        checker = ICTLStarModelChecker(base)
-        return {
-            name: checker.check(formula)
-            for name, formula in token_ring.ring_properties().items()
-        }
+        checker = ICTLStarModelChecker(base, engine=engine)
+        return checker.check_batch(token_ring.ring_properties())
 
     base_time = timed_call(base_check)
     spot = sample_large_ring_correspondence(
@@ -303,6 +303,7 @@ def run_e8_explosion(
             for point in sweep
         ],
         "states_grow_monotonically": monotone_growth,
+        "engine": engine,
         "base_size": token_ring.RECOMMENDED_BASE_SIZE,
         "base_check_seconds": base_time.seconds,
         "base_results": base_time.value,
@@ -371,7 +372,7 @@ def run_e10_scaling(sizes: Sequence[int] = (3, 4, 5)) -> Dict:
 # ---------------------------------------------------------------------------
 
 
-def run_all(quick: bool = True) -> Dict[str, Dict]:
+def run_all(quick: bool = True, engine: str = "bitset") -> Dict[str, Dict]:
     """Run every experiment; ``quick=True`` uses the smaller default parameters."""
     large_size = 4 if quick else 5
     return {
@@ -379,10 +380,16 @@ def run_all(quick: bool = True) -> Dict[str, Dict]:
         "E2_fig41": run_e2_fig41(max_size=4 if quick else 5),
         "E3_nexttime": run_e3_nexttime(),
         "E4_fig51": run_e4_fig51(),
-        "E5_invariants": run_e5_invariants(sizes=(2, 3, 4) if quick else (2, 3, 4, 5)),
-        "E6_properties": run_e6_properties(sizes=(2, 3, 4) if quick else (2, 3, 4, 5)),
+        "E5_invariants": run_e5_invariants(
+            sizes=(2, 3, 4) if quick else (2, 3, 4, 5), engine=engine
+        ),
+        "E6_properties": run_e6_properties(
+            sizes=(2, 3, 4) if quick else (2, 3, 4, 5), engine=engine
+        ),
         "E7_correspondence": run_e7_correspondence(large_size=large_size),
-        "E8_explosion": run_e8_explosion(sizes=(2, 3, 4) if quick else (2, 3, 4, 5, 6)),
+        "E8_explosion": run_e8_explosion(
+            sizes=(2, 3, 4) if quick else (2, 3, 4, 5, 6), engine=engine
+        ),
         "E9_conjecture": run_e9_conjecture(max_size=4 if quick else 5),
         "E10_scaling": run_e10_scaling(sizes=(3, 4) if quick else (3, 4, 5)),
     }

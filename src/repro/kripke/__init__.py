@@ -1,6 +1,12 @@
 """Kripke structures, indexed Kripke structures, and structure manipulation."""
 
 from repro.kripke.builders import IndexedKripkeBuilder, KripkeBuilder
+from repro.kripke.compiled import (
+    CompiledKripkeStructure,
+    bits_of,
+    compile_structure,
+    popcount,
+)
 from repro.kripke.export import to_dot, to_json
 from repro.kripke.indexed import IndexedKripkeStructure
 from repro.kripke.paths import (
@@ -25,6 +31,10 @@ __all__ = [
     "State",
     "KripkeBuilder",
     "IndexedKripkeBuilder",
+    "CompiledKripkeStructure",
+    "compile_structure",
+    "bits_of",
+    "popcount",
     "validate",
     "validation_issues",
     "assert_total",

@@ -7,6 +7,9 @@ from repro.mc.counterexample import (
     witness_eg,
     witness_eu,
 )
+from repro.mc.bitset import CTL_ENGINES, BitsetCTLModelChecker, make_ctl_checker
+from repro.mc.bitset import check as check_ctl_bitset
+from repro.mc.bitset import satisfaction_set as bitset_satisfaction_set
 from repro.mc.ctl import CTLModelChecker
 from repro.mc.ctl import check as check_ctl
 from repro.mc.ctl import satisfaction_set as ctl_satisfaction_set
@@ -15,12 +18,23 @@ from repro.mc.ctlstar import check as check_ctlstar
 from repro.mc.ctlstar import satisfaction_set as ctlstar_satisfaction_set
 from repro.mc.indexed import ICTLStarModelChecker
 from repro.mc.indexed import check as check_ictlstar
+from repro.mc.indexed import check_batch as check_ictlstar_batch
 from repro.mc.indexed import satisfaction_set as ictlstar_satisfaction_set
 from repro.mc.ltl import exists_path_satisfying, existential_states
-from repro.mc.oracle import find_lasso_witness, lasso_satisfies, simple_lasso_exists
+from repro.mc.oracle import (
+    crosscheck_ctl_engines,
+    find_lasso_witness,
+    lasso_satisfies,
+    simple_lasso_exists,
+)
 
 __all__ = [
+    "BitsetCTLModelChecker",
+    "CTL_ENGINES",
     "CTLModelChecker",
+    "make_ctl_checker",
+    "check_ctl_bitset",
+    "bitset_satisfaction_set",
     "CTLStarModelChecker",
     "ICTLStarModelChecker",
     "check_ctl",
@@ -39,4 +53,6 @@ __all__ = [
     "lasso_satisfies",
     "find_lasso_witness",
     "simple_lasso_exists",
+    "crosscheck_ctl_engines",
+    "check_ictlstar_batch",
 ]

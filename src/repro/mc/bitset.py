@@ -1,0 +1,324 @@
+"""CTL model checking over compiled bitset state sets.
+
+:class:`BitsetCTLModelChecker` is a drop-in replacement for
+:class:`repro.mc.ctl.CTLModelChecker` that runs the Clarke–Emerson–Sistla
+labelling algorithm entirely on int bitmasks produced by
+:class:`repro.kripke.compiled.CompiledKripkeStructure`:
+
+* boolean connectives are single int operations (``&``, ``|``, complement
+  against the all-states mask);
+* ``E[f U g]`` is a predecessor-propagation worklist over adjacency lists —
+  each transition is inspected at most once;
+* ``EG f`` is the reverse-pruning fixpoint: per-state counts of successors
+  still inside the candidate set are maintained and states are pruned when
+  their count reaches zero, again touching each transition at most once.
+
+The naive checker remains the differential-testing oracle — see
+``tests/property/test_property_bitset.py`` — and is still available through
+``engine="naive"`` wherever the library accepts an engine choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Union
+
+from repro.errors import FragmentError, ModelCheckingError
+from repro.kripke.compiled import (
+    CompiledKripkeStructure,
+    bits_of,
+    compile_structure,
+    popcount,
+)
+from repro.kripke.structure import KripkeStructure, State
+from repro.kripke.validation import assert_total
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+)
+
+__all__ = [
+    "BitsetCTLModelChecker",
+    "CTL_ENGINES",
+    "make_ctl_checker",
+    "satisfaction_set",
+    "check",
+]
+
+_ATOMIC = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
+
+#: The recognised explicit-state CTL engines.
+CTL_ENGINES = ("bitset", "naive")
+
+
+class BitsetCTLModelChecker:
+    """Labelling-algorithm CTL model checker running on compiled bitsets.
+
+    Accepts either a plain :class:`KripkeStructure` (compiled on the spot) or
+    an already-:class:`CompiledKripkeStructure`, so a whole family of formulas
+    can share one compilation.  Satisfaction masks are memoised per formula,
+    exactly like the naive checker memoises satisfaction sets.
+    """
+
+    def __init__(
+        self,
+        structure: Union[KripkeStructure, CompiledKripkeStructure],
+        validate_structure: bool = True,
+    ) -> None:
+        self._compiled = compile_structure(structure)
+        if validate_structure and not self._compiled.is_total():
+            assert_total(self._compiled.source)
+        self._cache: Dict[Formula, int] = {}
+
+    @property
+    def structure(self) -> KripkeStructure:
+        """The (source) structure this checker operates on."""
+        return self._compiled.source
+
+    @property
+    def compiled(self) -> CompiledKripkeStructure:
+        """The compiled form shared by every check against this instance."""
+        return self._compiled
+
+    # -- public API ----------------------------------------------------------
+
+    def satisfaction_mask(self, formula: Formula) -> int:
+        """Return the satisfaction set of ``formula`` as a bitmask."""
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        result = self._compute(formula)
+        self._cache[formula] = result
+        return result
+
+    def satisfaction_set(self, formula: Formula) -> FrozenSet[State]:
+        """Return the set of states satisfying the CTL state formula ``formula``."""
+        return self._compiled.states_of(self.satisfaction_mask(formula))
+
+    def check(self, formula: Formula, state: Optional[State] = None) -> bool:
+        """Decide ``M, state ⊨ formula`` (default state: the initial state)."""
+        if state is None:
+            index = self._compiled.initial_index
+        else:
+            index = self._compiled.index_of(state)
+        return bool(self.satisfaction_mask(formula) >> index & 1)
+
+    def check_batch(
+        self,
+        formulas: Union[Mapping[str, Formula], Iterable[Formula]],
+        state: Optional[State] = None,
+    ) -> Dict:
+        """Check a whole family of formulas against the one compiled structure.
+
+        With a mapping the result is keyed by the mapping's names; with a
+        plain iterable it is keyed by the formulas themselves.  Shared
+        sub-formulas are computed once thanks to the per-formula memo.
+        """
+        if isinstance(formulas, Mapping):
+            return {name: self.check(formula, state) for name, formula in formulas.items()}
+        return {formula: self.check(formula, state) for formula in formulas}
+
+    # -- recursive computation -------------------------------------------------
+
+    def _compute(self, formula: Formula) -> int:
+        compiled = self._compiled
+        if isinstance(formula, _ATOMIC):
+            return compiled.atom_mask(formula)
+        if isinstance(formula, Not):
+            return compiled.all_mask & ~self.satisfaction_mask(formula.operand)
+        if isinstance(formula, And):
+            return self.satisfaction_mask(formula.left) & self.satisfaction_mask(formula.right)
+        if isinstance(formula, Or):
+            return self.satisfaction_mask(formula.left) | self.satisfaction_mask(formula.right)
+        if isinstance(formula, Implies):
+            return (
+                compiled.all_mask & ~self.satisfaction_mask(formula.left)
+            ) | self.satisfaction_mask(formula.right)
+        if isinstance(formula, Iff):
+            left = self.satisfaction_mask(formula.left)
+            right = self.satisfaction_mask(formula.right)
+            return compiled.all_mask & ~(left ^ right)
+        if isinstance(formula, (IndexExists, IndexForall)):
+            raise FragmentError(
+                "the CTL checker does not handle index quantifiers; instantiate "
+                "them with repro.mc.indexed first (formula: %s)" % formula
+            )
+        if isinstance(formula, Exists):
+            return self._compute_exists(formula.path)
+        if isinstance(formula, ForAll):
+            return self._compute_forall(formula.path)
+        raise FragmentError("formula is not a CTL state formula: %s" % formula)
+
+    def _compute_exists(self, path: Formula) -> int:
+        compiled = self._compiled
+        if isinstance(path, Next):
+            return compiled.preimage(self.satisfaction_mask(path.operand))
+        if isinstance(path, Finally):
+            return self._eu(compiled.all_mask, self.satisfaction_mask(path.operand))
+        if isinstance(path, Globally):
+            return self._eg(self.satisfaction_mask(path.operand))
+        if isinstance(path, Until):
+            return self._eu(
+                self.satisfaction_mask(path.left), self.satisfaction_mask(path.right)
+            )
+        if isinstance(path, Release):
+            # E[f R g]  ≡  ¬A[¬f U ¬g]
+            return compiled.all_mask & ~self._compute_forall(
+                Until(Not(path.left), Not(path.right))
+            )
+        if isinstance(path, WeakUntil):
+            # E[f W g]  ≡  E[f U g] ∨ EG f
+            return self._compute_exists(Until(path.left, path.right)) | self._compute_exists(
+                Globally(path.left)
+            )
+        raise FragmentError(
+            "E must be applied to a single temporal operator over state formulas "
+            "for CTL checking; got E(%s)" % path
+        )
+
+    def _compute_forall(self, path: Formula) -> int:
+        compiled = self._compiled
+        everything = compiled.all_mask
+        if isinstance(path, Next):
+            # AX f ≡ ¬EX ¬f
+            return everything & ~compiled.preimage(
+                everything & ~self.satisfaction_mask(path.operand)
+            )
+        if isinstance(path, Finally):
+            # AF f ≡ ¬EG ¬f
+            return everything & ~self._eg(everything & ~self.satisfaction_mask(path.operand))
+        if isinstance(path, Globally):
+            # AG f ≡ ¬EF ¬f
+            return everything & ~self._eu(
+                everything, everything & ~self.satisfaction_mask(path.operand)
+            )
+        if isinstance(path, Until):
+            # A[f U g] ≡ ¬( E[¬g U (¬f ∧ ¬g)] ∨ EG ¬g )
+            not_f = everything & ~self.satisfaction_mask(path.left)
+            not_g = everything & ~self.satisfaction_mask(path.right)
+            bad = self._eu(not_g, not_f & not_g) | self._eg(not_g)
+            return everything & ~bad
+        if isinstance(path, Release):
+            # A[f R g] ≡ ¬E[¬f U ¬g]
+            return everything & ~self._compute_exists(Until(Not(path.left), Not(path.right)))
+        if isinstance(path, WeakUntil):
+            # A[f W g] ≡ ¬E[¬g U (¬f ∧ ¬g)]
+            not_f = everything & ~self.satisfaction_mask(path.left)
+            not_g = everything & ~self.satisfaction_mask(path.right)
+            return everything & ~self._eu(not_g, not_f & not_g)
+        raise FragmentError(
+            "A must be applied to a single temporal operator over state formulas "
+            "for CTL checking; got A(%s)" % path
+        )
+
+    # -- fixpoint primitives -----------------------------------------------------
+
+    def _eu(self, left: int, right: int) -> int:
+        """Least fixpoint for ``E[left U right]`` by predecessor propagation.
+
+        Backwards reachability from ``right`` through ``left``: every state is
+        enqueued at most once and its predecessor list scanned at most once,
+        so the whole fixpoint is ``O(|S| + |R|)`` int operations.
+        """
+        compiled = self._compiled
+        predecessors_of = compiled.predecessors_of
+        satisfied = right
+        frontier = list(bits_of(right))
+        while frontier:
+            index = frontier.pop()
+            for pred in predecessors_of(index):
+                bit = 1 << pred
+                if not satisfied & bit and left & bit:
+                    satisfied |= bit
+                    frontier.append(pred)
+        return satisfied
+
+    def _eg(self, operand: int) -> int:
+        """Greatest fixpoint for ``EG operand`` by reverse pruning.
+
+        Each candidate state keeps a count of successors still inside the
+        candidate set; states whose count drops to zero are pruned and their
+        predecessors' counts decremented, touching every transition at most
+        once instead of re-scanning the whole set per iteration.
+        """
+        compiled = self._compiled
+        successor_mask = compiled.successor_mask
+        predecessors_of = compiled.predecessors_of
+        current = operand
+        counts: Dict[int, int] = {}
+        doomed: List[int] = []
+        for index in bits_of(operand):
+            alive = popcount(successor_mask(index) & operand)
+            counts[index] = alive
+            if not alive:
+                doomed.append(index)
+        while doomed:
+            index = doomed.pop()
+            current &= ~(1 << index)
+            for pred in predecessors_of(index):
+                remaining = counts.get(pred)
+                if remaining is None or not current >> pred & 1:
+                    continue
+                remaining -= 1
+                counts[pred] = remaining
+                if not remaining:
+                    doomed.append(pred)
+        return current
+
+
+def make_ctl_checker(
+    structure: Union[KripkeStructure, CompiledKripkeStructure],
+    engine: str = "bitset",
+    validate_structure: bool = True,
+):
+    """Construct a CTL checker for ``structure`` using the named engine.
+
+    ``engine="bitset"`` returns a :class:`BitsetCTLModelChecker`;
+    ``engine="naive"`` returns the frozenset-based
+    :class:`repro.mc.ctl.CTLModelChecker` (the differential-testing oracle).
+    """
+    if engine == "bitset":
+        return BitsetCTLModelChecker(structure, validate_structure=validate_structure)
+    if engine == "naive":
+        from repro.mc.ctl import CTLModelChecker
+
+        if isinstance(structure, CompiledKripkeStructure):
+            structure = structure.source
+        return CTLModelChecker(structure, validate_structure=validate_structure)
+    raise ModelCheckingError(
+        "unknown CTL engine %r; expected one of %s" % (engine, ", ".join(CTL_ENGINES))
+    )
+
+
+def satisfaction_set(
+    structure: Union[KripkeStructure, CompiledKripkeStructure], formula: Formula
+) -> FrozenSet[State]:
+    """One-shot helper: the bitset-engine satisfaction set of ``formula``."""
+    return BitsetCTLModelChecker(structure).satisfaction_set(formula)
+
+
+def check(
+    structure: Union[KripkeStructure, CompiledKripkeStructure],
+    formula: Formula,
+    state: Optional[State] = None,
+) -> bool:
+    """One-shot helper: decide ``structure, state ⊨ formula`` with the bitset engine."""
+    return BitsetCTLModelChecker(structure).check(formula, state)

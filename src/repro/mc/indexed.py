@@ -16,11 +16,18 @@ formula can distinguish networks of different sizes, so verifying it on a
 small instance says nothing about larger ones.  Pass
 ``enforce_restrictions=False`` to evaluate such formulas anyway (the Fig. 4.1
 experiment does exactly this to demonstrate the problem).
+
+Formulas whose instantiation lands in plain CTL — every property the paper
+actually checks — are dispatched to an explicit-state CTL engine selected by
+the ``engine`` parameter: ``"bitset"`` (default) compiles the structure once
+and runs :class:`repro.mc.bitset.BitsetCTLModelChecker` on int bitmasks;
+``"naive"`` keeps the original frozenset-based labelling checker, retained as
+the differential-testing oracle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Union
 
 from repro.errors import FragmentError
 from repro.kripke.indexed import IndexedKripkeStructure
@@ -33,10 +40,10 @@ from repro.logic.syntax import (
     is_state_formula,
 )
 from repro.logic.transform import free_index_variables, instantiate_quantifiers
-from repro.mc.ctl import CTLModelChecker
+from repro.mc.bitset import make_ctl_checker
 from repro.mc.ctlstar import CTLStarModelChecker
 
-__all__ = ["ICTLStarModelChecker", "satisfaction_set", "check"]
+__all__ = ["ICTLStarModelChecker", "satisfaction_set", "check", "check_batch"]
 
 
 class ICTLStarModelChecker:
@@ -47,12 +54,14 @@ class ICTLStarModelChecker:
         structure: IndexedKripkeStructure,
         enforce_restrictions: bool = True,
         validate_structure: bool = True,
+        engine: str = "bitset",
     ) -> None:
         if validate_structure:
             assert_total(structure)
         self._structure = structure
         self._enforce_restrictions = enforce_restrictions
-        self._ctl = CTLModelChecker(structure, validate_structure=False)
+        self._engine = engine
+        self._ctl = make_ctl_checker(structure, engine=engine, validate_structure=False)
         self._ctlstar = CTLStarModelChecker(structure, validate_structure=False)
         self._cache: Dict[Formula, FrozenSet[State]] = {}
 
@@ -60,6 +69,11 @@ class ICTLStarModelChecker:
     def structure(self) -> IndexedKripkeStructure:
         """The indexed structure this checker operates on."""
         return self._structure
+
+    @property
+    def engine(self) -> str:
+        """The explicit-state CTL engine in use (``"bitset"`` or ``"naive"``)."""
+        return self._engine
 
     # -- public API ----------------------------------------------------------
 
@@ -81,6 +95,23 @@ class ICTLStarModelChecker:
         """Decide ``M, state ⊨ formula`` (default state: the initial state)."""
         target = self._structure.initial_state if state is None else state
         return target in self.satisfaction_set(formula)
+
+    def check_batch(
+        self,
+        formulas: Union[Mapping[str, Formula], Iterable[Formula]],
+        state: Optional[State] = None,
+    ) -> Dict:
+        """Check a whole family of ICTL* formulas against one compiled structure.
+
+        The structure is validated and compiled once (at construction) and
+        each instantiated formula is dispatched to the shared engine, whose
+        per-sub-formula memo carries over between the formulas of the family.
+        With a mapping the result is keyed by the mapping's names; with a
+        plain iterable it is keyed by the formulas themselves.
+        """
+        if isinstance(formulas, Mapping):
+            return {name: self.check(formula, state) for name, formula in formulas.items()}
+        return {formula: self.check(formula, state) for formula in formulas}
 
     # -- helpers ---------------------------------------------------------------
 
@@ -108,9 +139,12 @@ def satisfaction_set(
     structure: IndexedKripkeStructure,
     formula: Formula,
     enforce_restrictions: bool = True,
+    engine: str = "bitset",
 ) -> FrozenSet[State]:
     """One-shot helper: the satisfaction set of an ICTL* formula."""
-    checker = ICTLStarModelChecker(structure, enforce_restrictions=enforce_restrictions)
+    checker = ICTLStarModelChecker(
+        structure, enforce_restrictions=enforce_restrictions, engine=engine
+    )
     return checker.satisfaction_set(formula)
 
 
@@ -119,7 +153,24 @@ def check(
     formula: Formula,
     state: Optional[State] = None,
     enforce_restrictions: bool = True,
+    engine: str = "bitset",
 ) -> bool:
     """One-shot helper: decide an ICTL* formula at ``state`` (default: initial state)."""
-    checker = ICTLStarModelChecker(structure, enforce_restrictions=enforce_restrictions)
+    checker = ICTLStarModelChecker(
+        structure, enforce_restrictions=enforce_restrictions, engine=engine
+    )
     return checker.check(formula, state)
+
+
+def check_batch(
+    structure: IndexedKripkeStructure,
+    formulas: Union[Mapping[str, Formula], Iterable[Formula]],
+    state: Optional[State] = None,
+    enforce_restrictions: bool = True,
+    engine: str = "bitset",
+) -> Dict:
+    """One-shot helper: check a family of ICTL* formulas, compiling the structure once."""
+    checker = ICTLStarModelChecker(
+        structure, enforce_restrictions=enforce_restrictions, engine=engine
+    )
+    return checker.check_batch(formulas, state)

@@ -8,13 +8,22 @@ are simple (no repeated states), finding a witness proves ``E g`` but failing
 to find one does not refute it; the test-suite therefore uses the oracle as a
 *one-sided* check against :mod:`repro.mc.ltl` together with exact agreement
 tests on deterministic structures (where simple lassos are exhaustive).
+
+Leaf formulas are decided per lasso position.  With ``engine="bitset"``
+(the default) the structure is compiled once per search and leaves are read
+off the compiled per-proposition bitmasks; ``engine="naive"`` keeps the
+original per-state label-set lookups.  The module also hosts
+:func:`crosscheck_ctl_engines`, the differential-testing entry point that
+replays a CTL formula through both explicit-state engines and insists on
+identical satisfaction sets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import ModelCheckingError
+from repro.kripke.compiled import compile_structure
 from repro.kripke.paths import Lasso, enumerate_lassos
 from repro.kripke.structure import KripkeStructure, State
 from repro.logic.ast import (
@@ -33,11 +42,43 @@ from repro.logic.ast import (
 )
 from repro.logic.syntax import is_ltl_path_formula
 from repro.logic.transform import expand
+from repro.mc.bitset import CTL_ENGINES, make_ctl_checker
 from repro.mc.ltl import AtomEval
 
-__all__ = ["lasso_satisfies", "find_lasso_witness", "simple_lasso_exists"]
+__all__ = [
+    "lasso_satisfies",
+    "find_lasso_witness",
+    "simple_lasso_exists",
+    "crosscheck_ctl_engines",
+]
 
 _LEAVES = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
+
+
+def _make_atom_eval(
+    structure: KripkeStructure,
+    atom_eval: Optional[AtomEval],
+    engine: str,
+) -> AtomEval:
+    """Resolve the leaf evaluator: explicit ``atom_eval`` wins, then the engine.
+
+    ``compile_structure`` memoises per live structure, so repeated oracle
+    calls against the same structure share one compilation.
+    """
+    if atom_eval is not None:
+        return atom_eval
+    if engine == "bitset":
+        frozen = compile_structure(structure)
+
+        def evaluate(state: State, leaf: Formula) -> bool:
+            return bool(frozen.atom_mask(leaf) >> frozen.index_of(state) & 1)
+
+        return evaluate
+    if engine == "naive":
+        return lambda state, leaf: structure.atom_holds(state, leaf)
+    raise ModelCheckingError(
+        "unknown CTL engine %r; expected one of %s" % (engine, ", ".join(CTL_ENGINES))
+    )
 
 
 def lasso_satisfies(
@@ -45,6 +86,7 @@ def lasso_satisfies(
     lasso: Lasso,
     path_formula: Formula,
     atom_eval: AtomEval | None = None,
+    engine: str = "bitset",
 ) -> bool:
     """Decide whether the infinite path represented by ``lasso`` satisfies ``path_formula``.
 
@@ -56,7 +98,7 @@ def lasso_satisfies(
         raise ModelCheckingError(
             "the lasso oracle evaluates pure path formulas; got %s" % path_formula
         )
-    evaluate = atom_eval or (lambda state, leaf: structure.atom_holds(state, leaf))
+    evaluate = _make_atom_eval(structure, atom_eval, engine)
     core = expand(path_formula)
     positions = lasso.positions()
     count = len(positions)
@@ -107,14 +149,18 @@ def find_lasso_witness(
     atom_eval: AtomEval | None = None,
     max_stem: Optional[int] = None,
     max_cycle: Optional[int] = None,
+    engine: str = "bitset",
 ) -> Optional[Lasso]:
     """Search for a simple lasso from ``state`` satisfying ``path_formula``.
 
     Returns the first witness found, or ``None`` when no *simple* lasso
     witness exists (which does not by itself refute ``E path_formula``).
+    The structure is compiled once for the whole search when the bitset
+    engine decides the leaves.
     """
+    evaluate = _make_atom_eval(structure, atom_eval, engine)
     for lasso in enumerate_lassos(structure, state, max_stem=max_stem, max_cycle=max_cycle):
-        if lasso_satisfies(structure, lasso, path_formula, atom_eval):
+        if lasso_satisfies(structure, lasso, path_formula, evaluate):
             return lasso
     return None
 
@@ -124,6 +170,41 @@ def simple_lasso_exists(
     state: State,
     path_formula: Formula,
     atom_eval: AtomEval | None = None,
+    engine: str = "bitset",
 ) -> bool:
     """Return ``True`` when some simple lasso from ``state`` satisfies ``path_formula``."""
-    return find_lasso_witness(structure, state, path_formula, atom_eval) is not None
+    return find_lasso_witness(structure, state, path_formula, atom_eval, engine=engine) is not None
+
+
+def crosscheck_ctl_engines(
+    structure: KripkeStructure,
+    formula: Formula,
+    validate_structure: bool = True,
+):
+    """Differential test: run ``formula`` through every CTL engine and compare.
+
+    Returns the common satisfaction set; raises :class:`ModelCheckingError`
+    when the bitset engine and the naive oracle disagree (listing the states
+    on which they differ, which is what the property-based tests report).
+    """
+    reference = None
+    reference_engine = None
+    for engine in CTL_ENGINES:
+        checker = make_ctl_checker(structure, engine=engine, validate_structure=validate_structure)
+        result = checker.satisfaction_set(formula)
+        if reference is None:
+            reference, reference_engine = result, engine
+        elif result != reference:
+            raise ModelCheckingError(
+                "engines %r and %r disagree on %s: only-%s=%r, only-%s=%r"
+                % (
+                    reference_engine,
+                    engine,
+                    formula,
+                    reference_engine,
+                    sorted(reference - result, key=repr),
+                    engine,
+                    sorted(result - reference, key=repr),
+                )
+            )
+    return reference

@@ -37,7 +37,7 @@ for the invariants and the four verified properties.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import StructureError
 from repro.kripke.indexed import IndexedKripkeStructure

@@ -111,7 +111,7 @@ def test_counterexample_for_the_distinguishing_formula(ring3):
     """Extract the concrete reason the distinguishing formula fails for r >= 3."""
     from repro.logic.transform import instantiate_quantifiers
     from repro.mc import counterexample_ag
-    from repro.logic.ast import ForAll, Globally, Implies
+    from repro.logic.ast import ForAll, Globally
 
     # Instantiate the formula for process 1 and strip the leading AG to find a
     # reachable state where the body fails.

@@ -1,0 +1,100 @@
+"""Differential property tests: the bitset engine against the naive oracle.
+
+Random total Kripke structures and random CTL formulas must yield identical
+satisfaction sets from :class:`BitsetCTLModelChecker` and the frozenset-based
+:class:`CTLModelChecker` — the naive checker is the differential-testing
+oracle for the compiled engine.
+"""
+
+from hypothesis import given, settings
+
+from strategies import ctl_formulas, kripke_structures
+
+from repro.kripke.compiled import compile_structure, popcount
+from repro.logic.ast import (
+    Atom,
+    Exists,
+    Finally,
+    ForAll,
+    Globally,
+    Next,
+    Not,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+)
+from repro.mc.bitset import BitsetCTLModelChecker
+from repro.mc.ctl import CTLModelChecker
+from repro.mc.oracle import crosscheck_ctl_engines
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=3))
+@settings(max_examples=100, deadline=None)
+def test_bitset_and_naive_satisfaction_sets_agree(structure, formula):
+    fast = BitsetCTLModelChecker(structure)
+    naive = CTLModelChecker(structure)
+    assert fast.satisfaction_set(formula) == naive.satisfaction_set(formula)
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=50, deadline=None)
+def test_crosscheck_helper_accepts_random_inputs(structure, formula):
+    # The helper raises on any disagreement, so surviving it is the property.
+    result = crosscheck_ctl_engines(structure, formula)
+    assert result == CTLModelChecker(structure).satisfaction_set(formula)
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=50, deadline=None)
+def test_bitset_agrees_on_next_and_release_closures(structure, formula):
+    """Exercise the operators the random CTL strategy never emits."""
+    fast = BitsetCTLModelChecker(structure)
+    naive = CTLModelChecker(structure)
+    probe = Atom("p")
+    for wrapped in [
+        Exists(Next(formula)),
+        ForAll(Next(formula)),
+        Exists(Release(probe, formula)),
+        ForAll(Release(probe, formula)),
+        Exists(WeakUntil(formula, probe)),
+        ForAll(WeakUntil(formula, probe)),
+    ]:
+        assert fast.satisfaction_set(wrapped) == naive.satisfaction_set(wrapped)
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=50, deadline=None)
+def test_bitset_negation_is_mask_complement(structure, formula):
+    checker = BitsetCTLModelChecker(structure)
+    compiled = checker.compiled
+    mask = checker.satisfaction_mask(formula)
+    complement = checker.satisfaction_mask(Not(formula))
+    assert mask & complement == 0
+    assert mask | complement == compiled.all_mask
+    assert popcount(mask) + popcount(complement) == compiled.num_states
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=1))
+@settings(max_examples=50, deadline=None)
+def test_bitset_dualities(structure, formula):
+    checker = BitsetCTLModelChecker(structure)
+    everything = checker.compiled.all_mask
+    assert checker.satisfaction_mask(
+        ForAll(Globally(formula))
+    ) == everything & ~checker.satisfaction_mask(Exists(Finally(Not(formula))))
+    assert checker.satisfaction_mask(
+        Exists(Finally(formula))
+    ) == checker.satisfaction_mask(Exists(Until(TrueLiteral(), formula)))
+
+
+@given(structure=kripke_structures())
+@settings(max_examples=50, deadline=None)
+def test_compiled_adjacency_matches_source(structure):
+    compiled = compile_structure(structure)
+    for state in structure.states:
+        index = compiled.index_of(state)
+        assert compiled.states_of(compiled.successor_mask(index)) == structure.successors(state)
+        assert compiled.states_of(compiled.predecessor_mask(index)) == structure.predecessors(
+            state
+        )

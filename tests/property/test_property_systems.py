@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.logic.ast import IndexExists, IndexForall, Not
+from repro.logic.ast import IndexExists, Not
 from repro.logic.builders import AF, AG, EF, iatom, implies, index_exists, index_forall
 from repro.logic.transform import instantiate_quantifiers, substitute_index
 from repro.mc.indexed import ICTLStarModelChecker

@@ -1,7 +1,5 @@
 """Unit tests for the analysis helpers and the error hierarchy."""
 
-import pytest
-
 from repro import errors
 from repro.analysis.explosion import sample_large_ring_correspondence, token_ring_explosion_sweep
 from repro.analysis.timing import timed_call

@@ -15,7 +15,6 @@ from repro.logic.ast import (
     IndexExists,
     IndexForall,
     IndexedAtom,
-    Next,
     Not,
     Or,
     Release,

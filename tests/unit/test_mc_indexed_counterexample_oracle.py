@@ -9,8 +9,6 @@ from repro.logic.builders import (
     AF,
     AG,
     EF,
-    EG,
-    EU,
     F,
     G,
     U,
@@ -20,7 +18,6 @@ from repro.logic.builders import (
     implies,
     index_exists,
     index_forall,
-    land,
     lnot,
 )
 from repro.logic.parser import parse
@@ -31,7 +28,6 @@ from repro.mc.counterexample import (
     witness_eg,
     witness_eu,
 )
-from repro.mc.ctl import CTLModelChecker
 from repro.mc.indexed import ICTLStarModelChecker, check, satisfaction_set
 from repro.mc.oracle import find_lasso_witness, lasso_satisfies, simple_lasso_exists
 from repro.systems import figures, token_ring

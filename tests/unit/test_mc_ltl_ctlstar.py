@@ -20,7 +20,6 @@ from repro.logic.builders import (
     implies,
     index_forall,
     land,
-    lnot,
     lor,
 )
 from repro.logic.parser import parse
