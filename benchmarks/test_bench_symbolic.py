@@ -1,0 +1,106 @@
+"""Head-to-head: the symbolic BDD engine vs. the compiled bitset engine.
+
+Two regimes are measured.  Inside the explicit range (``r ≤ 6``) both engines
+check the full Section 5 property family on the same ring, with the symbolic
+engine running on the *direct* BDD encoding (the explicit product is never
+built for it).  Beyond the explicit wall (``r ≥ 10``, sizes the explicit
+sweep cannot reach in benchmark time) only the symbolic engine runs; its
+rounds are pinned to 1 so the tier-1 suite stays fast.  Every benchmark
+publishes exact state counts — BDD satisfy-counts for the symbolic runs —
+through ``extra_info`` into the ``BENCH_*.json`` artifact flow.
+
+``test_symbolic_matches_bitset_at_overlap`` is the correctness guard: at a
+size where both engines run, the symbolic verdicts (properties *and*
+invariants, including the ``Θ`` one-token invariant) must equal the bitset
+engine's.
+"""
+
+import pytest
+
+from repro.analysis.explosion import symbolic_token_ring_explosion_sweep
+from repro.mc import ICTLStarModelChecker, SymbolicCTLModelChecker
+from repro.systems import token_ring
+
+
+def _check_symbolic_direct(size):
+    structure = token_ring.symbolic_token_ring(size)
+    checker = SymbolicCTLModelChecker(structure)
+    return checker.check_batch(token_ring.ring_properties())
+
+
+def _check_bitset_explicit(structure):
+    checker = ICTLStarModelChecker(structure, engine="bitset")
+    return checker.check_batch(token_ring.ring_properties())
+
+
+@pytest.mark.bench_smoke
+def test_symbolic_direct_ring4(benchmark, ring4):
+    benchmark.group = "symbolic-vs-bitset-ring4"
+    benchmark.extra_info["n"] = 4
+    benchmark.extra_info["engine"] = "bdd"
+    benchmark.extra_info["states"] = ring4.num_states
+    results = benchmark(_check_symbolic_direct, 4)
+    assert all(results.values())
+
+
+@pytest.mark.bench_smoke
+def test_bitset_explicit_ring4(benchmark, ring4):
+    benchmark.group = "symbolic-vs-bitset-ring4"
+    benchmark.extra_info["n"] = 4
+    benchmark.extra_info["engine"] = "bitset"
+    benchmark.extra_info["states"] = ring4.num_states
+    results = benchmark(_check_bitset_explicit, ring4)
+    assert all(results.values())
+
+
+def test_symbolic_direct_ring6(benchmark, ring6):
+    benchmark.group = "symbolic-vs-bitset-ring6"
+    benchmark.extra_info["n"] = 6
+    benchmark.extra_info["engine"] = "bdd"
+    benchmark.extra_info["states"] = ring6.num_states
+    results = benchmark(_check_symbolic_direct, 6)
+    assert all(results.values())
+
+
+def test_bitset_explicit_ring6(benchmark, ring6):
+    benchmark.group = "symbolic-vs-bitset-ring6"
+    benchmark.extra_info["n"] = 6
+    benchmark.extra_info["engine"] = "bitset"
+    benchmark.extra_info["states"] = ring6.num_states
+    results = benchmark(_check_bitset_explicit, ring6)
+    assert all(results.values())
+
+
+@pytest.mark.parametrize("size", [10, 12])
+def test_symbolic_explosion_beyond_explicit_range(benchmark, size):
+    """Check rings the explicit engines cannot reach; verdicts must all hold.
+
+    One round per size: the point is the capability (and a tracked wall
+    time), not a statistically tight distribution — the tier-1 suite runs
+    the benchmarks too, so repetition would dominate its runtime.
+    """
+    benchmark.group = "symbolic-explosion"
+    benchmark.extra_info["n"] = size
+    benchmark.extra_info["engine"] = "bdd"
+
+    def sweep_point():
+        [point] = symbolic_token_ring_explosion_sweep([size])
+        return point
+
+    point = benchmark.pedantic(sweep_point, rounds=1, iterations=1)
+    benchmark.extra_info["states"] = point.num_states
+    benchmark.extra_info["transitions"] = point.num_transitions
+    benchmark.extra_info["bdd_nodes"] = point.bdd_nodes
+    assert all(point.results.values())
+    # Reachable states of M_r: the holder is any of r processes in T or C and
+    # every other process is independently in N or D, giving r * 2^r states.
+    assert point.num_states == size * 2 ** size
+
+
+@pytest.mark.bench_smoke
+def test_symbolic_matches_bitset_at_overlap(ring5):
+    """At r=5 (explicit range) the symbolic verdicts must match the bitset ones."""
+    family = {**token_ring.ring_properties(), **token_ring.ring_invariants()}
+    explicit = ICTLStarModelChecker(ring5, engine="bitset").check_batch(family)
+    symbolic = SymbolicCTLModelChecker(token_ring.symbolic_token_ring(5)).check_batch(family)
+    assert symbolic == explicit

@@ -7,8 +7,11 @@ The library provides, as reusable components:
   (:mod:`repro.logic`);
 * **Kripke structures** and **indexed Kripke structures** with products,
   reductions and reachability (:mod:`repro.kripke`);
-* explicit-state **model checkers** for CTL (labelling algorithm), CTL*
-  (via an LTL tableau core) and ICTL* (:mod:`repro.mc`);
+* **model checkers** for CTL — the naive labelling algorithm, the compiled
+  bitset engine, and the symbolic BDD engine — plus CTL* (via an LTL tableau
+  core) and ICTL* (:mod:`repro.mc`);
+* a pure-Python **ROBDD package** with hash-consed nodes and memoized
+  apply/ite/quantification/relational-product operations (:mod:`repro.bdd`);
 * the paper's **correspondence** relation (a block bisimulation with degrees),
   a decision algorithm, and the indexed correspondence / parameterized
   verification workflow (:mod:`repro.correspondence`);
@@ -31,7 +34,7 @@ Quick start::
     assert result.holds          # verified on M_2, valid for M_5 by Theorem 5
 """
 
-from repro import analysis, correspondence, kripke, logic, mc, network, systems
+from repro import analysis, bdd, correspondence, kripke, logic, mc, network, systems
 from repro.errors import (
     CompositionError,
     CorrespondenceError,
@@ -49,6 +52,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "logic",
+    "bdd",
     "kripke",
     "mc",
     "correspondence",

@@ -2,7 +2,9 @@
 
 from repro.analysis.explosion import (
     ExplosionPoint,
+    SymbolicExplosionPoint,
     sample_large_ring_correspondence,
+    symbolic_token_ring_explosion_sweep,
     token_ring_explosion_sweep,
 )
 from repro.analysis.timing import Timed, timed_call
@@ -10,7 +12,9 @@ from repro.analysis import experiments
 
 __all__ = [
     "ExplosionPoint",
+    "SymbolicExplosionPoint",
     "token_ring_explosion_sweep",
+    "symbolic_token_ring_explosion_sweep",
     "sample_large_ring_correspondence",
     "Timed",
     "timed_call",

@@ -1,0 +1,18 @@
+"""Reduced ordered binary decision diagrams (the symbolic engine's substrate).
+
+The package provides a pure-Python ROBDD implementation:
+
+* :class:`BDDManager` — the node table: hash-consed nodes, a unique table,
+  and memoized ``apply``/``ite``/``restrict``/``exists``/``relprod``/``rename``
+  operations on raw integer node ids;
+* :class:`BDDFunction` — an operator-overloaded ``(manager, node)`` wrapper
+  (``f & g``, ``~f``, ``f >> g``, ``f.relprod(g, levels)``, …).
+
+:mod:`repro.kripke.symbolic` builds Kripke-structure encodings on top of this
+package and :mod:`repro.mc.symbolic` runs CTL fixpoints over them.
+"""
+
+from repro.bdd.function import BDDFunction
+from repro.bdd.manager import FALSE, TERMINAL_LEVEL, TRUE, BDDManager
+
+__all__ = ["BDDManager", "BDDFunction", "FALSE", "TRUE", "TERMINAL_LEVEL"]

@@ -1,0 +1,570 @@
+"""A reduced ordered binary decision diagram (ROBDD) manager.
+
+The manager owns every node: nodes are rows ``(level, low, high)`` in an
+append-only table, identified by their integer row index, and *hash-consed*
+through a unique table so that structurally equal functions are represented by
+the same node id.  Equality of two boolean functions is therefore a single
+``==`` on ints, which is what makes the symbolic fixpoint computations of
+:mod:`repro.mc.symbolic` terminate cheaply.
+
+Conventions
+-----------
+* Node ``0`` is the constant *false*, node ``1`` the constant *true*.
+* Variables are identified by an integer *level*; lower levels are closer to
+  the root (tested first).  The manager imposes no meaning on levels — the
+  current/next interleaving used for transition relations is a convention of
+  :mod:`repro.kripke.symbolic` (state bit ``k`` lives at level ``2k``, its
+  next-state copy at level ``2k + 1``).
+* Every operation is memoized: the binary connectives share per-operation
+  caches (``apply``), and ``ite``, ``negate``, ``restrict``, ``exists``,
+  ``relprod`` and ``rename`` each keep their own.  Caches live as long as the
+  manager, which matches the library's compile-once/check-a-family usage.
+
+The recursion depth of every operation is bounded by the number of levels in
+the operands' support, so the default interpreter recursion limit comfortably
+accommodates the encodings used here (a few dozen levels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from repro.errors import BDDError
+
+__all__ = ["BDDManager", "TERMINAL_LEVEL", "FALSE", "TRUE"]
+
+#: Sentinel level of the two terminal nodes; larger than any variable level.
+TERMINAL_LEVEL = 1 << 30
+
+#: The node id of the constant false function.
+FALSE = 0
+
+#: The node id of the constant true function.
+TRUE = 1
+
+
+class BDDManager:
+    """Owns a shared node table and the memo caches of every BDD operation.
+
+    The manager API works on raw integer node ids; the ergonomic entry point
+    is :class:`repro.bdd.BDDFunction`, which wraps a ``(manager, node)`` pair
+    with operator overloading.  All node ids returned by one manager are only
+    meaningful to that manager.
+    """
+
+    def __init__(self) -> None:
+        # Rows are (level, low, high); the two terminals point at themselves
+        # so that cofactor lookups never need a special case for ids < 2.
+        self._nodes: List[Tuple[int, int, int]] = [
+            (TERMINAL_LEVEL, 0, 0),
+            (TERMINAL_LEVEL, 1, 1),
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._restrict_cache: Dict[Tuple[int, int, int], int] = {}
+        self._exists_cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        self._relprod_cache: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
+        self._rename_cache: Dict[Tuple[object, int], int] = {}
+        #: Cumulative hit/miss counters of the binary apply caches; exposed so
+        #: the test-suite can assert that memoization actually engages.
+        self.apply_cache_hits = 0
+        self.apply_cache_misses = 0
+
+    # -- node table ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """The total number of allocated nodes (including the two terminals)."""
+        return len(self._nodes)
+
+    def level_of(self, node: int) -> int:
+        """The level tested at ``node`` (``TERMINAL_LEVEL`` for the terminals)."""
+        return self._nodes[node][0]
+
+    def low_of(self, node: int) -> int:
+        """The low (level-false) cofactor edge of ``node``."""
+        return self._nodes[node][1]
+
+    def high_of(self, node: int) -> int:
+        """The high (level-true) cofactor edge of ``node``."""
+        return self._nodes[node][2]
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Hash-consed node constructor enforcing both ROBDD reduction rules."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            self._nodes.append(key)
+            node = len(self._nodes) - 1
+            self._unique[key] = node
+        return node
+
+    def var(self, level: int) -> int:
+        """The single-variable function that is true iff ``level`` is true."""
+        if level < 0 or level >= TERMINAL_LEVEL:
+            raise BDDError("variable level %r out of range" % (level,))
+        return self._mk(level, 0, 1)
+
+    def nvar(self, level: int) -> int:
+        """The single-variable function that is true iff ``level`` is false."""
+        if level < 0 or level >= TERMINAL_LEVEL:
+            raise BDDError("variable level %r out of range" % (level,))
+        return self._mk(level, 1, 0)
+
+    def cube(self, literals: Mapping[int, bool]) -> int:
+        """The conjunction of literals ``{level: polarity}`` (a minterm over its keys)."""
+        result = 1
+        for level in sorted(literals, reverse=True):
+            if literals[level]:
+                result = self._mk(level, 0, result)
+            else:
+                result = self._mk(level, result, 0)
+        return result
+
+    # -- binary connectives ----------------------------------------------------
+
+    def apply_and(self, u: int, v: int) -> int:
+        """Conjunction ``u ∧ v``."""
+        if u == v:
+            return u
+        if u == 0 or v == 0:
+            return 0
+        if u == 1:
+            return v
+        if v == 1:
+            return u
+        if u > v:
+            u, v = v, u
+        cache = self._and_cache
+        key = (u, v)
+        result = cache.get(key)
+        if result is not None:
+            self.apply_cache_hits += 1
+            return result
+        self.apply_cache_misses += 1
+        nodes = self._nodes
+        ulevel, ulow, uhigh = nodes[u]
+        vlevel, vlow, vhigh = nodes[v]
+        if ulevel == vlevel:
+            result = self._mk(ulevel, self.apply_and(ulow, vlow), self.apply_and(uhigh, vhigh))
+        elif ulevel < vlevel:
+            result = self._mk(ulevel, self.apply_and(ulow, v), self.apply_and(uhigh, v))
+        else:
+            result = self._mk(vlevel, self.apply_and(u, vlow), self.apply_and(u, vhigh))
+        cache[key] = result
+        return result
+
+    def apply_or(self, u: int, v: int) -> int:
+        """Disjunction ``u ∨ v``."""
+        if u == v:
+            return u
+        if u == 1 or v == 1:
+            return 1
+        if u == 0:
+            return v
+        if v == 0:
+            return u
+        if u > v:
+            u, v = v, u
+        cache = self._or_cache
+        key = (u, v)
+        result = cache.get(key)
+        if result is not None:
+            self.apply_cache_hits += 1
+            return result
+        self.apply_cache_misses += 1
+        nodes = self._nodes
+        ulevel, ulow, uhigh = nodes[u]
+        vlevel, vlow, vhigh = nodes[v]
+        if ulevel == vlevel:
+            result = self._mk(ulevel, self.apply_or(ulow, vlow), self.apply_or(uhigh, vhigh))
+        elif ulevel < vlevel:
+            result = self._mk(ulevel, self.apply_or(ulow, v), self.apply_or(uhigh, v))
+        else:
+            result = self._mk(vlevel, self.apply_or(u, vlow), self.apply_or(u, vhigh))
+        cache[key] = result
+        return result
+
+    def apply_xor(self, u: int, v: int) -> int:
+        """Exclusive disjunction ``u ⊕ v``."""
+        if u == v:
+            return 0
+        if u == 0:
+            return v
+        if v == 0:
+            return u
+        if u == 1:
+            return self.negate(v)
+        if v == 1:
+            return self.negate(u)
+        if u > v:
+            u, v = v, u
+        cache = self._xor_cache
+        key = (u, v)
+        result = cache.get(key)
+        if result is not None:
+            self.apply_cache_hits += 1
+            return result
+        self.apply_cache_misses += 1
+        nodes = self._nodes
+        ulevel, ulow, uhigh = nodes[u]
+        vlevel, vlow, vhigh = nodes[v]
+        if ulevel == vlevel:
+            result = self._mk(ulevel, self.apply_xor(ulow, vlow), self.apply_xor(uhigh, vhigh))
+        elif ulevel < vlevel:
+            result = self._mk(ulevel, self.apply_xor(ulow, v), self.apply_xor(uhigh, v))
+        else:
+            result = self._mk(vlevel, self.apply_xor(u, vlow), self.apply_xor(u, vhigh))
+        cache[key] = result
+        return result
+
+    def apply(self, op: str, u: int, v: int) -> int:
+        """Dispatch a named binary connective (``and``/``or``/``xor``/``diff``/``imp``/``iff``)."""
+        if op == "and":
+            return self.apply_and(u, v)
+        if op == "or":
+            return self.apply_or(u, v)
+        if op == "xor":
+            return self.apply_xor(u, v)
+        if op == "diff":
+            return self.apply_and(u, self.negate(v))
+        if op == "imp":
+            return self.apply_or(self.negate(u), v)
+        if op == "iff":
+            return self.negate(self.apply_xor(u, v))
+        raise BDDError("unknown apply operation %r" % (op,))
+
+    def negate(self, u: int) -> int:
+        """Complement ``¬u``."""
+        if u < 2:
+            return 1 - u
+        cache = self._not_cache
+        result = cache.get(u)
+        if result is not None:
+            return result
+        level, low, high = self._nodes[u]
+        result = self._mk(level, self.negate(low), self.negate(high))
+        cache[u] = result
+        cache[result] = u
+        return result
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f ∧ g) ∨ (¬f ∧ h)``."""
+        if f == 1:
+            return g
+        if f == 0:
+            return h
+        if g == h:
+            return g
+        if g == 1 and h == 0:
+            return f
+        if g == 0 and h == 1:
+            return self.negate(f)
+        cache = self._ite_cache
+        key = (f, g, h)
+        result = cache.get(key)
+        if result is not None:
+            return result
+        nodes = self._nodes
+        top = min(nodes[f][0], nodes[g][0], nodes[h][0])
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        result = self._mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        cache[key] = result
+        return result
+
+    def _cofactors(self, u: int, level: int) -> Tuple[int, int]:
+        ulevel, low, high = self._nodes[u]
+        if ulevel != level:
+            return u, u
+        return low, high
+
+    # -- restriction and quantification ---------------------------------------
+
+    def restrict(self, u: int, level: int, value: bool) -> int:
+        """The cofactor ``u[level := value]``."""
+        if u < 2:
+            return u
+        ulevel, low, high = self._nodes[u]
+        if ulevel > level:
+            return u
+        if ulevel == level:
+            return high if value else low
+        key = (u, level, int(value))
+        cache = self._restrict_cache
+        result = cache.get(key)
+        if result is not None:
+            return result
+        result = self._mk(
+            ulevel, self.restrict(low, level, value), self.restrict(high, level, value)
+        )
+        cache[key] = result
+        return result
+
+    def _cube_levels(self, levels: Iterable[int]) -> Tuple[int, ...]:
+        return tuple(sorted(set(levels)))
+
+    def exists(self, u: int, levels: Iterable[int]) -> int:
+        """Existential quantification ``∃ levels . u``."""
+        return self._exists(u, self._cube_levels(levels))
+
+    def _exists(self, u: int, cube: Tuple[int, ...]) -> int:
+        if u < 2 or not cube:
+            return u
+        ulevel, low, high = self._nodes[u]
+        start = 0
+        while start < len(cube) and cube[start] < ulevel:
+            start += 1
+        if start:
+            cube = cube[start:]
+        if not cube:
+            return u
+        key = (u, cube)
+        cache = self._exists_cache
+        result = cache.get(key)
+        if result is not None:
+            return result
+        if ulevel == cube[0]:
+            rest = cube[1:]
+            result = self.apply_or(self._exists(low, rest), self._exists(high, rest))
+        else:
+            result = self._mk(ulevel, self._exists(low, cube), self._exists(high, cube))
+        cache[key] = result
+        return result
+
+    def forall(self, u: int, levels: Iterable[int]) -> int:
+        """Universal quantification ``∀ levels . u`` (the dual of :meth:`exists`)."""
+        return self.negate(self.exists(self.negate(u), levels))
+
+    def relprod(self, u: int, v: int, levels: Iterable[int]) -> int:
+        """The relational product ``∃ levels . (u ∧ v)``, fused.
+
+        Conjunction and quantification are interleaved in one recursion, so
+        quantified variables are eliminated as soon as both operands have
+        branched on them and the (often much larger) intermediate ``u ∧ v``
+        is never materialised.  This is the workhorse of symbolic image and
+        pre-image computation.
+        """
+        return self._relprod(u, v, self._cube_levels(levels))
+
+    def _relprod(self, u: int, v: int, cube: Tuple[int, ...]) -> int:
+        if u == 0 or v == 0:
+            return 0
+        if not cube:
+            return self.apply_and(u, v)
+        if u == 1:
+            return self._exists(v, cube)
+        if v == 1:
+            return self._exists(u, cube)
+        if u > v:
+            u, v = v, u
+        nodes = self._nodes
+        top = min(nodes[u][0], nodes[v][0])
+        start = 0
+        while start < len(cube) and cube[start] < top:
+            start += 1
+        if start:
+            cube = cube[start:]
+        if not cube:
+            return self.apply_and(u, v)
+        key = (u, v, cube)
+        cache = self._relprod_cache
+        result = cache.get(key)
+        if result is not None:
+            return result
+        u0, u1 = self._cofactors(u, top)
+        v0, v1 = self._cofactors(v, top)
+        if cube[0] == top:
+            rest = cube[1:]
+            low = self._relprod(u0, v0, rest)
+            if low == 1:
+                result = 1
+            else:
+                result = self.apply_or(low, self._relprod(u1, v1, rest))
+        else:
+            result = self._mk(top, self._relprod(u0, v0, cube), self._relprod(u1, v1, cube))
+        cache[key] = result
+        return result
+
+    # -- renaming ---------------------------------------------------------------
+
+    def rename(self, u: int, mapping: Mapping[int, int], tag: object = None) -> int:
+        """Substitute variables per ``mapping`` (level → level).
+
+        The mapping must be strictly order-preserving on the operand's support
+        (``a < b`` implies ``mapping[a] < mapping[b]``, with unmapped levels
+        keeping their place), so the rename is a single structural walk rather
+        than a general composition.  Violations — including ones involving
+        *unmapped* support levels — are detected during the walk and raise
+        :class:`~repro.errors.BDDError` rather than producing an unordered
+        diagram.  The current↔next shifts used by the symbolic Kripke encoding
+        satisfy the requirement by construction.  ``tag``, when given,
+        identifies the mapping in the memo cache; callers renaming with the
+        same mapping repeatedly should pass a stable tag.
+        """
+        if tag is None:
+            tag = tuple(sorted(mapping.items()))
+        items = sorted(mapping.items())
+        for (a, fa), (b, fb) in zip(items, items[1:]):
+            if fa >= fb:
+                raise BDDError(
+                    "rename mapping is not order-preserving: %r -> %r but %r -> %r"
+                    % (a, fa, b, fb)
+                )
+        return self._rename(u, mapping, tag)
+
+    def _rename(self, u: int, mapping: Mapping[int, int], tag: object) -> int:
+        if u < 2:
+            return u
+        key = (tag, u)
+        cache = self._rename_cache
+        result = cache.get(key)
+        if result is not None:
+            return result
+        nodes = self._nodes
+        level, low, high = nodes[u]
+        new_level = mapping.get(level, level)
+        new_low = self._rename(low, mapping, tag)
+        new_high = self._rename(high, mapping, tag)
+        # The renamed children are ordered by induction; the parent must stay
+        # strictly above them or the mapping interleaves mapped and unmapped
+        # levels — a silent ordering violation without this check.
+        if new_level >= min(nodes[new_low][0], nodes[new_high][0]):
+            raise BDDError(
+                "rename mapping is not order-preserving on the support: level %d "
+                "maps to %d, at or below a renamed child" % (level, new_level)
+            )
+        result = self._mk(new_level, new_low, new_high)
+        cache[key] = result
+        return result
+
+    # -- inspection --------------------------------------------------------------
+
+    def evaluate(self, u: int, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate ``u`` under a (total enough) truth assignment ``{level: value}``."""
+        nodes = self._nodes
+        while u >= 2:
+            level, low, high = nodes[u]
+            try:
+                u = high if assignment[level] else low
+            except KeyError:
+                raise BDDError(
+                    "assignment does not cover level %d in the function's support" % level
+                ) from None
+        return u == 1
+
+    def support(self, u: int) -> frozenset:
+        """The set of levels the function actually depends on."""
+        seen = set()
+        levels = set()
+        stack = [u]
+        nodes = self._nodes
+        while stack:
+            node = stack.pop()
+            if node < 2 or node in seen:
+                continue
+            seen.add(node)
+            level, low, high = nodes[node]
+            levels.add(level)
+            stack.append(low)
+            stack.append(high)
+        return frozenset(levels)
+
+    def node_count(self, u: int) -> int:
+        """The number of internal (non-terminal) nodes reachable from ``u``."""
+        seen = set()
+        stack = [u]
+        nodes = self._nodes
+        while stack:
+            node = stack.pop()
+            if node < 2 or node in seen:
+                continue
+            seen.add(node)
+            _, low, high = nodes[node]
+            stack.append(low)
+            stack.append(high)
+        return len(seen)
+
+    def sat_count(self, u: int, levels: Iterable[int]) -> int:
+        """The number of satisfying assignments over the variable set ``levels``.
+
+        ``levels`` must cover the function's support; variables in ``levels``
+        that the function does not test double the count (the usual minterm
+        weighting).  This is how the symbolic engine reports state-space sizes
+        without ever enumerating states.
+        """
+        cube = self._cube_levels(levels)
+        position = {level: i for i, level in enumerate(cube)}
+        total = len(cube)
+        nodes = self._nodes
+        memo: Dict[int, int] = {0: 0, 1: 1}
+
+        def pos(node: int) -> int:
+            if node < 2:
+                return total
+            level = nodes[node][0]
+            try:
+                return position[level]
+            except KeyError:
+                raise BDDError(
+                    "sat_count variable set does not cover support level %d" % level
+                ) from None
+
+        def count(node: int) -> int:
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = nodes[node]
+            here = pos(node)
+            result = count(low) << (pos(low) - here - 1)
+            result += count(high) << (pos(high) - here - 1)
+            memo[node] = result
+            return result
+
+        return count(u) << pos(u)
+
+    def iter_models(self, u: int, levels: Iterable[int]) -> Iterator[Dict[int, bool]]:
+        """Yield every satisfying assignment of ``u`` over ``levels`` as a dict.
+
+        Intended for decoding *small* satisfying sets (tests, examples); the
+        scalable counterpart is :meth:`sat_count`.
+        """
+        cube = self._cube_levels(levels)
+        support = self.support(u)
+        if not support <= set(cube):
+            raise BDDError(
+                "iter_models variable set does not cover support levels %s"
+                % sorted(support - set(cube))
+            )
+        nodes = self._nodes
+
+        def rec(node: int, index: int) -> Iterator[Dict[int, bool]]:
+            if node == 0:
+                return
+            if index == len(cube):
+                yield {}
+                return
+            level = cube[index]
+            if node >= 2 and nodes[node][0] == level:
+                _, low, high = nodes[node]
+                for model in rec(low, index + 1):
+                    model[level] = False
+                    yield model
+                for model in rec(high, index + 1):
+                    model[level] = True
+                    yield model
+            else:
+                for model in rec(node, index + 1):
+                    positive = dict(model)
+                    model[level] = False
+                    yield model
+                    positive[level] = True
+                    yield positive
+
+        return rec(u, 0)

@@ -18,6 +18,7 @@ __all__ = [
     "ModelCheckingError",
     "CorrespondenceError",
     "CompositionError",
+    "BDDError",
 ]
 
 
@@ -81,3 +82,13 @@ class CorrespondenceError(ReproError):
 
 class CompositionError(ReproError):
     """A network composition (product of processes) could not be constructed."""
+
+
+class BDDError(ReproError):
+    """A binary-decision-diagram operation was used incorrectly.
+
+    Raised, for example, when two :class:`repro.bdd.BDDFunction` values from
+    different managers are combined, when a satisfy-count is requested over a
+    variable set that does not cover the function's support, or when a rename
+    mapping is not order-preserving.
+    """

@@ -21,6 +21,11 @@ from repro.kripke.reachable import reachable_states, restrict_to_reachable
 from repro.kripke.reduction import CANONICAL_INDEX, reduce_to_index
 from repro.kripke.stats import StructureStats, structure_stats
 from repro.kripke.structure import IndexedProp, KripkeStructure, Label, State
+from repro.kripke.symbolic import (
+    ProcessFamilyEncoding,
+    SymbolicKripkeStructure,
+    symbolic_structure,
+)
 from repro.kripke.validation import assert_total, validate, validation_issues
 
 __all__ = [
@@ -35,6 +40,9 @@ __all__ = [
     "compile_structure",
     "bits_of",
     "popcount",
+    "SymbolicKripkeStructure",
+    "ProcessFamilyEncoding",
+    "symbolic_structure",
     "validate",
     "validation_issues",
     "assert_total",

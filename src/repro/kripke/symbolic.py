@@ -1,0 +1,623 @@
+"""Symbolic (BDD-encoded) Kripke structures.
+
+Where :class:`repro.kripke.compiled.CompiledKripkeStructure` freezes a
+structure into *explicit* integer-indexed arrays, this module encodes it into
+*boolean functions* over state bits, so that sets of states and the transition
+relation are :mod:`repro.bdd` decision diagrams and never need to be
+enumerated.  Two construction paths are provided:
+
+* :meth:`SymbolicKripkeStructure.from_explicit` binary-encodes an existing
+  explicit structure (state ``i`` becomes the bit pattern of ``i``) — this is
+  what ``engine="bdd"`` uses when handed an ordinary
+  :class:`~repro.kripke.structure.KripkeStructure`;
+* :class:`ProcessFamilyEncoding` assigns each process of a synchronized
+  family its own block of state bits, so the global transition relation of
+  the family can be written down *directly* as a disjunction of per-rule
+  relations — the explicit product graph is never built.  This is the path
+  that unlocks ring sizes the explicit engines cannot reach (see
+  :func:`repro.systems.token_ring.symbolic_token_ring`).
+
+Variable-order convention
+-------------------------
+State bit ``k`` lives at BDD level ``2k`` (its *current* copy) and level
+``2k + 1`` (its *next* copy).  Interleaving current/next keeps the
+transition-relation BDDs small and makes the current↔next renames
+order-preserving, so they are single structural walks.  For process families
+the bits of one process are contiguous (process-major order), which keeps
+processes that interact frequently close together in the order.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.bdd import BDDFunction, BDDManager
+from repro.errors import BDDError, StructureError
+from repro.kripke.compiled import compile_structure
+from repro.kripke.indexed import IndexedKripkeStructure
+from repro.kripke.structure import IndexedProp, KripkeStructure, Label, State
+from repro.logic.ast import (
+    Atom,
+    ExactlyOne,
+    FalseLiteral,
+    Formula,
+    IndexedAtom,
+    TrueLiteral,
+)
+
+__all__ = ["SymbolicKripkeStructure", "ProcessFamilyEncoding", "symbolic_structure"]
+
+#: Chunk size for partitioning the transition relation of explicit encodings.
+_EXPLICIT_PARTITION_CHUNK = 256
+
+
+class SymbolicKripkeStructure:
+    """A Kripke structure encoded as BDDs over current/next state bits.
+
+    Parameters
+    ----------
+    manager:
+        The BDD manager owning every node below.
+    num_bits:
+        The number of state bits; current copies live at levels ``0, 2, …``
+        and next copies at ``1, 3, …``.
+    transition_parts:
+        The partitioned transition relation: node ids whose disjunction is
+        ``R`` as a function of current *and* next levels.  Keeping the parts
+        separate lets pre-image computation run one fused ``relprod`` per
+        part instead of building a monolithic relation.
+    initial:
+        The characteristic function of ``{s0}`` over current levels.
+    domain:
+        The characteristic function of the state set ``S`` over current
+        levels, or ``None`` to take ``S`` to be the states reachable from
+        ``initial`` (computed symbolically at construction).  Explicit
+        encodings pass the set of valid codes; process families pass ``None``,
+        mirroring how the explicit family builders restrict to reachable
+        states.
+    prop_nodes:
+        Per-proposition characteristic functions over current levels.
+    index_values:
+        The index set ``I`` when the structure is indexed (enables ``Θ``).
+    source:
+        The explicit structure this encoding came from, when there is one.
+    encode_assignment / decode_assignment:
+        Callbacks translating between states and ``{level: bool}`` truth
+        assignments over the current levels.  ``from_explicit`` fills them
+        in automatically; family encoders supply their own.
+    """
+
+    def __init__(
+        self,
+        manager: BDDManager,
+        num_bits: int,
+        transition_parts: Sequence[int],
+        initial: int,
+        domain: Optional[int],
+        prop_nodes: Mapping[Label, int],
+        index_values: Optional[FrozenSet[int]] = None,
+        source: Optional[KripkeStructure] = None,
+        encode_assignment: Optional[Callable[[State], Dict[int, bool]]] = None,
+        decode_assignment: Optional[Callable[[Mapping[int, bool]], State]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_bits < 1:
+            raise StructureError("a symbolic structure needs at least one state bit")
+        self.manager = manager
+        self._num_bits = num_bits
+        self._current_levels = tuple(2 * bit for bit in range(num_bits))
+        self._next_levels = tuple(2 * bit + 1 for bit in range(num_bits))
+        self._c2n = {2 * bit: 2 * bit + 1 for bit in range(num_bits)}
+        self._n2c = {2 * bit + 1: 2 * bit for bit in range(num_bits)}
+        # Rename-cache tags: keyed by direction and bit count, so two
+        # structures with the same geometry on one manager share cache
+        # entries (the mappings are identical) and different geometries
+        # cannot collide.
+        self._c2n_tag = ("c2n", num_bits)
+        self._n2c_tag = ("n2c", num_bits)
+        self._transition_parts = tuple(transition_parts)
+        self._initial = initial
+        if domain is None:
+            self._domain = 1  # over-approximation used only while computing
+            self._domain = self.reachable()
+        else:
+            self._domain = domain
+        self._prop_nodes = dict(prop_nodes)
+        self._index_values = index_values
+        self._source = source
+        self._encode_assignment = encode_assignment
+        self._decode_assignment = decode_assignment
+        self._name = name
+        self._exactly_one_nodes: Dict[str, int] = {}
+        self._transition_total: Optional[int] = None
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def name(self) -> Optional[str]:
+        """Optional human-readable name of the structure."""
+        return self._name
+
+    @property
+    def num_bits(self) -> int:
+        """The number of state bits (half the number of BDD levels in use)."""
+        return self._num_bits
+
+    @property
+    def current_levels(self) -> Tuple[int, ...]:
+        """The BDD levels carrying the current-state bits (``0, 2, 4, …``)."""
+        return self._current_levels
+
+    @property
+    def next_levels(self) -> Tuple[int, ...]:
+        """The BDD levels carrying the next-state bits (``1, 3, 5, …``)."""
+        return self._next_levels
+
+    @property
+    def initial(self) -> int:
+        """The node encoding ``{s0}``."""
+        return self._initial
+
+    @property
+    def domain(self) -> int:
+        """The node encoding the state set ``S``."""
+        return self._domain
+
+    @property
+    def transition_parts(self) -> Tuple[int, ...]:
+        """The partitioned transition relation (disjunction of the parts)."""
+        return self._transition_parts
+
+    @property
+    def index_values(self) -> Optional[FrozenSet[int]]:
+        """The index set ``I`` when the source family is indexed."""
+        return self._index_values
+
+    @property
+    def source(self) -> Optional[KripkeStructure]:
+        """The explicit structure this encoding was built from, if any."""
+        return self._source
+
+    def function(self, node: int) -> BDDFunction:
+        """Wrap a raw node id of this structure's manager."""
+        return BDDFunction(self.manager, node)
+
+    @property
+    def transition(self) -> int:
+        """The monolithic transition relation (the disjunction of the parts)."""
+        if self._transition_total is None:
+            total = 0
+            for part in self._transition_parts:
+                total = self.manager.apply_or(total, part)
+            self._transition_total = total
+        return self._transition_total
+
+    # -- counting ---------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """``|S|`` computed by BDD satisfy-count — no state is ever enumerated."""
+        return self.manager.sat_count(self._domain, self._current_levels)
+
+    @property
+    def num_transitions(self) -> int:
+        """``|R ∩ (S × S)|`` via satisfy-count over current and next levels."""
+        manager = self.manager
+        pairs = manager.apply_and(
+            self.transition,
+            manager.apply_and(
+                self._domain, manager.rename(self._domain, self._c2n, self._c2n_tag)
+            ),
+        )
+        return manager.sat_count(pairs, self._current_levels + self._next_levels)
+
+    def count(self, node: int) -> int:
+        """The number of domain states in the set encoded by ``node``."""
+        return self.manager.sat_count(
+            self.manager.apply_and(node, self._domain), self._current_levels
+        )
+
+    # -- images ------------------------------------------------------------------
+
+    def preimage(self, node: int) -> int:
+        """States of ``S`` with at least one successor in ``node`` (the EX pre-image).
+
+        ``node`` must be a function of current levels only; it is renamed to
+        next levels and one fused relational product per transition part
+        eliminates the next-state bits.
+        """
+        manager = self.manager
+        renamed = manager.rename(node, self._c2n, self._c2n_tag)
+        result = 0
+        for part in self._transition_parts:
+            result = manager.apply_or(
+                result, manager.relprod(part, renamed, self._next_levels)
+            )
+        return manager.apply_and(result, self._domain)
+
+    def image(self, node: int) -> int:
+        """Successors of the states in ``node`` (the post-image), over current levels."""
+        manager = self.manager
+        result = 0
+        for part in self._transition_parts:
+            result = manager.apply_or(
+                result, manager.relprod(part, node, self._current_levels)
+            )
+        return manager.rename(result, self._n2c, self._n2c_tag)
+
+    def reachable(self) -> int:
+        """The least fixpoint of post-images from the initial state."""
+        manager = self.manager
+        current = manager.apply_and(self._initial, self._domain)
+        frontier = current
+        while frontier != 0:
+            fresh = manager.apply_and(self.image(frontier), self._domain)
+            frontier = manager.apply_and(fresh, manager.negate(current))
+            current = manager.apply_or(current, frontier)
+        return current
+
+    def complement(self, node: int) -> int:
+        """The complement of ``node`` *relative to the state set* ``S``."""
+        manager = self.manager
+        return manager.apply_and(self._domain, manager.negate(node))
+
+    def is_total(self) -> bool:
+        """Return ``True`` when every domain state has at least one successor."""
+        manager = self.manager
+        has_successor = manager.exists(self.transition, self._next_levels)
+        deadlocked = manager.apply_and(self._domain, manager.negate(has_successor))
+        return deadlocked == 0
+
+    # -- atomic satisfaction -------------------------------------------------------
+
+    def atom_node(self, formula: Formula) -> int:
+        """The characteristic function of an atomic formula (cf. ``atom_mask``)."""
+        manager = self.manager
+        if isinstance(formula, TrueLiteral):
+            return self._domain
+        if isinstance(formula, FalseLiteral):
+            return 0
+        if isinstance(formula, Atom):
+            return manager.apply_and(self._prop_nodes.get(formula.name, 0), self._domain)
+        if isinstance(formula, IndexedAtom):
+            return manager.apply_and(
+                self._prop_nodes.get(IndexedProp(formula.name, formula.index), 0),
+                self._domain,
+            )
+        if isinstance(formula, ExactlyOne):
+            return self._exactly_one_node(formula.name)
+        raise StructureError("atom_node expects an atomic formula, got %r" % (formula,))
+
+    def _exactly_one_node(self, name: str) -> int:
+        if self._index_values is None:
+            raise StructureError(
+                "the Θ ('exactly one') proposition is only meaningful on an "
+                "indexed structure with a known index set"
+            )
+        cached = self._exactly_one_nodes.get(name)
+        if cached is not None:
+            return cached
+        manager = self.manager
+        # Same one-pass "at least one"/"at least two" trick as the compiled
+        # engine, but on characteristic functions instead of bitmasks.
+        at_least_one = 0
+        at_least_two = 0
+        for value in sorted(self._index_values):
+            prop = self._prop_nodes.get(IndexedProp(name, value), 0)
+            at_least_two = manager.apply_or(
+                at_least_two, manager.apply_and(at_least_one, prop)
+            )
+            at_least_one = manager.apply_or(at_least_one, prop)
+        result = manager.apply_and(
+            manager.apply_and(at_least_one, manager.negate(at_least_two)), self._domain
+        )
+        self._exactly_one_nodes[name] = result
+        return result
+
+    # -- state <-> assignment translation ------------------------------------------
+
+    def encode_state(self, state: State) -> Dict[int, bool]:
+        """The current-level truth assignment encoding ``state``."""
+        if self._encode_assignment is None:
+            raise BDDError("this symbolic structure has no state encoder")
+        return self._encode_assignment(state)
+
+    def holds_at(self, node: int, state: State) -> bool:
+        """Decide whether ``state`` belongs to the set encoded by ``node``."""
+        return self.manager.evaluate(node, self.encode_state(state))
+
+    def states_of(self, node: int) -> FrozenSet[State]:
+        """Decode a state-set function back into a frozenset of states.
+
+        With an explicit source the states are evaluated one by one (exact
+        and cheap for the structure sizes where decoding matters); family
+        encodings decode the satisfying assignments instead.  Either way this
+        is an explicitly *non-symbolic* convenience for tests and reports —
+        scalable callers should stay on :meth:`count` / :meth:`holds_at`.
+        """
+        if self._source is not None:
+            return frozenset(
+                state for state in self._source.states if self.holds_at(node, state)
+            )
+        if self._decode_assignment is None:
+            raise BDDError("this symbolic structure has no state decoder")
+        constrained = self.manager.apply_and(node, self._domain)
+        return frozenset(
+            self._decode_assignment(model)
+            for model in self.manager.iter_models(constrained, self._current_levels)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        descriptor = self._name or "SymbolicKripkeStructure"
+        return "<Symbolic %s: %d bits, %d states, %d transition parts>" % (
+            descriptor,
+            self._num_bits,
+            self.num_states,
+            len(self._transition_parts),
+        )
+
+    # -- construction from an explicit structure ------------------------------------
+
+    @classmethod
+    def from_explicit(cls, structure: KripkeStructure) -> "SymbolicKripkeStructure":
+        """Binary-encode an explicit structure (state ``i`` ↦ bit pattern of ``i``).
+
+        State indices follow the same deterministic repr-sort as
+        :class:`~repro.kripke.compiled.CompiledKripkeStructure`, so the two
+        compiled forms of one structure agree on which state is which.
+        """
+        compiled = compile_structure(structure)
+        source = compiled.source
+        n = compiled.num_states
+        bits = max(1, (n - 1).bit_length())
+        manager = BDDManager()
+
+        def cube_of(index: int, offset: int) -> int:
+            return manager.cube(
+                {2 * bit + offset: bool(index >> bit & 1) for bit in range(bits)}
+            )
+
+        current_cubes = [cube_of(index, 0) for index in range(n)]
+        next_cubes = [cube_of(index, 1) for index in range(n)]
+
+        domain = 0
+        for cube in current_cubes:
+            domain = manager.apply_or(domain, cube)
+
+        parts: List[int] = []
+        for start in range(0, n, _EXPLICIT_PARTITION_CHUNK):
+            part = 0
+            for index in range(start, min(start + _EXPLICIT_PARTITION_CHUNK, n)):
+                targets = 0
+                for target in compiled.successors_of(index):
+                    targets = manager.apply_or(targets, next_cubes[target])
+                part = manager.apply_or(
+                    part, manager.apply_and(current_cubes[index], targets)
+                )
+            parts.append(part)
+
+        prop_nodes: Dict[Label, int] = {}
+        for index, state in enumerate(compiled.states):
+            for element in source.label(state):
+                prop_nodes[element] = manager.apply_or(
+                    prop_nodes.get(element, 0), current_cubes[index]
+                )
+
+        index_values = (
+            source.index_values if isinstance(source, IndexedKripkeStructure) else None
+        )
+
+        def encode_assignment(state: State) -> Dict[int, bool]:
+            index = compiled.index_of(state)
+            return {2 * bit: bool(index >> bit & 1) for bit in range(bits)}
+
+        return cls(
+            manager,
+            bits,
+            parts,
+            current_cubes[compiled.initial_index],
+            domain,
+            prop_nodes,
+            index_values=index_values,
+            source=source,
+            encode_assignment=encode_assignment,
+            name=source.name,
+        )
+
+
+def symbolic_structure(structure: KripkeStructure) -> SymbolicKripkeStructure:
+    """Encode ``structure``, reusing an existing encoding for the same object.
+
+    Mirrors :func:`repro.kripke.compiled.compile_structure`: structures are
+    immutable after construction, so the symbolic form is memoised on the
+    structure itself and shared by every checker touching the same object.
+    """
+    if isinstance(structure, SymbolicKripkeStructure):
+        return structure
+    cached = getattr(structure, "_symbolic_form", None)
+    if cached is None:
+        cached = SymbolicKripkeStructure.from_explicit(structure)
+        structure._symbolic_form = cached
+    return cached
+
+
+class ProcessFamilyEncoding:
+    """Bit-block allocator for encoding a synchronized process family directly.
+
+    Each process of the family gets ``ceil(log2(len(parts)))`` state bits
+    encoding which *part* (local situation) it is in; the caller then writes
+    the family's global transition rules as BDDs over the per-process
+    current/next literals this class hands out, without ever constructing the
+    explicit product graph.  See
+    :func:`repro.systems.token_ring.symbolic_token_ring` for the canonical
+    usage.
+    """
+
+    def __init__(
+        self,
+        manager: BDDManager,
+        indices: Sequence[int],
+        parts: Sequence[str],
+    ) -> None:
+        if not indices:
+            raise StructureError("a process family needs at least one process")
+        if len(set(indices)) != len(indices):
+            raise StructureError("process indices must be distinct")
+        if len(parts) < 2:
+            raise StructureError("a process needs at least two local parts")
+        self.manager = manager
+        self._indices = tuple(indices)
+        self._parts = tuple(parts)
+        self._part_codes = {part: code for code, part in enumerate(self._parts)}
+        self._bits_per_process = max(1, (len(self._parts) - 1).bit_length())
+        self._positions = {index: pos for pos, index in enumerate(self._indices)}
+        self._current_cache: Dict[Tuple[int, str], int] = {}
+        self._next_cache: Dict[Tuple[int, str], int] = {}
+        self._unchanged_cache: Dict[int, int] = {}
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        """The process indices, in bit-block order."""
+        return self._indices
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        """The local-part alphabet shared by every process."""
+        return self._parts
+
+    @property
+    def num_bits(self) -> int:
+        """Total state bits of the family encoding."""
+        return len(self._indices) * self._bits_per_process
+
+    @property
+    def bits_per_process(self) -> int:
+        """State bits per process (``ceil(log2(len(parts)))``)."""
+        return self._bits_per_process
+
+    def _block(self, index: int) -> int:
+        try:
+            return self._positions[index] * self._bits_per_process
+        except KeyError:
+            raise StructureError("%r is not a process index of this family" % (index,)) from None
+
+    def _part_cube(self, index: int, part: str, offset: int) -> int:
+        try:
+            code = self._part_codes[part]
+        except KeyError:
+            raise StructureError("%r is not a local part of this family" % (part,)) from None
+        block = self._block(index)
+        return self.manager.cube(
+            {
+                2 * (block + bit) + offset: bool(code >> bit & 1)
+                for bit in range(self._bits_per_process)
+            }
+        )
+
+    def current(self, index: int, part: str) -> int:
+        """The literal cube "process ``index`` is currently in ``part``"."""
+        key = (index, part)
+        node = self._current_cache.get(key)
+        if node is None:
+            node = self._part_cube(index, part, 0)
+            self._current_cache[key] = node
+        return node
+
+    def next(self, index: int, part: str) -> int:
+        """The literal cube "process ``index`` is in ``part`` in the next state"."""
+        key = (index, part)
+        node = self._next_cache.get(key)
+        if node is None:
+            node = self._part_cube(index, part, 1)
+            self._next_cache[key] = node
+        return node
+
+    def current_in(self, index: int, parts: Sequence[str]) -> int:
+        """Disjunction of :meth:`current` over several parts."""
+        node = 0
+        for part in parts:
+            node = self.manager.apply_or(node, self.current(index, part))
+        return node
+
+    def unchanged(self, index: int) -> int:
+        """The frame condition "process ``index`` keeps its current part"."""
+        node = self._unchanged_cache.get(index)
+        if node is not None:
+            return node
+        manager = self.manager
+        block = self._block(index)
+        node = 1
+        for bit in reversed(range(self._bits_per_process)):
+            level = 2 * (block + bit)
+            bit_equal = manager.apply(
+                "iff", manager.var(level), manager.var(level + 1)
+            )
+            node = manager.apply_and(bit_equal, node)
+        self._unchanged_cache[index] = node
+        return node
+
+    def frame(self, changed: Sequence[int]) -> int:
+        """The frame condition for a rule touching only the ``changed`` processes."""
+        touched = set(changed)
+        node = 1
+        for index in self._indices:
+            if index not in touched:
+                node = self.manager.apply_and(node, self.unchanged(index))
+        return node
+
+    @property
+    def current_levels(self) -> Tuple[int, ...]:
+        """All current-state levels of the family, in order."""
+        return tuple(2 * bit for bit in range(self.num_bits))
+
+    def state_cube(self, assignment: Mapping[int, str]) -> int:
+        """Encode a full global state (every process mapped to its part)."""
+        missing = set(self._indices) - set(assignment)
+        if missing:
+            raise StructureError(
+                "global state leaves processes %s unassigned" % sorted(missing)
+            )
+        node = 1
+        for index in reversed(self._indices):
+            node = self.manager.apply_and(self.current(index, assignment[index]), node)
+        return node
+
+    def decode(self, model: Mapping[int, bool]) -> Dict[int, str]:
+        """Decode a current-level truth assignment into ``{process: part}``."""
+        result: Dict[int, str] = {}
+        for index in self._indices:
+            block = self._block(index)
+            code = 0
+            for bit in range(self._bits_per_process):
+                if model.get(2 * (block + bit), False):
+                    code |= 1 << bit
+            if code >= len(self._parts):
+                raise StructureError(
+                    "assignment decodes process %d to invalid part code %d" % (index, code)
+                )
+            result[index] = self._parts[code]
+        return result
+
+    def encode(self, assignment: Mapping[int, str]) -> Dict[int, bool]:
+        """Encode ``{process: part}`` as a current-level truth assignment."""
+        model: Dict[int, bool] = {}
+        for index in self._indices:
+            try:
+                code = self._part_codes[assignment[index]]
+            except KeyError:
+                raise StructureError(
+                    "global state is missing a valid part for process %d" % index
+                ) from None
+            block = self._block(index)
+            for bit in range(self._bits_per_process):
+                model[2 * (block + bit)] = bool(code >> bit & 1)
+        return model

@@ -1,4 +1,4 @@
-"""Model checkers: CTL, existential LTL, CTL*, and indexed CTL*."""
+"""Model checkers: CTL (naive, bitset, and symbolic BDD engines), existential LTL, CTL*, and indexed CTL*."""
 
 from repro.mc.counterexample import (
     counterexample_af,
@@ -21,6 +21,9 @@ from repro.mc.indexed import check as check_ictlstar
 from repro.mc.indexed import check_batch as check_ictlstar_batch
 from repro.mc.indexed import satisfaction_set as ictlstar_satisfaction_set
 from repro.mc.ltl import exists_path_satisfying, existential_states
+from repro.mc.symbolic import SymbolicCTLModelChecker
+from repro.mc.symbolic import check as check_ctl_symbolic
+from repro.mc.symbolic import satisfaction_set as symbolic_satisfaction_set
 from repro.mc.oracle import (
     crosscheck_ctl_engines,
     find_lasso_witness,
@@ -37,6 +40,9 @@ __all__ = [
     "bitset_satisfaction_set",
     "CTLStarModelChecker",
     "ICTLStarModelChecker",
+    "SymbolicCTLModelChecker",
+    "check_ctl_symbolic",
+    "symbolic_satisfaction_set",
     "check_ctl",
     "check_ctlstar",
     "check_ictlstar",

@@ -65,8 +65,9 @@ __all__ = [
 
 _ATOMIC = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
 
-#: The recognised explicit-state CTL engines.
-CTL_ENGINES = ("bitset", "naive")
+#: The recognised CTL engines: the two explicit-state engines plus the
+#: symbolic BDD engine of :mod:`repro.mc.symbolic`.
+CTL_ENGINES = ("bitset", "naive", "bdd")
 
 
 class BitsetCTLModelChecker:
@@ -293,7 +294,10 @@ def make_ctl_checker(
 
     ``engine="bitset"`` returns a :class:`BitsetCTLModelChecker`;
     ``engine="naive"`` returns the frozenset-based
-    :class:`repro.mc.ctl.CTLModelChecker` (the differential-testing oracle).
+    :class:`repro.mc.ctl.CTLModelChecker` (the differential-testing oracle);
+    ``engine="bdd"`` returns the symbolic
+    :class:`repro.mc.symbolic.SymbolicCTLModelChecker`, which runs the CTL
+    fixpoints on binary decision diagrams instead of enumerated state sets.
     """
     if engine == "bitset":
         return BitsetCTLModelChecker(structure, validate_structure=validate_structure)
@@ -303,6 +307,12 @@ def make_ctl_checker(
         if isinstance(structure, CompiledKripkeStructure):
             structure = structure.source
         return CTLModelChecker(structure, validate_structure=validate_structure)
+    if engine == "bdd":
+        from repro.mc.symbolic import SymbolicCTLModelChecker
+
+        if isinstance(structure, CompiledKripkeStructure):
+            structure = structure.source
+        return SymbolicCTLModelChecker(structure, validate_structure=validate_structure)
     raise ModelCheckingError(
         "unknown CTL engine %r; expected one of %s" % (engine, ", ".join(CTL_ENGINES))
     )

@@ -18,11 +18,13 @@ small instance says nothing about larger ones.  Pass
 experiment does exactly this to demonstrate the problem).
 
 Formulas whose instantiation lands in plain CTL — every property the paper
-actually checks — are dispatched to an explicit-state CTL engine selected by
-the ``engine`` parameter: ``"bitset"`` (default) compiles the structure once
-and runs :class:`repro.mc.bitset.BitsetCTLModelChecker` on int bitmasks;
-``"naive"`` keeps the original frozenset-based labelling checker, retained as
-the differential-testing oracle.
+actually checks — are dispatched to a CTL engine selected by the ``engine``
+parameter: ``"bitset"`` (default) compiles the structure once and runs
+:class:`repro.mc.bitset.BitsetCTLModelChecker` on int bitmasks; ``"naive"``
+keeps the original frozenset-based labelling checker, retained as the
+differential-testing oracle; ``"bdd"`` encodes the structure into binary
+decision diagrams and runs the symbolic fixpoint checker
+:class:`repro.mc.symbolic.SymbolicCTLModelChecker`.
 """
 
 from __future__ import annotations
@@ -72,7 +74,7 @@ class ICTLStarModelChecker:
 
     @property
     def engine(self) -> str:
-        """The explicit-state CTL engine in use (``"bitset"`` or ``"naive"``)."""
+        """The CTL engine in use (``"bitset"``, ``"naive"``, or ``"bdd"``)."""
         return self._engine
 
     # -- public API ----------------------------------------------------------

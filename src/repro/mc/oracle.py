@@ -12,10 +12,11 @@ tests on deterministic structures (where simple lassos are exhaustive).
 Leaf formulas are decided per lasso position.  With ``engine="bitset"``
 (the default) the structure is compiled once per search and leaves are read
 off the compiled per-proposition bitmasks; ``engine="naive"`` keeps the
-original per-state label-set lookups.  The module also hosts
+original per-state label-set lookups; ``engine="bdd"`` reads them off the
+symbolic encoding's per-proposition BDDs.  The module also hosts
 :func:`crosscheck_ctl_engines`, the differential-testing entry point that
-replays a CTL formula through both explicit-state engines and insists on
-identical satisfaction sets.
+replays a CTL formula through every registered engine (bitset, naive, and
+the symbolic BDD engine) and insists on identical satisfaction sets.
 """
 
 from __future__ import annotations
@@ -76,6 +77,15 @@ def _make_atom_eval(
         return evaluate
     if engine == "naive":
         return lambda state, leaf: structure.atom_holds(state, leaf)
+    if engine == "bdd":
+        from repro.kripke.symbolic import symbolic_structure
+
+        encoded = symbolic_structure(structure)
+
+        def evaluate_symbolic(state: State, leaf: Formula) -> bool:
+            return encoded.holds_at(encoded.atom_node(leaf), state)
+
+        return evaluate_symbolic
     raise ModelCheckingError(
         "unknown CTL engine %r; expected one of %s" % (engine, ", ".join(CTL_ENGINES))
     )
@@ -183,9 +193,12 @@ def crosscheck_ctl_engines(
 ):
     """Differential test: run ``formula`` through every CTL engine and compare.
 
-    Returns the common satisfaction set; raises :class:`ModelCheckingError`
-    when the bitset engine and the naive oracle disagree (listing the states
-    on which they differ, which is what the property-based tests report).
+    Replays the formula through all of :data:`repro.mc.bitset.CTL_ENGINES` —
+    the compiled bitset engine, the naive frozenset oracle, and the symbolic
+    BDD engine — and insists on identical satisfaction sets.  Returns the
+    common satisfaction set; raises :class:`ModelCheckingError` when any two
+    engines disagree (listing the states on which they differ, which is what
+    the property-based tests report).
     """
     reference = None
     reference_engine = None

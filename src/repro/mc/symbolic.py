@@ -1,0 +1,318 @@
+"""Symbolic CTL model checking over BDD-encoded state sets.
+
+:class:`SymbolicCTLModelChecker` is the third engine next to the naive
+frozenset checker and the compiled bitset checker: it computes EX/EU/EG as
+fixpoints over :mod:`repro.bdd` decision diagrams, so a satisfaction set is a
+boolean *function* of the state bits rather than an enumeration of states.
+On explicit structures it is a drop-in replacement (``engine="bdd"``
+anywhere an engine is accepted); its real payoff is checking
+:class:`~repro.kripke.symbolic.SymbolicKripkeStructure` encodings built
+directly from a process family, whose explicit product graph would be too
+large to construct — see
+:func:`repro.systems.token_ring.symbolic_token_ring` and the extended
+explosion experiment.
+
+The fixpoints are the textbook symbolic ones:
+
+* ``EX f``   — one pre-image: ``∃x'. R(x, x') ∧ f(x')``, computed as one
+  fused ``relprod`` per partitioned-transition part;
+* ``E[f U g]`` — least fixpoint ``Z = g ∨ (f ∧ EX Z)``, iterated on the
+  *frontier* so each round's pre-image only processes newly added states;
+* ``EG f``  — greatest fixpoint ``Z = f ∧ EX Z``.
+
+Unlike the explicit checkers, the symbolic checker also *instantiates index
+quantifiers itself* when the underlying encoding knows its index set: family
+encodings have no explicit :class:`~repro.kripke.indexed.IndexedKripkeStructure`
+to hand to :class:`repro.mc.indexed.ICTLStarModelChecker`, so the Section 5
+properties can be checked directly against the symbolic ring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Union
+
+from repro.errors import FragmentError, ValidationError
+from repro.kripke.structure import KripkeStructure, State
+from repro.kripke.symbolic import SymbolicKripkeStructure, symbolic_structure
+from repro.kripke.validation import assert_total
+from repro.logic.ast import (
+    And,
+    Atom,
+    ExactlyOne,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    IndexExists,
+    IndexForall,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueLiteral,
+    Until,
+    WeakUntil,
+    walk,
+)
+from repro.logic.transform import instantiate_quantifiers
+
+__all__ = ["SymbolicCTLModelChecker", "satisfaction_set", "check"]
+
+_ATOMIC = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
+
+
+class SymbolicCTLModelChecker:
+    """Fixpoint CTL model checker running on binary decision diagrams.
+
+    Accepts either a plain :class:`KripkeStructure` (encoded on the spot,
+    with the encoding memoised on the structure) or an already-encoded
+    :class:`SymbolicKripkeStructure`, so a whole family of formulas shares
+    one encoding.  Satisfaction BDDs are memoised per formula, exactly like
+    the other engines memoise their satisfaction sets/masks.
+    """
+
+    def __init__(
+        self,
+        structure: Union[KripkeStructure, SymbolicKripkeStructure],
+        validate_structure: bool = True,
+    ) -> None:
+        self._symbolic = symbolic_structure(structure)
+        if validate_structure and not self._symbolic.is_total():
+            source = self._symbolic.source
+            if source is not None:
+                assert_total(source)
+            raise ValidationError(
+                "the symbolic transition relation is not total on its state set"
+            )
+        self._cache: Dict[Formula, int] = {}
+
+    @property
+    def symbolic(self) -> SymbolicKripkeStructure:
+        """The BDD encoding shared by every check against this instance."""
+        return self._symbolic
+
+    @property
+    def structure(self) -> Optional[KripkeStructure]:
+        """The explicit source structure, when this checker was built from one."""
+        return self._symbolic.source
+
+    # -- public API ----------------------------------------------------------
+
+    def satisfaction_node(self, formula: Formula) -> int:
+        """Return the satisfaction set of ``formula`` as a raw BDD node id."""
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        result = self._compute(self._instantiate(formula))
+        self._cache[formula] = result
+        return result
+
+    def satisfaction_bdd(self, formula: Formula):
+        """Return the satisfaction set as a :class:`repro.bdd.BDDFunction`."""
+        return self._symbolic.function(self.satisfaction_node(formula))
+
+    def satisfaction_set(self, formula: Formula) -> FrozenSet[State]:
+        """Decode the satisfaction set into a frozenset of states.
+
+        This enumerates (only) the satisfying states; scalable callers should
+        prefer :meth:`check` / :meth:`satisfy_count`, which stay symbolic.
+        """
+        return self._symbolic.states_of(self.satisfaction_node(formula))
+
+    def satisfy_count(self, formula: Formula) -> int:
+        """The number of states satisfying ``formula``, by BDD satisfy-count."""
+        return self._symbolic.count(self.satisfaction_node(formula))
+
+    def check(self, formula: Formula, state: Optional[State] = None) -> bool:
+        """Decide ``M, state ⊨ formula`` (default state: the initial state)."""
+        node = self.satisfaction_node(formula)
+        if state is None:
+            manager = self._symbolic.manager
+            return manager.apply_and(node, self._symbolic.initial) != 0
+        return self._symbolic.holds_at(node, state)
+
+    def check_batch(
+        self,
+        formulas: Union[Mapping[str, Formula], Iterable[Formula]],
+        state: Optional[State] = None,
+    ) -> Dict:
+        """Check a whole family of formulas against the one shared encoding.
+
+        With a mapping the result is keyed by the mapping's names; with a
+        plain iterable it is keyed by the formulas themselves.
+        """
+        if isinstance(formulas, Mapping):
+            return {name: self.check(formula, state) for name, formula in formulas.items()}
+        return {formula: self.check(formula, state) for formula in formulas}
+
+    # -- index quantifiers ------------------------------------------------------
+
+    def _instantiate(self, formula: Formula) -> Formula:
+        has_quantifiers = any(
+            isinstance(node, (IndexExists, IndexForall)) for node in walk(formula)
+        )
+        if not has_quantifiers:
+            return formula
+        index_values = self._symbolic.index_values
+        if index_values is None:
+            raise FragmentError(
+                "the symbolic CTL checker can only instantiate index quantifiers "
+                "on an indexed encoding; instantiate them with repro.mc.indexed "
+                "first (formula: %s)" % formula
+            )
+        return instantiate_quantifiers(formula, index_values)
+
+    # -- recursive computation -------------------------------------------------
+
+    def _compute(self, formula: Formula) -> int:
+        symbolic = self._symbolic
+        manager = symbolic.manager
+        if isinstance(formula, _ATOMIC):
+            return symbolic.atom_node(formula)
+        if isinstance(formula, Not):
+            return symbolic.complement(self.satisfaction_node(formula.operand))
+        if isinstance(formula, And):
+            return manager.apply_and(
+                self.satisfaction_node(formula.left), self.satisfaction_node(formula.right)
+            )
+        if isinstance(formula, Or):
+            return manager.apply_or(
+                self.satisfaction_node(formula.left), self.satisfaction_node(formula.right)
+            )
+        if isinstance(formula, Implies):
+            return manager.apply_or(
+                symbolic.complement(self.satisfaction_node(formula.left)),
+                self.satisfaction_node(formula.right),
+            )
+        if isinstance(formula, Iff):
+            left = self.satisfaction_node(formula.left)
+            right = self.satisfaction_node(formula.right)
+            return symbolic.complement(manager.apply_xor(left, right))
+        if isinstance(formula, Exists):
+            return self._compute_exists(formula.path)
+        if isinstance(formula, ForAll):
+            return self._compute_forall(formula.path)
+        raise FragmentError("formula is not a CTL state formula: %s" % formula)
+
+    def _compute_exists(self, path: Formula) -> int:
+        symbolic = self._symbolic
+        if isinstance(path, Next):
+            return symbolic.preimage(self.satisfaction_node(path.operand))
+        if isinstance(path, Finally):
+            return self._eu(symbolic.domain, self.satisfaction_node(path.operand))
+        if isinstance(path, Globally):
+            return self._eg(self.satisfaction_node(path.operand))
+        if isinstance(path, Until):
+            return self._eu(
+                self.satisfaction_node(path.left), self.satisfaction_node(path.right)
+            )
+        if isinstance(path, Release):
+            # E[f R g]  ≡  ¬A[¬f U ¬g]
+            return symbolic.complement(
+                self._compute_forall(Until(Not(path.left), Not(path.right)))
+            )
+        if isinstance(path, WeakUntil):
+            # E[f W g]  ≡  E[f U g] ∨ EG f
+            return symbolic.manager.apply_or(
+                self._compute_exists(Until(path.left, path.right)),
+                self._compute_exists(Globally(path.left)),
+            )
+        raise FragmentError(
+            "E must be applied to a single temporal operator over state formulas "
+            "for CTL checking; got E(%s)" % path
+        )
+
+    def _compute_forall(self, path: Formula) -> int:
+        symbolic = self._symbolic
+        manager = symbolic.manager
+        if isinstance(path, Next):
+            # AX f ≡ ¬EX ¬f
+            return symbolic.complement(
+                symbolic.preimage(symbolic.complement(self.satisfaction_node(path.operand)))
+            )
+        if isinstance(path, Finally):
+            # AF f ≡ ¬EG ¬f
+            return symbolic.complement(
+                self._eg(symbolic.complement(self.satisfaction_node(path.operand)))
+            )
+        if isinstance(path, Globally):
+            # AG f ≡ ¬EF ¬f
+            return symbolic.complement(
+                self._eu(
+                    symbolic.domain,
+                    symbolic.complement(self.satisfaction_node(path.operand)),
+                )
+            )
+        if isinstance(path, Until):
+            # A[f U g] ≡ ¬( E[¬g U (¬f ∧ ¬g)] ∨ EG ¬g )
+            not_f = symbolic.complement(self.satisfaction_node(path.left))
+            not_g = symbolic.complement(self.satisfaction_node(path.right))
+            bad = manager.apply_or(
+                self._eu(not_g, manager.apply_and(not_f, not_g)), self._eg(not_g)
+            )
+            return symbolic.complement(bad)
+        if isinstance(path, Release):
+            # A[f R g] ≡ ¬E[¬f U ¬g]
+            return symbolic.complement(
+                self._compute_exists(Until(Not(path.left), Not(path.right)))
+            )
+        if isinstance(path, WeakUntil):
+            # A[f W g] ≡ ¬E[¬g U (¬f ∧ ¬g)]
+            not_f = symbolic.complement(self.satisfaction_node(path.left))
+            not_g = symbolic.complement(self.satisfaction_node(path.right))
+            return symbolic.complement(self._eu(not_g, manager.apply_and(not_f, not_g)))
+        raise FragmentError(
+            "A must be applied to a single temporal operator over state formulas "
+            "for CTL checking; got A(%s)" % path
+        )
+
+    # -- fixpoint primitives -----------------------------------------------------
+
+    def _eu(self, left: int, right: int) -> int:
+        """Least fixpoint for ``E[left U right]``, iterated on the frontier.
+
+        A state enters the fixpoint in round ``k`` only through a successor
+        added in round ``k - 1``, so each round's pre-image is taken of the
+        *newly added* states instead of the whole accumulated set.
+        """
+        symbolic = self._symbolic
+        manager = symbolic.manager
+        satisfied = right
+        frontier = right
+        while frontier != 0:
+            reached = manager.apply_and(left, symbolic.preimage(frontier))
+            frontier = manager.apply_and(reached, manager.negate(satisfied))
+            satisfied = manager.apply_or(satisfied, frontier)
+        return satisfied
+
+    def _eg(self, operand: int) -> int:
+        """Greatest fixpoint for ``EG operand``: ``νZ. operand ∧ EX Z``."""
+        symbolic = self._symbolic
+        manager = symbolic.manager
+        current = operand
+        while True:
+            refined = manager.apply_and(current, symbolic.preimage(current))
+            if refined == current:
+                return current
+            current = refined
+
+
+def satisfaction_set(
+    structure: Union[KripkeStructure, SymbolicKripkeStructure], formula: Formula
+) -> FrozenSet[State]:
+    """One-shot helper: the symbolic-engine satisfaction set of ``formula``."""
+    return SymbolicCTLModelChecker(structure).satisfaction_set(formula)
+
+
+def check(
+    structure: Union[KripkeStructure, SymbolicKripkeStructure],
+    formula: Formula,
+    state: Optional[State] = None,
+) -> bool:
+    """One-shot helper: decide ``structure, state ⊨ formula`` with the BDD engine."""
+    return SymbolicCTLModelChecker(structure).check(formula, state)

@@ -67,6 +67,7 @@ __all__ = [
     "ring_successors",
     "state_label",
     "build_token_ring",
+    "symbolic_token_ring",
     "rank",
     "is_idle_transition",
     "section5_index_relation",
@@ -273,6 +274,154 @@ def build_token_ring(size: int, max_states: Optional[int] = None) -> IndexedKrip
         index_values=range(1, size + 1),
         indexed_prop_names={"d", "n", "t", "c"},
         name="M_%d" % size,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The symbolic (BDD) encoding of M_r — no explicit product graph
+# ---------------------------------------------------------------------------
+
+#: The local-part alphabet of the symbolic ring encoding; two bits per process.
+_SYMBOLIC_PARTS = ("N", "D", "T", "C")
+
+
+def symbolic_token_ring(size: int):
+    """Encode ``M_r`` directly as binary decision diagrams.
+
+    Each process gets two state bits recording which part (``N``, ``D``,
+    ``T``, ``C``) it is in, and the four global transition rules of ``R_r``
+    are written down as BDD relations over those bits — the explicit global
+    state graph is **never built**, which is what lets the symbolic engine
+    check ring sizes the explicit engines cannot reach.  Rule 2 (token
+    transfer to the closest delayed left neighbour) contributes one relation
+    part per potential holder ``j``: the disjunct for receiver ``i`` carries
+    the ``cln`` side condition that no process strictly between ``j`` and
+    ``i`` (walking left from ``j``) is delayed.
+
+    The returned :class:`~repro.kripke.symbolic.SymbolicKripkeStructure`
+    restricts its state set to the states reachable from ``s_r^0`` (computed
+    symbolically), so it represents exactly the structure
+    :func:`build_token_ring` builds explicitly — the test-suite decodes and
+    compares the two at small sizes.
+    """
+    if size < 1:
+        raise StructureError("the ring needs at least one process")
+    from repro.bdd import BDDManager
+    from repro.kripke.symbolic import ProcessFamilyEncoding, SymbolicKripkeStructure
+
+    manager = BDDManager()
+    indices = tuple(range(1, size + 1))
+    encoding = ProcessFamilyEncoding(manager, indices, _SYMBOLIC_PARTS)
+    land, lor, neg = manager.apply_and, manager.apply_or, manager.negate
+
+    parts: List[int] = []
+
+    # Rule 1: a neutral process becomes delayed.
+    rule1 = 0
+    for process in indices:
+        rule1 = lor(
+            rule1,
+            land(
+                land(encoding.current(process, "N"), encoding.next(process, "D")),
+                encoding.frame([process]),
+            ),
+        )
+    parts.append(rule1)
+
+    # Rule 2: the holder j ∈ T ∪ C hands the token to i = cln(j) ∈ D; j
+    # becomes neutral and i enters its critical region.  One part per j.
+    for holder in indices:
+        holder_held = lor(encoding.current(holder, "T"), encoding.current(holder, "C"))
+        handoffs = 0
+        nobody_between_delayed = 1
+        candidate = holder
+        for _ in range(size - 1):
+            candidate = size if candidate == 1 else candidate - 1
+            guard = land(
+                land(holder_held, encoding.current(candidate, "D")),
+                nobody_between_delayed,
+            )
+            effect = land(
+                land(encoding.next(holder, "N"), encoding.next(candidate, "C")),
+                encoding.frame([holder, candidate]),
+            )
+            handoffs = lor(handoffs, land(guard, effect))
+            nobody_between_delayed = land(
+                nobody_between_delayed, neg(encoding.current(candidate, "D"))
+            )
+        if handoffs != 0:
+            parts.append(handoffs)
+
+    # Rule 3: the process in T enters its critical region.
+    rule3 = 0
+    for process in indices:
+        rule3 = lor(
+            rule3,
+            land(
+                land(encoding.current(process, "T"), encoding.next(process, "C")),
+                encoding.frame([process]),
+            ),
+        )
+    parts.append(rule3)
+
+    # Rule 4: the process in C returns to T, but only when nobody is delayed.
+    nobody_delayed = 1
+    for process in indices:
+        nobody_delayed = land(nobody_delayed, neg(encoding.current(process, "D")))
+    rule4 = 0
+    for process in indices:
+        rule4 = lor(
+            rule4,
+            land(
+                land(
+                    nobody_delayed,
+                    land(encoding.current(process, "C"), encoding.next(process, "T")),
+                ),
+                encoding.frame([process]),
+            ),
+        )
+    parts.append(rule4)
+
+    # The labelling L_r as characteristic functions (cf. state_label).
+    prop_nodes = {}
+    for process in indices:
+        prop_nodes[IndexedProp("d", process)] = encoding.current(process, "D")
+        prop_nodes[IndexedProp("n", process)] = lor(
+            encoding.current(process, "N"), encoding.current(process, "T")
+        )
+        prop_nodes[IndexedProp("t", process)] = lor(
+            encoding.current(process, "T"), encoding.current(process, "C")
+        )
+        prop_nodes[IndexedProp("c", process)] = encoding.current(process, "C")
+
+    initial_parts = {process: ("T" if process == 1 else "N") for process in indices}
+    initial = encoding.state_cube(initial_parts)
+
+    def decode_assignment(model) -> RingState:
+        by_part: Dict[str, set] = {part: set() for part in _SYMBOLIC_PARTS}
+        for process, part in encoding.decode(model).items():
+            by_part[part].add(process)
+        return RingState(
+            delayed=frozenset(by_part["D"]),
+            neutral=frozenset(by_part["N"]),
+            token_neutral=frozenset(by_part["T"]),
+            critical=frozenset(by_part["C"]),
+        )
+
+    def encode_assignment(state: RingState):
+        return encoding.encode({process: state.part_of(process) for process in indices})
+
+    return SymbolicKripkeStructure(
+        manager,
+        encoding.num_bits,
+        parts,
+        initial,
+        None,  # domain = reachable states, computed symbolically
+        prop_nodes,
+        index_values=frozenset(indices),
+        encode_assignment=encode_assignment,
+        decode_assignment=decode_assignment,
+        name="M_%d (symbolic)" % size,
     )
 
 

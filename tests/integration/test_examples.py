@@ -13,7 +13,11 @@ EXAMPLES_DIR = os.path.join(
 EXAMPLES = {
     "quickstart.py": {},
     "token_ring_mutex.py": {"LARGE_SIZE": 4},
-    "state_explosion.py": {"SWEEP_SIZES": (2, 3, 4), "LARGE_SIZE": 50},
+    "state_explosion.py": {
+        "SWEEP_SIZES": (2, 3, 4),
+        "SYMBOLIC_SIZES": (5, 6),
+        "LARGE_SIZE": 50,
+    },
     "parameterized_families.py": {"LARGE_SIZE": 4},
     "counting_and_restrictions.py": {},
 }

@@ -1,0 +1,254 @@
+"""Unit tests for the ROBDD manager and the BDDFunction wrapper.
+
+Covers the invariants the symbolic engine relies on: hash-consing (structural
+equality is node-id equality, no duplicate rows, both reduction rules),
+apply-cache effectiveness, quantification and relational products against
+brute-force truth tables, order-preserving renaming, satisfy-counting, and
+the wrapper's operator algebra.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.bdd import BDDFunction, BDDManager
+from repro.errors import BDDError
+
+LEVELS = (0, 1, 2)
+
+
+def brute_force(function, levels=LEVELS):
+    """The truth table of a BDDFunction as a frozenset of satisfying tuples."""
+    return frozenset(
+        values
+        for values in product([False, True], repeat=len(levels))
+        if function.evaluate(dict(zip(levels, values)))
+    )
+
+
+@pytest.fixture()
+def manager():
+    return BDDManager()
+
+
+@pytest.fixture()
+def abc(manager):
+    return tuple(BDDFunction.variable(manager, level) for level in LEVELS)
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing
+# ---------------------------------------------------------------------------
+
+
+def test_same_function_built_differently_is_same_node(manager, abc):
+    a, b, c = abc
+    de_morgan_left = ~(a | b)
+    de_morgan_right = ~a & ~b
+    assert de_morgan_left.node == de_morgan_right.node
+    assert de_morgan_left == de_morgan_right
+    assert (a & b) | (a & c) == a & (b | c)
+
+
+def test_reduction_rules(manager):
+    # Redundant test: mk(level, t, t) must collapse to t.
+    v = manager.var(0)
+    assert manager._mk(1, v, v) == v
+    # Sharing: building the same triple twice yields the same id.
+    left = manager._mk(2, 0, 1)
+    right = manager._mk(2, 0, 1)
+    assert left == right
+
+
+def test_unique_table_has_no_duplicate_rows(manager, abc):
+    a, b, c = abc
+    _ = (a & b) | (b & c) | (a ^ c)
+    rows = manager._nodes[2:]
+    assert len(rows) == len(set(rows))
+
+
+def test_terminals_and_literals(manager):
+    t = BDDFunction.true(manager)
+    f = BDDFunction.false(manager)
+    assert t.is_true and f.is_false
+    assert (~t) == f and (~f) == t
+    v = BDDFunction.variable(manager, 4)
+    assert (v | ~v).is_true
+    assert (v & ~v).is_false
+
+
+# ---------------------------------------------------------------------------
+# Apply cache
+# ---------------------------------------------------------------------------
+
+
+def test_apply_cache_hits_on_repeated_conjunction(manager, abc):
+    a, b, c = abc
+    f = (a | b) & (b | c)
+    before = manager.apply_cache_hits
+    g = (a | b) & (b | c)  # same operands: every recursive step must hit
+    assert g == f
+    assert manager.apply_cache_hits > before
+
+
+def test_apply_cache_shared_across_expressions(manager, abc):
+    a, b, c = abc
+    lhs = (a & b) | c
+    misses_before = manager.apply_cache_misses
+    rhs = (a & b) | c
+    assert rhs == lhs
+    # The second build re-resolves a & b from the cache without new misses.
+    assert manager.apply_cache_misses == misses_before
+
+
+def test_apply_dispatcher_derived_ops(manager, abc):
+    a, b, _ = abc
+    assert manager.apply("imp", a.node, b.node) == (~a | b).node
+    assert manager.apply("iff", a.node, b.node) == ((a & b) | (~a & ~b)).node
+    assert manager.apply("diff", a.node, b.node) == (a & ~b).node
+    with pytest.raises(BDDError):
+        manager.apply("nand", a.node, b.node)
+
+
+# ---------------------------------------------------------------------------
+# ite / restrict
+# ---------------------------------------------------------------------------
+
+
+def test_ite_matches_boolean_definition(manager, abc):
+    a, b, c = abc
+    assert a.ite(b, c) == (a & b) | (~a & c)
+    assert a.ite(BDDFunction.true(manager), BDDFunction.false(manager)) == a
+
+
+def test_restrict_is_cofactor(manager, abc):
+    a, b, c = abc
+    f = (a & b) | (~a & c)
+    assert f.restrict(0, True) == b
+    assert f.restrict(0, False) == c
+    assert f.restrict(2, True).restrict(0, False).is_true
+
+
+# ---------------------------------------------------------------------------
+# Quantification and relational product
+# ---------------------------------------------------------------------------
+
+
+def test_exists_equals_or_of_cofactors(manager, abc):
+    a, b, c = abc
+    f = (a & b) | (b ^ c)
+    assert f.exists([1]) == f.restrict(1, False) | f.restrict(1, True)
+    assert f.forall([1]) == f.restrict(1, False) & f.restrict(1, True)
+
+
+def test_exists_against_truth_table(manager, abc):
+    a, b, c = abc
+    f = (a | b) & (~b | c)
+    quantified = f.exists([0, 2])
+    for value in (False, True):
+        expect = any(
+            f.evaluate({0: x, 1: value, 2: z}) for x in (False, True) for z in (False, True)
+        )
+        assert quantified.evaluate({1: value}) == expect
+
+
+def test_relprod_equals_unfused_quantified_conjunction(manager, abc):
+    a, b, c = abc
+    # Check the fused relational product against exists(f & g) for a grid of
+    # operand shapes, including ones whose conjunction is constant.
+    operands = [a & b, a | ~c, b ^ c, a.ite(b, c), ~a, BDDFunction.true(manager)]
+    for f in operands:
+        for g in operands:
+            for cube in ([0], [1], [0, 1], [0, 1, 2], [2]):
+                assert f.relprod(g, cube) == (f & g).exists(cube), (f, g, cube)
+
+
+def test_rename_shifts_support(manager, abc):
+    a, b, c = abc
+    f = (a & b) | c
+    shifted = f.rename({0: 10, 1: 11, 2: 12})
+    assert shifted.support() == frozenset({10, 11, 12})
+    assert brute_force(shifted, (10, 11, 12)) == brute_force(f)
+
+
+def test_rename_rejects_order_violations(manager, abc):
+    a, b, _ = abc
+    with pytest.raises(BDDError):
+        (a & b).rename({0: 5, 1: 3})
+
+
+def test_rename_rejects_interleaving_with_unmapped_support(manager):
+    # {0: 5} is trivially monotone on its own, but moving level 0 past the
+    # *unmapped* support level 3 would build an unordered diagram.
+    f = BDDFunction.variable(manager, 0) & BDDFunction.variable(manager, 3)
+    with pytest.raises(BDDError):
+        f.rename({0: 5})
+
+
+# ---------------------------------------------------------------------------
+# Counting, models, support
+# ---------------------------------------------------------------------------
+
+
+def test_sat_count_weights_free_variables(manager, abc):
+    a, b, c = abc
+    f = a & b
+    assert f.sat_count([0, 1]) == 1
+    assert f.sat_count([0, 1, 2]) == 2
+    assert f.sat_count([0, 1, 2, 3, 4]) == 8
+    assert BDDFunction.true(manager).sat_count(LEVELS) == 8
+    assert BDDFunction.false(manager).sat_count(LEVELS) == 0
+
+
+def test_sat_count_requires_support_coverage(manager, abc):
+    a, b, _ = abc
+    with pytest.raises(BDDError):
+        (a & b).sat_count([0])
+
+
+def test_models_enumerate_exactly_the_satisfying_assignments(manager, abc):
+    a, b, c = abc
+    f = (a | b) & ~c
+    models = list(f.models(LEVELS))
+    assert len(models) == f.sat_count(LEVELS)
+    assert len({tuple(sorted(m.items())) for m in models}) == len(models)
+    for model in models:
+        assert f.evaluate(model)
+
+
+def test_support_and_size(manager, abc):
+    a, _, c = abc
+    f = a ^ c
+    assert f.support() == frozenset({0, 2})
+    assert f.size == manager.node_count(f.node)
+    assert BDDFunction.true(manager).support() == frozenset()
+
+
+def test_cube_builder(manager):
+    cube = manager.cube({0: True, 2: False, 4: True})
+    assert manager.evaluate(cube, {0: True, 2: False, 4: True})
+    assert not manager.evaluate(cube, {0: True, 2: True, 4: True})
+    assert manager.sat_count(cube, (0, 1, 2, 3, 4)) == 4
+
+
+# ---------------------------------------------------------------------------
+# Wrapper safety
+# ---------------------------------------------------------------------------
+
+
+def test_functions_from_different_managers_do_not_mix(manager, abc):
+    other = BDDManager()
+    foreign = BDDFunction.variable(other, 0)
+    with pytest.raises(BDDError):
+        abc[0] & foreign
+
+
+def test_truthiness_is_rejected(abc):
+    with pytest.raises(BDDError):
+        bool(abc[0])
+
+
+def test_evaluate_requires_support_coverage(manager, abc):
+    a, b, _ = abc
+    with pytest.raises(BDDError):
+        (a & b).evaluate({0: True})

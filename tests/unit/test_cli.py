@@ -1,0 +1,60 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.engine == "bitset"
+    assert args.ring_size == 4
+    assert not args.experiments
+
+
+def test_parser_rejects_unknown_engine():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--engine", "zdd"])
+
+
+@pytest.mark.parametrize("engine", ["naive", "bitset", "bdd"])
+def test_ring_check_all_engines(engine, capsys):
+    exit_code = main(["--engine", engine, "--ring-size", "3"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "M_3 via engine=%s" % engine in out
+    assert "states      : 24" in out
+    assert "transitions : 57" in out
+    assert "property eventual_entry" in out
+    assert "invariant one_token" in out
+    assert "all Section 5 properties and invariants hold" in out
+
+
+def test_bdd_engine_reports_direct_encoding(capsys):
+    main(["--engine", "bdd", "--ring-size", "2"])
+    out = capsys.readouterr().out
+    assert "direct symbolic encoding" in out
+
+
+def test_explicit_engines_report_explicit_graph(capsys):
+    main(["--engine", "bitset", "--ring-size", "2"])
+    out = capsys.readouterr().out
+    assert "explicit state graph" in out
+
+
+def test_invalid_ring_size_exits_2(capsys):
+    assert main(["--ring-size", "0"]) == 2
+    assert "--ring-size" in capsys.readouterr().err
+
+
+def test_python_dash_m_entry_point():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "--engine", "bdd", "--ring-size", "2"],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "M_2 via engine=bdd" in completed.stdout
