@@ -1,0 +1,95 @@
+"""Head-to-head: fair-CTL checking, bitset vs. naive (and the symbolic engine).
+
+The fairness-constrained liveness family (``AF t_i`` per process plus the
+``∧_i AF t_i`` conjunction) is checked on token rings under per-process
+scheduler fairness with both explicit engines, exercising the two
+SCC-restricted fair-``EG`` fixpoints the engines implement independently.
+Checker construction is inside the measured region but the compiled form is
+memoised on the session-fixture structure, so the steady-state numbers
+measure fair *checking* throughput.  ``test_fair_symbolic_direct_ring8``
+runs the Emerson–Lei fixpoint on a direct BDD encoding beyond the
+explicit-benchmark sizes.  Every benchmark publishes its parameters through
+``extra_info`` into the ``BENCH_*.json`` artifact flow.
+
+The smoke-marked pair at ring size 4 is the CI fair-EG head-to-head; the
+speedup guard at size 6 keeps the bitset engine honest — fair checking must
+stay ahead of the naive oracle just like plain checking does.
+"""
+
+import time
+
+import pytest
+
+from repro.mc import ICTLStarModelChecker
+from repro.systems import token_ring
+
+ENGINES = ("bitset", "naive")
+
+
+def _check_fair_family(structure, engine, size):
+    constraint = token_ring.ring_scheduler_fairness(size)
+    checker = ICTLStarModelChecker(structure, engine=engine, fairness=constraint)
+    return checker.check_batch(token_ring.fair_ring_properties())
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fair_liveness_ring4(benchmark, ring4, engine):
+    benchmark.group = "fair-eg-ring4"
+    benchmark.extra_info["n"] = 4
+    benchmark.extra_info["states"] = ring4.num_states
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["fairness_conditions"] = 4
+    results = benchmark(_check_fair_family, ring4, engine, 4)
+    assert all(results.values())
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fair_liveness_ring6(benchmark, ring6, engine):
+    benchmark.group = "fair-eg-ring6"
+    benchmark.extra_info["n"] = 6
+    benchmark.extra_info["states"] = ring6.num_states
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["fairness_conditions"] = 6
+    results = benchmark(_check_fair_family, ring6, engine, 6)
+    assert all(results.values())
+
+
+@pytest.mark.bench_smoke
+def test_fair_symbolic_direct_ring8(benchmark):
+    benchmark.group = "fair-eg-symbolic"
+    benchmark.extra_info["n"] = 8
+    benchmark.extra_info["engine"] = "bdd"
+    benchmark.extra_info["fairness_conditions"] = 8
+
+    def run():
+        from repro.mc import SymbolicCTLModelChecker
+
+        encoded = token_ring.symbolic_token_ring(8)
+        checker = SymbolicCTLModelChecker(
+            encoded, fairness=token_ring.ring_scheduler_fairness(8)
+        )
+        return checker.check(token_ring.property_eventual_token())
+
+    benchmark.extra_info["states"] = 8 * 2 ** 8
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result
+
+
+def test_fair_bitset_beats_naive_at_ring6(ring6):
+    """Speedup guard: the bitset fair-EG must stay well ahead of the naive one."""
+
+    def wall(engine):
+        start = time.perf_counter()
+        results = _check_fair_family(ring6, engine, 6)
+        assert all(results.values())
+        return time.perf_counter() - start
+
+    # Warm the shared compilation so both engines measure checking only.
+    wall("bitset")
+    fast = min(wall("bitset") for _ in range(3))
+    slow = min(wall("naive") for _ in range(3))
+    assert fast < slow, "fair bitset checking (%.4fs) not faster than naive (%.4fs)" % (
+        fast,
+        slow,
+    )

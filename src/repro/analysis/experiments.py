@@ -17,6 +17,7 @@ E7     Section 5 / Appendix — the correspondence between rings
 E8     Section 1/5 — state explosion vs. correspondence-based verification
 E9     Section 6 — the k-nesting conjecture on free products
 E10    Section 3 — scaling of the correspondence decision algorithm
+E11    Section 5 — liveness under fairness (``AF t_i`` on fair vs. unfair rings)
 =====  ======================================================================
 """
 
@@ -30,6 +31,7 @@ from repro.analysis.explosion import (
     token_ring_explosion_sweep,
 )
 from repro.analysis.timing import timed_call
+from repro.errors import ModelCheckingError
 from repro.correspondence import (
     ParameterizedVerifier,
     correspondence_violations,
@@ -37,8 +39,17 @@ from repro.correspondence import (
     verify_index_relation,
 )
 from repro.kripke import reduce_to_index, structure_stats
+from repro.kripke.paths import is_lasso
+from repro.kripke.structure import IndexedProp
 from repro.logic import index_nesting_depth
-from repro.mc import CTLStarModelChecker, ICTLStarModelChecker
+from repro.logic.builders import AF, iatom
+from repro.mc import (
+    CTLStarModelChecker,
+    ICTLStarModelChecker,
+    SymbolicCTLModelChecker,
+    counterexample_af,
+    crosscheck_ctl_engines,
+)
 from repro.systems import figures, token_ring
 
 __all__ = [
@@ -52,6 +63,7 @@ __all__ = [
     "run_e8_explosion",
     "run_e9_conjecture",
     "run_e10_scaling",
+    "run_e11_fairness",
     "run_all",
 ]
 
@@ -393,6 +405,96 @@ def run_e10_scaling(sizes: Sequence[int] = (3, 4, 5)) -> Dict:
 
 
 # ---------------------------------------------------------------------------
+# E11 — liveness under fairness
+# ---------------------------------------------------------------------------
+
+
+def run_e11_fairness(
+    sizes: Sequence[int] = (2, 3, 4),
+    symbolic_sizes: Sequence[int] = (10,),
+    engine: str = "bitset",
+) -> Dict:
+    """E11 — the ``AF t_i`` liveness claims hold exactly under scheduler fairness.
+
+    The Section 5 token-ring properties all carry a request premise
+    (``d_i ⇒ …``) precisely because the unconditional claim "process ``i``
+    eventually holds the token" is false in plain CTL: a path on which ``i``
+    never requests is a counterexample.  This experiment measures the
+    fairness-constrained semantics that repairs it:
+
+    * on every explicit ring size the unfair check of ``∧_i AF t_i``
+      correctly **fails** and the same check under
+      :func:`~repro.systems.token_ring.ring_scheduler_fairness` **holds**,
+      with all three engines replayed differentially on the per-process
+      boundary instances (:func:`~repro.mc.oracle.crosscheck_ctl_engines`
+      raises on any disagreement between the two SCC-restricted explicit
+      fair-``EG`` fixpoints and the symbolic Emerson–Lei one);
+    * on ``symbolic_sizes`` (beyond the explicit wall) the direct BDD
+      encoding checks the same pair of verdicts;
+    * the bitset engine extracts a counterexample lasso to the unfair claim
+      (a real cycle on which the last process never holds the token),
+      validated against the structure.
+    """
+    formula = token_ring.property_eventual_token()
+    rows = {}
+    engines_agree = True
+    for size in sizes:
+        structure = token_ring.build_token_ring(size)
+        constraint = token_ring.ring_scheduler_fairness(size)
+        unfair = ICTLStarModelChecker(structure, engine=engine).check(formula)
+        fair = ICTLStarModelChecker(structure, engine=engine, fairness=constraint).check(
+            formula
+        )
+        # Replaying the bdd engine on an explicit encoding dominates the cost,
+        # so crosscheck the boundary processes (first and last) per size.
+        try:
+            for process in sorted({1, size}):
+                crosscheck_ctl_engines(
+                    structure, AF(iatom("t", process)), fairness=constraint
+                )
+        except ModelCheckingError:
+            engines_agree = False
+        rows[size] = {"unfair": unfair, "fair": fair}
+
+    symbolic_rows = {}
+    for size in symbolic_sizes:
+        encoded = token_ring.symbolic_token_ring(size)
+        constraint = token_ring.ring_scheduler_fairness(size)
+        unfair = SymbolicCTLModelChecker(encoded).check(formula)
+        fair = SymbolicCTLModelChecker(encoded, fairness=constraint).check(formula)
+        symbolic_rows[size] = {"unfair": unfair, "fair": fair}
+
+    # A concrete counterexample to the unfair claim, from the bitset engine.
+    witness_size = min(sizes)
+    witness_ring = token_ring.build_token_ring(witness_size)
+    target = iatom("t", witness_size)
+    lasso = counterexample_af(witness_ring, target, engine="bitset")
+    lasso_valid = (
+        lasso is not None
+        and is_lasso(witness_ring, lasso)
+        and all(
+            IndexedProp("t", witness_size) not in witness_ring.label(state)
+            for state in lasso.positions()
+        )
+    )
+
+    return {
+        "rows": rows,
+        "symbolic_rows": symbolic_rows,
+        "unfair_fails_everywhere": all(
+            not row["unfair"] for row in list(rows.values()) + list(symbolic_rows.values())
+        ),
+        "fair_holds_everywhere": all(
+            row["fair"] for row in list(rows.values()) + list(symbolic_rows.values())
+        ),
+        "engines_agree": engines_agree,
+        "counterexample_size": witness_size,
+        "counterexample_valid": lasso_valid,
+        "engine": engine,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Everything at once
 # ---------------------------------------------------------------------------
 
@@ -419,4 +521,9 @@ def run_all(quick: bool = True, engine: str = "bitset") -> Dict[str, Dict]:
         ),
         "E9_conjecture": run_e9_conjecture(max_size=4 if quick else 5),
         "E10_scaling": run_e10_scaling(sizes=(3, 4) if quick else (3, 4, 5)),
+        "E11_fairness": run_e11_fairness(
+            sizes=(2, 3) if quick else (2, 4, 8),
+            symbolic_sizes=(6,) if quick else (10,),
+            engine=engine,
+        ),
     }

@@ -14,8 +14,10 @@ With ``--engine bdd`` the ring is encoded *directly* as binary decision
 diagrams (the explicit global state graph is never built), so sizes well
 beyond the explicit engines' range remain tractable; with ``naive``/``bitset``
 the explicit graph is built first, exactly like the library's programmatic
-path.  ``--experiments`` instead replays the full E1–E10 experiment suite and
-prints one summary line per experiment.
+path.  ``--fairness`` switches every check to the fairness-constrained
+semantics (per-process scheduler fairness) and adds the fairness-dependent
+``AF t_i`` liveness family.  ``--experiments`` instead replays the full
+E1–E11 experiment suite and prints one summary line per experiment.
 
 The process exits non-zero when a checked property is violated (or an
 experiment's headline claim fails to reproduce), so the command doubles as a
@@ -56,9 +58,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of processes r of the token ring M_r (default: 4)",
     )
     parser.add_argument(
+        "--fairness",
+        action="store_true",
+        help=(
+            "check under per-process scheduler fairness (every process is "
+            "infinitely often delayed or holding the token) and include the "
+            "fairness-dependent liveness family AF t_i"
+        ),
+    )
+    parser.add_argument(
         "--experiments",
         action="store_true",
-        help="run the full E1-E10 experiment suite instead of a single ring check",
+        help="run the full E1-E11 experiment suite instead of a single ring check",
     )
     parser.add_argument(
         "--quick",
@@ -68,7 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_ring_check(engine: str, size: int, out) -> bool:
+def _run_ring_check(engine: str, size: int, fairness: bool, out) -> bool:
     from repro.systems import token_ring
 
     family = {}
@@ -76,23 +87,31 @@ def _run_ring_check(engine: str, size: int, out) -> bool:
         family["property " + name] = formula
     for name, formula in token_ring.ring_invariants().items():
         family["invariant " + name] = formula
+    constraint = None
+    if fairness:
+        constraint = token_ring.ring_scheduler_fairness(size)
+        # The AF t_i family is only true under fairness — see E11.
+        for name, formula in token_ring.fair_ring_properties().items():
+            family["fair liveness " + name] = formula
 
     if engine == "bdd":
         from repro.mc.symbolic import SymbolicCTLModelChecker
 
         built = timed_call(token_ring.symbolic_token_ring, size)
         structure = built.value
-        checker = SymbolicCTLModelChecker(structure)
+        checker = SymbolicCTLModelChecker(structure, fairness=constraint)
         descriptor = "direct symbolic encoding"
     else:
         from repro.mc.indexed import ICTLStarModelChecker
 
         built = timed_call(token_ring.build_token_ring, size)
         structure = built.value
-        checker = ICTLStarModelChecker(structure, engine=engine)
+        checker = ICTLStarModelChecker(structure, engine=engine, fairness=constraint)
         descriptor = "explicit state graph"
 
     print("M_%d via engine=%s (%s)" % (size, engine, descriptor), file=out)
+    if constraint is not None:
+        print("  fairness    : %d conditions (d_i | t_i per process)" % len(constraint), file=out)
     print("  states      : %d" % structure.num_states, file=out)
     print("  transitions : %d" % structure.num_transitions, file=out)
     print("  build       : %.4fs" % built.seconds, file=out)
@@ -131,13 +150,19 @@ _EXPERIMENT_HEADLINES = {
     ),
     "E9_conjecture": lambda r: r["conjecture_holds_on_family"],
     "E10_scaling": lambda r: all(row["corresponds"] for row in r["rows"]),
+    "E11_fairness": lambda r: (
+        r["unfair_fails_everywhere"]
+        and r["fair_holds_everywhere"]
+        and r["engines_agree"]
+        and r["counterexample_valid"]
+    ),
 }
 
 
 def _run_experiments(engine: str, quick: bool, out) -> bool:
     from repro.analysis import experiments
 
-    print("running E1-E10 (engine=%s, quick=%s)" % (engine, quick), file=out)
+    print("running E1-E11 (engine=%s, quick=%s)" % (engine, quick), file=out)
     ran = timed_call(experiments.run_all, quick=quick, engine=engine)
     print("  %-20s %s" % ("experiment", "reproduced"), file=out)
     ok = True
@@ -157,9 +182,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --ring-size must be at least 1", file=sys.stderr)
         return 2
     if args.experiments:
+        if args.fairness:
+            print(
+                "error: --fairness applies to single ring checks; the experiment "
+                "suite already replays the fairness story as E11",
+                file=sys.stderr,
+            )
+            return 2
         ok = _run_experiments(args.engine, args.quick, out)
     else:
-        ok = _run_ring_check(args.engine, args.ring_size, out)
+        ok = _run_ring_check(args.engine, args.ring_size, args.fairness, out)
     return 0 if ok else 1
 
 

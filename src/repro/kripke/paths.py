@@ -17,7 +17,14 @@ from typing import Callable, Iterator, List, Sequence, Tuple
 from repro.errors import StructureError
 from repro.kripke.structure import KripkeStructure, State
 
-__all__ = ["Lasso", "is_path", "enumerate_finite_paths", "enumerate_lassos", "random_walk"]
+__all__ = [
+    "Lasso",
+    "is_path",
+    "is_lasso",
+    "enumerate_finite_paths",
+    "enumerate_lassos",
+    "random_walk",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,23 @@ def is_path(structure: KripkeStructure, states: Sequence[State]) -> bool:
         states[index + 1] in structure.successors(states[index])
         for index in range(len(states) - 1)
     )
+
+
+def is_lasso(structure: KripkeStructure, lasso: Lasso) -> bool:
+    """Return ``True`` when ``lasso`` is a real ultimately periodic path of ``structure``.
+
+    Checks that the cycle is non-empty, that the stem-plus-cycle carrier is a
+    finite path of the structure (consecutive states related by ``R``), and
+    that the cycle *closes*: the last cycle state has a transition back to the
+    first.  The witness-validity tests use this to pin down that every
+    ``Lasso`` returned by :mod:`repro.mc.counterexample` denotes an actual
+    infinite path.
+    """
+    if not lasso.cycle:
+        return False
+    if not is_path(structure, lasso.positions()):
+        return False
+    return lasso.cycle[0] in structure.successors(lasso.cycle[-1])
 
 
 def enumerate_finite_paths(

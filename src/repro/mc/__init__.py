@@ -1,12 +1,16 @@
-"""Model checkers: CTL (naive, bitset, and symbolic BDD engines), existential LTL, CTL*, and indexed CTL*."""
+"""Model checkers: CTL (naive, bitset, and symbolic BDD engines, each with optional
+fairness-constrained semantics), existential LTL, CTL*, and indexed CTL*."""
 
 from repro.mc.counterexample import (
     counterexample_af,
     counterexample_ag,
+    resolve_checker,
     witness_ef,
     witness_eg,
     witness_eu,
 )
+from repro.mc.fairness import FairnessConstraint, normalize_fairness
+from repro.mc.scc import strongly_connected_components
 from repro.mc.bitset import CTL_ENGINES, BitsetCTLModelChecker, make_ctl_checker
 from repro.mc.bitset import check as check_ctl_bitset
 from repro.mc.bitset import satisfaction_set as bitset_satisfaction_set
@@ -35,6 +39,10 @@ __all__ = [
     "BitsetCTLModelChecker",
     "CTL_ENGINES",
     "CTLModelChecker",
+    "FairnessConstraint",
+    "normalize_fairness",
+    "strongly_connected_components",
+    "resolve_checker",
     "make_ctl_checker",
     "check_ctl_bitset",
     "bitset_satisfaction_set",

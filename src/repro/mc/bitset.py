@@ -16,11 +16,17 @@ labelling algorithm entirely on int bitmasks produced by
 The naive checker remains the differential-testing oracle — see
 ``tests/property/test_property_bitset.py`` — and is still available through
 ``engine="naive"`` wherever the library accepts an engine choice.
+
+Fairness-constrained checking mirrors :class:`repro.mc.ctl.CTLModelChecker`:
+``EX``/``EU`` targets are masked with the fair states and fair ``EG`` runs
+the SCC-restricted fixpoint (Tarjan over the indices inside the operand
+mask, keeping the non-trivial components whose mask intersects every
+fairness mask).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import FragmentError, ModelCheckingError
 from repro.kripke.compiled import (
@@ -31,6 +37,8 @@ from repro.kripke.compiled import (
 )
 from repro.kripke.structure import KripkeStructure, State
 from repro.kripke.validation import assert_total
+from repro.mc.fairness import FairnessConstraint, normalize_fairness
+from repro.mc.scc import fair_components
 from repro.logic.ast import (
     And,
     Atom,
@@ -83,16 +91,25 @@ class BitsetCTLModelChecker:
         self,
         structure: Union[KripkeStructure, CompiledKripkeStructure],
         validate_structure: bool = True,
+        fairness: Optional[FairnessConstraint] = None,
     ) -> None:
         self._compiled = compile_structure(structure)
         if validate_structure and not self._compiled.is_total():
             assert_total(self._compiled.source)
+        self._fairness = normalize_fairness(fairness)
         self._cache: Dict[Formula, int] = {}
+        self._fair_condition_masks: Optional[Tuple[int, ...]] = None
+        self._fair_states_mask: Optional[int] = None
 
     @property
     def structure(self) -> KripkeStructure:
         """The (source) structure this checker operates on."""
         return self._compiled.source
+
+    @property
+    def fairness(self) -> Optional[FairnessConstraint]:
+        """The fairness constraint the path quantifiers respect (``None``: all paths)."""
+        return self._fairness
 
     @property
     def compiled(self) -> CompiledKripkeStructure:
@@ -171,14 +188,17 @@ class BitsetCTLModelChecker:
     def _compute_exists(self, path: Formula) -> int:
         compiled = self._compiled
         if isinstance(path, Next):
-            return compiled.preimage(self.satisfaction_mask(path.operand))
+            return compiled.preimage(self._constrain(self.satisfaction_mask(path.operand)))
         if isinstance(path, Finally):
-            return self._eu(compiled.all_mask, self.satisfaction_mask(path.operand))
+            return self._eu(
+                compiled.all_mask, self._constrain(self.satisfaction_mask(path.operand))
+            )
         if isinstance(path, Globally):
-            return self._eg(self.satisfaction_mask(path.operand))
+            return self._eg_op(self.satisfaction_mask(path.operand))
         if isinstance(path, Until):
             return self._eu(
-                self.satisfaction_mask(path.left), self.satisfaction_mask(path.right)
+                self.satisfaction_mask(path.left),
+                self._constrain(self.satisfaction_mask(path.right)),
             )
         if isinstance(path, Release):
             # E[f R g]  ≡  ¬A[¬f U ¬g]
@@ -201,21 +221,23 @@ class BitsetCTLModelChecker:
         if isinstance(path, Next):
             # AX f ≡ ¬EX ¬f
             return everything & ~compiled.preimage(
-                everything & ~self.satisfaction_mask(path.operand)
+                self._constrain(everything & ~self.satisfaction_mask(path.operand))
             )
         if isinstance(path, Finally):
             # AF f ≡ ¬EG ¬f
-            return everything & ~self._eg(everything & ~self.satisfaction_mask(path.operand))
+            return everything & ~self._eg_op(
+                everything & ~self.satisfaction_mask(path.operand)
+            )
         if isinstance(path, Globally):
             # AG f ≡ ¬EF ¬f
             return everything & ~self._eu(
-                everything, everything & ~self.satisfaction_mask(path.operand)
+                everything, self._constrain(everything & ~self.satisfaction_mask(path.operand))
             )
         if isinstance(path, Until):
             # A[f U g] ≡ ¬( E[¬g U (¬f ∧ ¬g)] ∨ EG ¬g )
             not_f = everything & ~self.satisfaction_mask(path.left)
             not_g = everything & ~self.satisfaction_mask(path.right)
-            bad = self._eu(not_g, not_f & not_g) | self._eg(not_g)
+            bad = self._eu(not_g, self._constrain(not_f & not_g)) | self._eg_op(not_g)
             return everything & ~bad
         if isinstance(path, Release):
             # A[f R g] ≡ ¬E[¬f U ¬g]
@@ -224,7 +246,7 @@ class BitsetCTLModelChecker:
             # A[f W g] ≡ ¬E[¬g U (¬f ∧ ¬g)]
             not_f = everything & ~self.satisfaction_mask(path.left)
             not_g = everything & ~self.satisfaction_mask(path.right)
-            return everything & ~self._eu(not_g, not_f & not_g)
+            return everything & ~self._eu(not_g, self._constrain(not_f & not_g))
         raise FragmentError(
             "A must be applied to a single temporal operator over state formulas "
             "for CTL checking; got A(%s)" % path
@@ -284,11 +306,84 @@ class BitsetCTLModelChecker:
                     doomed.append(pred)
         return current
 
+    # -- fairness ----------------------------------------------------------------
+
+    def fair_states_mask(self) -> int:
+        """The fair states (starting at least one fair path) as a bitmask."""
+        if self._fairness is None:
+            return self._compiled.all_mask
+        if self._fair_states_mask is None:
+            self._fair_states_mask = self._fair_eg(self._compiled.all_mask)
+        return self._fair_states_mask
+
+    def fair_states(self) -> FrozenSet[State]:
+        """The fair states, decoded into a frozenset."""
+        return self._compiled.states_of(self.fair_states_mask())
+
+    def fairness_condition_masks(self) -> Tuple[int, ...]:
+        """The (plain-semantics) satisfaction masks of the fairness conditions."""
+        if self._fairness is None:
+            return ()
+        if self._fair_condition_masks is None:
+            # Conditions are decided under the unconstrained semantics by a
+            # plain sub-checker sharing this instance's compilation.
+            plain = BitsetCTLModelChecker(self._compiled, validate_structure=False)
+            self._fair_condition_masks = tuple(
+                plain.satisfaction_mask(condition)
+                for condition in self._fairness.conditions
+            )
+        return self._fair_condition_masks
+
+    def fairness_condition_sets(self) -> Tuple[FrozenSet[State], ...]:
+        """The fairness-condition satisfaction sets, decoded into frozensets."""
+        states_of = self._compiled.states_of
+        return tuple(states_of(mask) for mask in self.fairness_condition_masks())
+
+    def _constrain(self, target: int) -> int:
+        """Mask an ``EX``/``EU`` target with the fair states (no-op when unconstrained)."""
+        if self._fairness is None:
+            return target
+        return target & self.fair_states_mask()
+
+    def _eg_op(self, operand: int) -> int:
+        """Dispatch ``EG`` to the plain or the fairness-constrained fixpoint."""
+        if self._fairness is None:
+            return self._eg(operand)
+        return self._fair_eg(operand)
+
+    def _fair_eg(self, operand: int) -> int:
+        """SCC-restricted greatest fixpoint for fair ``EG operand``.
+
+        Tarjan runs over the state indices inside the operand mask with the
+        adjacency filtered to it; the non-trivial components whose index mask
+        meets every fairness mask form the hub, and the result is the
+        backwards ``EU`` reachability of the hub through the operand.
+        """
+        compiled = self._compiled
+        successors_of = compiled.successors_of
+        indices = list(bits_of(operand))
+        restricted = {
+            index: [
+                target for target in successors_of(index) if operand >> target & 1
+            ]
+            for index in indices
+        }
+        condition_index_sets = [
+            frozenset(bits_of(mask & operand))
+            for mask in self.fairness_condition_masks()
+        ]
+        hub = 0
+        for component in fair_components(indices, restricted, condition_index_sets):
+            for index in component:
+                hub |= 1 << index
+        return self._eu(operand, hub)
+
 
 def make_ctl_checker(
     structure: Union[KripkeStructure, CompiledKripkeStructure],
     engine: str = "bitset",
     validate_structure: bool = True,
+    fairness: Optional[FairnessConstraint] = None,
 ):
     """Construct a CTL checker for ``structure`` using the named engine.
 
@@ -298,37 +393,51 @@ def make_ctl_checker(
     ``engine="bdd"`` returns the symbolic
     :class:`repro.mc.symbolic.SymbolicCTLModelChecker`, which runs the CTL
     fixpoints on binary decision diagrams instead of enumerated state sets.
+
+    With ``fairness`` (a :class:`repro.mc.fairness.FairnessConstraint`) the
+    returned checker decides the fairness-constrained CTL semantics: path
+    quantifiers range over the paths visiting every fairness set infinitely
+    often.
     """
     if engine == "bitset":
-        return BitsetCTLModelChecker(structure, validate_structure=validate_structure)
+        return BitsetCTLModelChecker(
+            structure, validate_structure=validate_structure, fairness=fairness
+        )
     if engine == "naive":
         from repro.mc.ctl import CTLModelChecker
 
         if isinstance(structure, CompiledKripkeStructure):
             structure = structure.source
-        return CTLModelChecker(structure, validate_structure=validate_structure)
+        return CTLModelChecker(
+            structure, validate_structure=validate_structure, fairness=fairness
+        )
     if engine == "bdd":
         from repro.mc.symbolic import SymbolicCTLModelChecker
 
         if isinstance(structure, CompiledKripkeStructure):
             structure = structure.source
-        return SymbolicCTLModelChecker(structure, validate_structure=validate_structure)
+        return SymbolicCTLModelChecker(
+            structure, validate_structure=validate_structure, fairness=fairness
+        )
     raise ModelCheckingError(
         "unknown CTL engine %r; expected one of %s" % (engine, ", ".join(CTL_ENGINES))
     )
 
 
 def satisfaction_set(
-    structure: Union[KripkeStructure, CompiledKripkeStructure], formula: Formula
+    structure: Union[KripkeStructure, CompiledKripkeStructure],
+    formula: Formula,
+    fairness: Optional[FairnessConstraint] = None,
 ) -> FrozenSet[State]:
     """One-shot helper: the bitset-engine satisfaction set of ``formula``."""
-    return BitsetCTLModelChecker(structure).satisfaction_set(formula)
+    return BitsetCTLModelChecker(structure, fairness=fairness).satisfaction_set(formula)
 
 
 def check(
     structure: Union[KripkeStructure, CompiledKripkeStructure],
     formula: Formula,
     state: Optional[State] = None,
+    fairness: Optional[FairnessConstraint] = None,
 ) -> bool:
     """One-shot helper: decide ``structure, state ⊨ formula`` with the bitset engine."""
-    return BitsetCTLModelChecker(structure).check(formula, state)
+    return BitsetCTLModelChecker(structure, fairness=fairness).check(formula, state)

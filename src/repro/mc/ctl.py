@@ -10,15 +10,24 @@ The checker accepts CTL state formulas built from the derived operators
 rewritten into existential ones using the standard dualities.  Index
 quantifiers are *not* handled here — :mod:`repro.mc.indexed` instantiates them
 over the structure's finite index set first.
+
+With a :class:`~repro.mc.fairness.FairnessConstraint` the path quantifiers
+range over *fair* paths only (paths visiting every fairness set infinitely
+often): ``EX``/``EU`` restrict their targets to the fair states, and fair
+``EG`` is the SCC-restricted greatest fixpoint — the graph is restricted to
+the operand's satisfaction set and the states that can reach a non-trivial
+strongly connected component intersecting every fairness set survive.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import FragmentError
 from repro.kripke.structure import KripkeStructure, State
 from repro.kripke.validation import assert_total
+from repro.mc.fairness import FairnessConstraint, normalize_fairness
+from repro.mc.scc import fair_components
 from repro.logic.ast import (
     And,
     Atom,
@@ -56,16 +65,29 @@ class CTLModelChecker:
     instantiated for every process) re-uses earlier work.
     """
 
-    def __init__(self, structure: KripkeStructure, validate_structure: bool = True) -> None:
+    def __init__(
+        self,
+        structure: KripkeStructure,
+        validate_structure: bool = True,
+        fairness: Optional[FairnessConstraint] = None,
+    ) -> None:
         if validate_structure:
             assert_total(structure)
         self._structure = structure
+        self._fairness = normalize_fairness(fairness)
         self._cache: Dict[Formula, FrozenSet[State]] = {}
+        self._fair_condition_sets: Optional[Tuple[FrozenSet[State], ...]] = None
+        self._fair_states: Optional[FrozenSet[State]] = None
 
     @property
     def structure(self) -> KripkeStructure:
         """The structure this checker operates on."""
         return self._structure
+
+    @property
+    def fairness(self) -> Optional[FairnessConstraint]:
+        """The fairness constraint the path quantifiers respect (``None``: all paths)."""
+        return self._fairness
 
     # -- public API ----------------------------------------------------------
 
@@ -124,14 +146,17 @@ class CTLModelChecker:
 
     def _compute_exists(self, path: Formula) -> FrozenSet[State]:
         if isinstance(path, Next):
-            return self._preimage(self.satisfaction_set(path.operand))
+            return self._preimage(self._constrain(self.satisfaction_set(path.operand)))
         if isinstance(path, Finally):
-            return self._eu(self._structure.states, self.satisfaction_set(path.operand))
+            return self._eu(
+                self._structure.states, self._constrain(self.satisfaction_set(path.operand))
+            )
         if isinstance(path, Globally):
-            return self._eg(self.satisfaction_set(path.operand))
+            return self._eg_op(self.satisfaction_set(path.operand))
         if isinstance(path, Until):
             return self._eu(
-                self.satisfaction_set(path.left), self.satisfaction_set(path.right)
+                self.satisfaction_set(path.left),
+                self._constrain(self.satisfaction_set(path.right)),
             )
         if isinstance(path, Release):
             # E[f R g]  ≡  ¬A[¬f U ¬g]
@@ -152,18 +177,22 @@ class CTLModelChecker:
         states = self._structure.states
         if isinstance(path, Next):
             # AX f ≡ ¬EX ¬f
-            return states - self._preimage(states - self.satisfaction_set(path.operand))
+            return states - self._preimage(
+                self._constrain(states - self.satisfaction_set(path.operand))
+            )
         if isinstance(path, Finally):
             # AF f ≡ ¬EG ¬f
-            return states - self._eg(states - self.satisfaction_set(path.operand))
+            return states - self._eg_op(states - self.satisfaction_set(path.operand))
         if isinstance(path, Globally):
             # AG f ≡ ¬EF ¬f
-            return states - self._eu(states, states - self.satisfaction_set(path.operand))
+            return states - self._eu(
+                states, self._constrain(states - self.satisfaction_set(path.operand))
+            )
         if isinstance(path, Until):
             # A[f U g] ≡ ¬( E[¬g U (¬f ∧ ¬g)] ∨ EG ¬g )
             not_f = states - self.satisfaction_set(path.left)
             not_g = states - self.satisfaction_set(path.right)
-            bad = self._eu(not_g, not_f & not_g) | self._eg(not_g)
+            bad = self._eu(not_g, self._constrain(not_f & not_g)) | self._eg_op(not_g)
             return states - bad
         if isinstance(path, Release):
             # A[f R g] ≡ ¬E[¬f U ¬g]
@@ -172,7 +201,7 @@ class CTLModelChecker:
             # A[f W g] ≡ ¬E[¬g U (¬f ∧ ¬g)]
             not_f = states - self.satisfaction_set(path.left)
             not_g = states - self.satisfaction_set(path.right)
-            return states - self._eu(not_g, not_f & not_g)
+            return states - self._eu(not_g, self._constrain(not_f & not_g))
         raise FragmentError(
             "A must be applied to a single temporal operator over state formulas "
             "for CTL checking; got A(%s)" % path
@@ -213,12 +242,82 @@ class CTLModelChecker:
                     changed = True
         return frozenset(current)
 
+    # -- fairness ----------------------------------------------------------------
 
-def satisfaction_set(structure: KripkeStructure, formula: Formula) -> FrozenSet[State]:
+    def fair_states(self) -> FrozenSet[State]:
+        """The states starting at least one fair path (every state when unconstrained)."""
+        if self._fairness is None:
+            return self._structure.states
+        if self._fair_states is None:
+            self._fair_states = self._fair_eg(self._structure.states)
+        return self._fair_states
+
+    def fairness_condition_sets(self) -> Tuple[FrozenSet[State], ...]:
+        """The (plain-semantics) satisfaction sets of the fairness conditions."""
+        if self._fairness is None:
+            return ()
+        if self._fair_condition_sets is None:
+            # Conditions are evaluated under the *unconstrained* semantics —
+            # the constraint defines fairness, so a plain sub-checker decides
+            # its conditions (atomic conditions never notice the difference).
+            plain = CTLModelChecker(self._structure, validate_structure=False)
+            self._fair_condition_sets = tuple(
+                plain.satisfaction_set(condition) for condition in self._fairness.conditions
+            )
+        return self._fair_condition_sets
+
+    def _constrain(self, target: FrozenSet[State]) -> FrozenSet[State]:
+        """Restrict an ``EX``/``EU`` target to the fair states (no-op when unconstrained)."""
+        if self._fairness is None:
+            return target
+        return target & self.fair_states()
+
+    def _eg_op(self, operand: FrozenSet[State]) -> FrozenSet[State]:
+        """Dispatch ``EG`` to the plain or the fairness-constrained fixpoint."""
+        if self._fairness is None:
+            return self._eg(operand)
+        return self._fair_eg(operand)
+
+    def _fair_eg(self, operand: FrozenSet[State]) -> FrozenSet[State]:
+        """SCC-restricted greatest fixpoint for fair ``EG operand``.
+
+        Restrict the structure to ``operand``; a fair path staying inside it
+        eventually tours a single strongly connected component, so the fair
+        ``EG`` states are exactly the states that can reach — through
+        ``operand`` — a non-trivial SCC of the restricted graph intersecting
+        every fairness set.
+        """
+        structure = self._structure
+        restricted: Dict[State, List[State]] = {
+            state: [
+                successor
+                for successor in structure.successors(state)
+                if successor in operand
+            ]
+            for state in operand
+        }
+        hub: set = set()
+        for component in fair_components(
+            list(operand), restricted, self.fairness_condition_sets()
+        ):
+            hub |= component
+        return self._eu(operand, frozenset(hub))
+
+
+def satisfaction_set(
+    structure: KripkeStructure,
+    formula: Formula,
+    fairness: Optional[FairnessConstraint] = None,
+) -> FrozenSet[State]:
     """One-shot helper: the satisfaction set of ``formula`` on ``structure``."""
-    return CTLModelChecker(structure).satisfaction_set(formula)
+    return CTLModelChecker(structure, fairness=fairness).satisfaction_set(formula)
 
 
-def check(structure: KripkeStructure, formula: Formula, state: Optional[State] = None) -> bool:
+def check(
+    structure: KripkeStructure,
+    formula: Formula,
+    state: Optional[State] = None,
+    fairness: Optional[FairnessConstraint] = None,
+) -> bool:
     """One-shot helper: decide ``structure, state ⊨ formula`` (default: initial state)."""
-    return CTLModelChecker(structure).check(formula, state)
+    return CTLModelChecker(structure, fairness=fairness).check(formula, state)

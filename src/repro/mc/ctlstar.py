@@ -156,7 +156,11 @@ class CTLStarModelChecker:
                 return state in proxies[leaf.name]
             return self._structure.atom_holds(state, leaf)
 
-        return ltl.existential_states(self._structure, proxied_path, atom_eval)
+        # Totality was asserted once at construction (or by the caller that
+        # opted out of validation), so skip the per-subformula re-scan.
+        return ltl.existential_states(
+            self._structure, proxied_path, atom_eval, validate_structure=False
+        )
 
     def _proxy_state_subformulas(self, path: Formula, proxies: Dict[str, FrozenSet[State]]) -> Formula:
         """Replace maximal proper state sub-formulas of ``path`` with fresh proxy atoms.

@@ -1,0 +1,101 @@
+"""Fairness constraints for fairness-constrained (fair) CTL model checking.
+
+The Section 5 liveness claims of the paper ("a delayed process eventually
+enters its critical region") hold on the token ring only because the CTL
+formulas quantify over *all* paths of a structure whose transition rules
+already force progress.  The stronger, more natural liveness claims —
+``AF t_i``, "process *i* eventually holds the token", with no request
+premise — are false in plain CTL: a path on which process *i* simply never
+takes a step is a counterexample.  The classical fix (Clarke, Emerson &
+Sistla) is to restrict the path quantifiers to *fair* paths.
+
+This module defines the constraint object shared by all three CTL engines:
+
+* a :class:`FairnessConstraint` is a finite family of *fairness conditions*,
+  each a plain CTL state formula denoting a set of "fair states";
+* a path is **fair** iff it visits the satisfaction set of *every* condition
+  infinitely often (generalized unconditional/impartiality fairness; weak
+  fairness of a scheduler is expressed by one condition per process, e.g.
+  :func:`repro.systems.token_ring.ring_scheduler_fairness`);
+* under a constraint the path quantifiers of CTL range over fair paths only:
+  ``E_f X f = EX (f ∧ fair)``, ``E_f[f U g] = E[f U (g ∧ fair)]`` where
+  ``fair`` is the set of states starting at least one fair path, and
+  ``E_f G f`` needs its own fixpoint (SCC-restricted in the explicit
+  engines, the Emerson–Lei nested fixpoint in the symbolic one).
+
+Conditions are themselves evaluated under the *plain* (unconstrained) CTL
+semantics — the constraint defines what "fair" means, so evaluating its
+conditions fairly would be circular.  Conditions are state formulas, not
+state sets, so one constraint object works across all engines — including
+symbolic encodings whose states are never enumerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.errors import FragmentError, ModelCheckingError
+from repro.logic.ast import Formula, IndexExists, IndexForall, walk
+from repro.logic.syntax import is_ctl
+
+__all__ = ["FairnessConstraint", "normalize_fairness"]
+
+
+@dataclass(frozen=True)
+class FairnessConstraint:
+    """A finite family of fairness conditions (generalized unconditional fairness).
+
+    A path is fair iff it visits the satisfaction set of every condition
+    infinitely often.  Conditions must be plain CTL state formulas without
+    index quantifiers (instantiate per-process conditions over a concrete
+    index set first — see
+    :func:`repro.systems.token_ring.ring_scheduler_fairness`).
+
+    The constraint is immutable and hashable, so checkers can be memoised
+    per ``(engine, fairness)`` pair.
+    """
+
+    conditions: Tuple[Formula, ...]
+    name: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        conditions = tuple(self.conditions)
+        object.__setattr__(self, "conditions", conditions)
+        if not conditions:
+            raise ModelCheckingError(
+                "a FairnessConstraint needs at least one fairness condition "
+                "(with no conditions every path is fair: pass fairness=None instead)"
+            )
+        for condition in conditions:
+            if not isinstance(condition, Formula) or not is_ctl(condition):
+                raise FragmentError(
+                    "fairness conditions must be CTL state formulas; got %r" % (condition,)
+                )
+            if any(isinstance(node, (IndexExists, IndexForall)) for node in walk(condition)):
+                raise FragmentError(
+                    "fairness conditions must not contain index quantifiers; "
+                    "instantiate them over the index set first (condition: %s)" % condition
+                )
+
+    def __len__(self) -> int:
+        return len(self.conditions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "%d condition(s)" % len(self.conditions)
+        return "FairnessConstraint(%s)" % label
+
+
+def normalize_fairness(
+    fairness: Union[None, FairnessConstraint, Iterable[Formula]],
+) -> Optional[FairnessConstraint]:
+    """Coerce the ``fairness=`` argument accepted throughout the library.
+
+    ``None`` (plain CTL semantics) and :class:`FairnessConstraint` pass
+    through; any other iterable of formulas is wrapped into a constraint.
+    """
+    if fairness is None or isinstance(fairness, FairnessConstraint):
+        return fairness
+    if isinstance(fairness, Formula):
+        return FairnessConstraint((fairness,))
+    return FairnessConstraint(tuple(fairness))

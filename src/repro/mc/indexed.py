@@ -25,6 +25,11 @@ keeps the original frozenset-based labelling checker, retained as the
 differential-testing oracle; ``"bdd"`` encodes the structure into binary
 decision diagrams and runs the symbolic fixpoint checker
 :class:`repro.mc.symbolic.SymbolicCTLModelChecker`.
+
+A :class:`repro.mc.fairness.FairnessConstraint` passed as ``fairness=`` is
+forwarded to the CTL engine, so restricted ICTL* formulas are decided under
+the fairness-constrained semantics; formulas that need the CTL* fallback are
+rejected when fairness is set (fair CTL* is not implemented).
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from repro.logic.syntax import (
 from repro.logic.transform import free_index_variables, instantiate_quantifiers
 from repro.mc.bitset import make_ctl_checker
 from repro.mc.ctlstar import CTLStarModelChecker
+from repro.mc.fairness import FairnessConstraint, normalize_fairness
 
 __all__ = ["ICTLStarModelChecker", "satisfaction_set", "check", "check_batch"]
 
@@ -57,13 +63,17 @@ class ICTLStarModelChecker:
         enforce_restrictions: bool = True,
         validate_structure: bool = True,
         engine: str = "bitset",
+        fairness: Optional[FairnessConstraint] = None,
     ) -> None:
         if validate_structure:
             assert_total(structure)
         self._structure = structure
         self._enforce_restrictions = enforce_restrictions
         self._engine = engine
-        self._ctl = make_ctl_checker(structure, engine=engine, validate_structure=False)
+        self._fairness = normalize_fairness(fairness)
+        self._ctl = make_ctl_checker(
+            structure, engine=engine, validate_structure=False, fairness=self._fairness
+        )
         self._ctlstar = CTLStarModelChecker(structure, validate_structure=False)
         self._cache: Dict[Formula, FrozenSet[State]] = {}
 
@@ -77,6 +87,11 @@ class ICTLStarModelChecker:
         """The CTL engine in use (``"bitset"``, ``"naive"``, or ``"bdd"``)."""
         return self._engine
 
+    @property
+    def fairness(self) -> Optional[FairnessConstraint]:
+        """The fairness constraint forwarded to the CTL engine (``None``: all paths)."""
+        return self._fairness
+
     # -- public API ----------------------------------------------------------
 
     def satisfaction_set(self, formula: Formula) -> FrozenSet[State]:
@@ -88,6 +103,11 @@ class ICTLStarModelChecker:
         instantiated = instantiate_quantifiers(formula, self._structure.index_values)
         if self._is_plain_ctl(instantiated):
             result = self._ctl.satisfaction_set(instantiated)
+        elif self._fairness is not None:
+            raise FragmentError(
+                "fairness-constrained checking is only implemented for the CTL "
+                "fragment; %s instantiates outside CTL" % formula
+            )
         else:
             result = self._ctlstar.satisfaction_set(instantiated)
         self._cache[formula] = result
@@ -142,10 +162,11 @@ def satisfaction_set(
     formula: Formula,
     enforce_restrictions: bool = True,
     engine: str = "bitset",
+    fairness: Optional[FairnessConstraint] = None,
 ) -> FrozenSet[State]:
     """One-shot helper: the satisfaction set of an ICTL* formula."""
     checker = ICTLStarModelChecker(
-        structure, enforce_restrictions=enforce_restrictions, engine=engine
+        structure, enforce_restrictions=enforce_restrictions, engine=engine, fairness=fairness
     )
     return checker.satisfaction_set(formula)
 
@@ -156,10 +177,11 @@ def check(
     state: Optional[State] = None,
     enforce_restrictions: bool = True,
     engine: str = "bitset",
+    fairness: Optional[FairnessConstraint] = None,
 ) -> bool:
     """One-shot helper: decide an ICTL* formula at ``state`` (default: initial state)."""
     checker = ICTLStarModelChecker(
-        structure, enforce_restrictions=enforce_restrictions, engine=engine
+        structure, enforce_restrictions=enforce_restrictions, engine=engine, fairness=fairness
     )
     return checker.check(formula, state)
 
@@ -170,9 +192,10 @@ def check_batch(
     state: Optional[State] = None,
     enforce_restrictions: bool = True,
     engine: str = "bitset",
+    fairness: Optional[FairnessConstraint] = None,
 ) -> Dict:
     """One-shot helper: check a family of ICTL* formulas, compiling the structure once."""
     checker = ICTLStarModelChecker(
-        structure, enforce_restrictions=enforce_restrictions, engine=engine
+        structure, enforce_restrictions=enforce_restrictions, engine=engine, fairness=fairness
     )
     return checker.check_batch(formulas, state)

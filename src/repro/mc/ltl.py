@@ -33,6 +33,8 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.errors import ModelCheckingError
 from repro.kripke.structure import KripkeStructure, State
+from repro.kripke.validation import assert_total
+from repro.mc.scc import strongly_connected_components
 from repro.logic.ast import (
     And,
     Atom,
@@ -140,68 +142,22 @@ def _powerset(items: Tuple[Next, ...]) -> Iterable[FrozenSet[Next]]:
         yield frozenset(items[bit] for bit in range(size) if mask & (1 << bit))
 
 
-def _strongly_connected_components(
-    nodes: List, successors: Dict
-) -> List[Set]:
-    """Iterative Tarjan SCC computation."""
-    index_counter = 0
-    indices: Dict = {}
-    lowlinks: Dict = {}
-    on_stack: Set = set()
-    stack: List = []
-    components: List[Set] = []
-
-    for root in nodes:
-        if root in indices:
-            continue
-        work = [(root, iter(successors[root]))]
-        indices[root] = lowlinks[root] = index_counter
-        index_counter += 1
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, iterator = work[-1]
-            advanced = False
-            for successor in iterator:
-                if successor not in indices:
-                    indices[successor] = lowlinks[successor] = index_counter
-                    index_counter += 1
-                    stack.append(successor)
-                    on_stack.add(successor)
-                    work.append((successor, iter(successors[successor])))
-                    advanced = True
-                    break
-                if successor in on_stack:
-                    lowlinks[node] = min(lowlinks[node], indices[successor])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
-            if lowlinks[node] == indices[node]:
-                component: Set = set()
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.add(member)
-                    if member == node:
-                        break
-                components.append(component)
-    return components
-
-
 def existential_states(
     structure: KripkeStructure,
     path_formula: Formula,
     atom_eval: AtomEval | None = None,
+    validate_structure: bool = True,
 ) -> FrozenSet[State]:
     """Return the states ``s`` with ``M, s ⊨ E path_formula``.
 
     Parameters
     ----------
     structure:
-        The Kripke structure (its transition relation should be total).
+        The Kripke structure.  Its transition relation must be total — a
+        state without successors starts no infinite path, so the atom
+        construction would silently report it as satisfying no ``E g`` (and,
+        worse, flip universal verdicts derived from it); the structure is
+        therefore validated up front, matching the CTL checkers.
     path_formula:
         A pure path formula (no ``E``/``A``, no index quantifiers).  Atomic
         leaves may be :class:`Atom`, :class:`IndexedAtom` (with concrete
@@ -210,7 +166,13 @@ def existential_states(
     atom_eval:
         Callback deciding atomic leaves at a state; defaults to the
         structure's own labelling.
+    validate_structure:
+        Pass ``False`` only when totality was already asserted (the CTL*
+        checker validates once at construction and calls this per path
+        subformula).
     """
+    if validate_structure:
+        assert_total(structure)
     evaluator = atom_eval or _default_atom_eval(structure)
     tableau = _Tableau(path_formula)
     membership_cache: Dict[Tuple[Formula, State, FrozenSet[Next]], bool] = {}
@@ -240,7 +202,7 @@ def existential_states(
                     successors[(state, guess)].append((target, target_guess))
 
     # Self-fulfilling, non-trivial SCCs.
-    components = _strongly_connected_components(nodes, successors)
+    components = strongly_connected_components(nodes, successors)
     fair_nodes: Set[Tuple[State, FrozenSet[Next]]] = set()
     for component in components:
         non_trivial = len(component) > 1 or any(

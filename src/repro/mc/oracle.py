@@ -190,6 +190,7 @@ def crosscheck_ctl_engines(
     structure: KripkeStructure,
     formula: Formula,
     validate_structure: bool = True,
+    fairness=None,
 ):
     """Differential test: run ``formula`` through every CTL engine and compare.
 
@@ -199,11 +200,22 @@ def crosscheck_ctl_engines(
     common satisfaction set; raises :class:`ModelCheckingError` when any two
     engines disagree (listing the states on which they differ, which is what
     the property-based tests report).
+
+    With ``fairness`` (a :class:`repro.mc.fairness.FairnessConstraint`) every
+    engine decides the fairness-constrained semantics, which differentially
+    tests the three independent fair-``EG`` implementations (two
+    SCC-restricted explicit fixpoints, one Emerson–Lei symbolic fixpoint)
+    against each other.
     """
     reference = None
     reference_engine = None
     for engine in CTL_ENGINES:
-        checker = make_ctl_checker(structure, engine=engine, validate_structure=validate_structure)
+        checker = make_ctl_checker(
+            structure,
+            engine=engine,
+            validate_structure=validate_structure,
+            fairness=fairness,
+        )
         result = checker.satisfaction_set(formula)
         if reference is None:
             reference, reference_engine = result, engine

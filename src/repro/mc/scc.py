@@ -1,0 +1,132 @@
+"""Strongly connected components, shared by the LTL tableau and the fair-CTL engines.
+
+The iterative Tarjan algorithm below was originally private to
+:mod:`repro.mc.ltl` (where it finds the self-fulfilling components of the
+closure/atom product graph).  Fairness-constrained CTL checking needs the
+same machinery — the explicit-state fair-``EG`` fixpoint restricts the
+structure to the states satisfying the operand and keeps the non-trivial
+components that intersect every fairness set — so the implementation lives
+here and both callers share it.
+
+The graph is given as a node list plus a successor function; a mapping works
+too (``mapping[node]`` is used when the argument is not callable), which is
+the shape the LTL tableau already builds.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Set,
+    TypeVar,
+    Union,
+)
+
+__all__ = ["strongly_connected_components", "fair_components"]
+
+Node = TypeVar("Node")
+
+
+def strongly_connected_components(
+    nodes: Sequence[Node],
+    successors: Union[Callable[[Node], Iterable[Node]], Mapping[Node, Iterable[Node]]],
+) -> List[Set[Node]]:
+    """Iterative Tarjan SCC computation over an explicitly listed node set.
+
+    Parameters
+    ----------
+    nodes:
+        Every node of the graph.  Successors outside this set must not be
+        produced by ``successors`` (callers restricting a structure to a
+        candidate state set filter the adjacency accordingly).
+    successors:
+        Either a callable returning each node's successors or a mapping from
+        node to successor iterable.
+
+    Returns the components as sets, in reverse topological order (Tarjan's
+    invariant: a component is emitted only after every component it can
+    reach).
+    """
+    if callable(successors):
+        successors_of = successors
+    else:
+        successors_of = successors.__getitem__
+
+    index_counter = 0
+    indices: Dict[Node, int] = {}
+    lowlinks: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    components: List[Set[Node]] = []
+
+    for root in nodes:
+        if root in indices:
+            continue
+        work = [(root, iter(successors_of(root)))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, iterator = work[-1]
+            advanced = False
+            for successor in iterator:
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(successors_of(successor))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component: Set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def fair_components(
+    nodes: Sequence[Node],
+    successors: Mapping[Node, Iterable[Node]],
+    condition_sets: Sequence[AbstractSet[Node]],
+) -> List[Set[Node]]:
+    """The *fair* SCCs of an (already restricted) graph.
+
+    A component is fair when it is non-trivial — more than one node, or a
+    single node with a self-loop in the restricted adjacency — and
+    intersects **every** condition set.  A fair path confined to the
+    restricted graph eventually tours exactly such a component, which is why
+    the explicit fair-``EG`` fixpoints and the fair-lasso extractor all
+    reduce to this one criterion; keeping it here keeps the three callers
+    from drifting apart.
+    """
+    result: List[Set[Node]] = []
+    for component in strongly_connected_components(nodes, successors):
+        non_trivial = len(component) > 1 or any(
+            node in successors[node] for node in component
+        )
+        if non_trivial and all(
+            component & condition_set for condition_set in condition_sets
+        ):
+            result.append(component)
+    return result

@@ -20,6 +20,17 @@ The fixpoints are the textbook symbolic ones:
   *frontier* so each round's pre-image only processes newly added states;
 * ``EG f``  — greatest fixpoint ``Z = f ∧ EX Z``.
 
+Under a :class:`~repro.mc.fairness.FairnessConstraint` the fair ``EG`` is
+the Emerson–Lei nested μ/ν fixpoint
+
+    ``νZ. f ∧ ⋀_i EX E[f U (Z ∧ F_i)]``
+
+— one inner ``EU`` round per fairness condition ``F_i`` per outer iteration —
+and ``EX``/``EU`` targets are conjoined with the fair states
+(``fair = fair-EG true``).  This is the one fair-``EG`` formulation that
+never enumerates states, so fairness-constrained liveness stays checkable on
+ring sizes only the symbolic encoding reaches.
+
 Unlike the explicit checkers, the symbolic checker also *instantiates index
 quantifiers itself* when the underlying encoding knows its index set: family
 encodings have no explicit :class:`~repro.kripke.indexed.IndexedKripkeStructure`
@@ -29,12 +40,13 @@ properties can be checked directly against the symbolic ring.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Union
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.errors import FragmentError, ValidationError
 from repro.kripke.structure import KripkeStructure, State
 from repro.kripke.symbolic import SymbolicKripkeStructure, symbolic_structure
 from repro.kripke.validation import assert_total
+from repro.mc.fairness import FairnessConstraint, normalize_fairness
 from repro.logic.ast import (
     And,
     Atom,
@@ -80,6 +92,7 @@ class SymbolicCTLModelChecker:
         self,
         structure: Union[KripkeStructure, SymbolicKripkeStructure],
         validate_structure: bool = True,
+        fairness: Optional[FairnessConstraint] = None,
     ) -> None:
         self._symbolic = symbolic_structure(structure)
         if validate_structure and not self._symbolic.is_total():
@@ -89,7 +102,15 @@ class SymbolicCTLModelChecker:
             raise ValidationError(
                 "the symbolic transition relation is not total on its state set"
             )
+        self._fairness = normalize_fairness(fairness)
         self._cache: Dict[Formula, int] = {}
+        self._fair_condition_nodes: Optional[Tuple[int, ...]] = None
+        self._fair_states_node: Optional[int] = None
+
+    @property
+    def fairness(self) -> Optional[FairnessConstraint]:
+        """The fairness constraint the path quantifiers respect (``None``: all paths)."""
+        return self._fairness
 
     @property
     def symbolic(self) -> SymbolicKripkeStructure:
@@ -202,14 +223,17 @@ class SymbolicCTLModelChecker:
     def _compute_exists(self, path: Formula) -> int:
         symbolic = self._symbolic
         if isinstance(path, Next):
-            return symbolic.preimage(self.satisfaction_node(path.operand))
+            return symbolic.preimage(self._constrain(self.satisfaction_node(path.operand)))
         if isinstance(path, Finally):
-            return self._eu(symbolic.domain, self.satisfaction_node(path.operand))
+            return self._eu(
+                symbolic.domain, self._constrain(self.satisfaction_node(path.operand))
+            )
         if isinstance(path, Globally):
-            return self._eg(self.satisfaction_node(path.operand))
+            return self._eg_op(self.satisfaction_node(path.operand))
         if isinstance(path, Until):
             return self._eu(
-                self.satisfaction_node(path.left), self.satisfaction_node(path.right)
+                self.satisfaction_node(path.left),
+                self._constrain(self.satisfaction_node(path.right)),
             )
         if isinstance(path, Release):
             # E[f R g]  ≡  ¬A[¬f U ¬g]
@@ -233,19 +257,25 @@ class SymbolicCTLModelChecker:
         if isinstance(path, Next):
             # AX f ≡ ¬EX ¬f
             return symbolic.complement(
-                symbolic.preimage(symbolic.complement(self.satisfaction_node(path.operand)))
+                symbolic.preimage(
+                    self._constrain(
+                        symbolic.complement(self.satisfaction_node(path.operand))
+                    )
+                )
             )
         if isinstance(path, Finally):
             # AF f ≡ ¬EG ¬f
             return symbolic.complement(
-                self._eg(symbolic.complement(self.satisfaction_node(path.operand)))
+                self._eg_op(symbolic.complement(self.satisfaction_node(path.operand)))
             )
         if isinstance(path, Globally):
             # AG f ≡ ¬EF ¬f
             return symbolic.complement(
                 self._eu(
                     symbolic.domain,
-                    symbolic.complement(self.satisfaction_node(path.operand)),
+                    self._constrain(
+                        symbolic.complement(self.satisfaction_node(path.operand))
+                    ),
                 )
             )
         if isinstance(path, Until):
@@ -253,7 +283,8 @@ class SymbolicCTLModelChecker:
             not_f = symbolic.complement(self.satisfaction_node(path.left))
             not_g = symbolic.complement(self.satisfaction_node(path.right))
             bad = manager.apply_or(
-                self._eu(not_g, manager.apply_and(not_f, not_g)), self._eg(not_g)
+                self._eu(not_g, self._constrain(manager.apply_and(not_f, not_g))),
+                self._eg_op(not_g),
             )
             return symbolic.complement(bad)
         if isinstance(path, Release):
@@ -265,7 +296,9 @@ class SymbolicCTLModelChecker:
             # A[f W g] ≡ ¬E[¬g U (¬f ∧ ¬g)]
             not_f = symbolic.complement(self.satisfaction_node(path.left))
             not_g = symbolic.complement(self.satisfaction_node(path.right))
-            return symbolic.complement(self._eu(not_g, manager.apply_and(not_f, not_g)))
+            return symbolic.complement(
+                self._eu(not_g, self._constrain(manager.apply_and(not_f, not_g)))
+            )
         raise FragmentError(
             "A must be applied to a single temporal operator over state formulas "
             "for CTL checking; got A(%s)" % path
@@ -301,18 +334,90 @@ class SymbolicCTLModelChecker:
                 return current
             current = refined
 
+    # -- fairness ----------------------------------------------------------------
+
+    def fair_states_node(self) -> int:
+        """The fair states (starting at least one fair path) as a BDD node."""
+        if self._fairness is None:
+            return self._symbolic.domain
+        if self._fair_states_node is None:
+            self._fair_states_node = self._fair_eg(self._symbolic.domain)
+        return self._fair_states_node
+
+    def fair_states(self) -> FrozenSet[State]:
+        """The fair states, decoded (non-symbolic convenience for tests/reports)."""
+        return self._symbolic.states_of(self.fair_states_node())
+
+    def fairness_condition_nodes(self) -> Tuple[int, ...]:
+        """The (plain-semantics) satisfaction nodes of the fairness conditions."""
+        if self._fairness is None:
+            return ()
+        if self._fair_condition_nodes is None:
+            # Conditions are decided under the unconstrained semantics by a
+            # plain sub-checker sharing this instance's encoding.
+            plain = SymbolicCTLModelChecker(self._symbolic, validate_structure=False)
+            self._fair_condition_nodes = tuple(
+                plain.satisfaction_node(condition)
+                for condition in self._fairness.conditions
+            )
+        return self._fair_condition_nodes
+
+    def fairness_condition_sets(self) -> Tuple[FrozenSet[State], ...]:
+        """The fairness-condition satisfaction sets, decoded into frozensets."""
+        states_of = self._symbolic.states_of
+        return tuple(states_of(node) for node in self.fairness_condition_nodes())
+
+    def _constrain(self, target: int) -> int:
+        """Conjoin an ``EX``/``EU`` target with the fair states (no-op when unconstrained)."""
+        if self._fairness is None:
+            return target
+        return self._symbolic.manager.apply_and(target, self.fair_states_node())
+
+    def _eg_op(self, operand: int) -> int:
+        """Dispatch ``EG`` to the plain or the fairness-constrained fixpoint."""
+        if self._fairness is None:
+            return self._eg(operand)
+        return self._fair_eg(operand)
+
+    def _fair_eg(self, operand: int) -> int:
+        """Emerson–Lei fixpoint for fair ``EG operand``.
+
+        ``νZ. operand ∧ ⋀_i EX E[operand U (Z ∧ F_i)]`` — each outer round
+        shrinks ``Z`` to the states that can, for every fairness condition,
+        stay inside ``operand`` until hitting the condition *and* ``Z``
+        again; the fixpoint is exactly the start of some fair
+        ``operand``-path.
+        """
+        symbolic = self._symbolic
+        manager = symbolic.manager
+        condition_nodes = self.fairness_condition_nodes()
+        current = operand
+        while True:
+            refined = operand
+            for condition in condition_nodes:
+                target = manager.apply_and(current, condition)
+                refined = manager.apply_and(
+                    refined, symbolic.preimage(self._eu(operand, target))
+                )
+            if refined == current:
+                return current
+            current = refined
+
 
 def satisfaction_set(
-    structure: Union[KripkeStructure, SymbolicKripkeStructure], formula: Formula
+    structure: Union[KripkeStructure, SymbolicKripkeStructure],
+    formula: Formula,
+    fairness: Optional[FairnessConstraint] = None,
 ) -> FrozenSet[State]:
     """One-shot helper: the symbolic-engine satisfaction set of ``formula``."""
-    return SymbolicCTLModelChecker(structure).satisfaction_set(formula)
+    return SymbolicCTLModelChecker(structure, fairness=fairness).satisfaction_set(formula)
 
 
 def check(
     structure: Union[KripkeStructure, SymbolicKripkeStructure],
     formula: Formula,
     state: Optional[State] = None,
+    fairness: Optional[FairnessConstraint] = None,
 ) -> bool:
     """One-shot helper: decide ``structure, state ⊨ formula`` with the BDD engine."""
-    return SymbolicCTLModelChecker(structure).check(formula, state)
+    return SymbolicCTLModelChecker(structure, fairness=fairness).check(formula, state)

@@ -56,7 +56,9 @@ from repro.logic.builders import (
     index_forall,
     land,
     lnot,
+    lor,
 )
+from repro.mc.fairness import FairnessConstraint
 from repro.correspondence.indexed import IndexRelation
 from repro.correspondence.relation import CorrespondenceRelation
 
@@ -84,6 +86,9 @@ __all__ = [
     "property_critical_implies_token",
     "property_request_until_token",
     "property_eventual_entry",
+    "property_eventual_token",
+    "ring_scheduler_fairness",
+    "fair_ring_properties",
     "ring_properties",
     "ring_invariants",
 ]
@@ -661,6 +666,51 @@ def property_request_until_token() -> Formula:
 def property_eventual_entry() -> Formula:
     """Property 4: ``∧_i AG(d_i ⇒ AF c_i)`` — every process that wants to enter its critical region eventually does."""
     return index_forall("i", AG(implies(iatom("d", "i"), AF(iatom("c", "i")))))
+
+
+# ---------------------------------------------------------------------------
+# Fairness: liveness beyond what plain CTL can promise
+# ---------------------------------------------------------------------------
+
+
+def property_eventual_token() -> Formula:
+    """The fairness-dependent liveness claim ``∧_i AF t_i`` — every process eventually holds the token.
+
+    Unlike properties 1–4 this has no request premise, so it is **false** in
+    plain CTL on every ring: the path on which process ``i`` simply never
+    leaves its neutral situation is a counterexample.  Under the scheduler
+    fairness of :func:`ring_scheduler_fairness` it is **true** — a fair path
+    has every process requesting (or holding) infinitely often, request
+    persistence keeps a delayed process delayed until the token arrives, and
+    the ``cln`` hand-off rule walks the token left until it reaches it.
+    """
+    return index_forall("i", AF(iatom("t", "i")))
+
+
+def ring_scheduler_fairness(size: int) -> FairnessConstraint:
+    """Per-process scheduler fairness for ``M_r``: each process is infinitely often ``d_i ∨ t_i``.
+
+    One fairness condition per process ``i`` asserting that ``i`` is delayed
+    or holds the token; a fair path is one on which *every* process keeps
+    participating in the protocol (no process is starved into staying
+    neutral forever).  This is the weakest natural constraint that makes the
+    Section 5 liveness claims of the ``AF t_i`` form true — see
+    :func:`property_eventual_token`.
+    """
+    if size < 1:
+        raise StructureError("the ring needs at least one process")
+    return FairnessConstraint(
+        conditions=tuple(
+            lor(iatom("d", process), iatom("t", process))
+            for process in range(1, size + 1)
+        ),
+        name="scheduler fairness (d_i ∨ t_i) for M_%d" % size,
+    )
+
+
+def fair_ring_properties() -> Dict[str, Formula]:
+    """The liveness properties that need fairness, keyed like :func:`ring_properties`."""
+    return {"eventual_token": property_eventual_token()}
 
 
 def ring_properties() -> Dict[str, Formula]:

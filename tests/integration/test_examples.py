@@ -20,6 +20,7 @@ EXAMPLES = {
     },
     "parameterized_families.py": {"LARGE_SIZE": 4},
     "counting_and_restrictions.py": {},
+    "fair_liveness.py": {"RING_SIZE": 3, "SYMBOLIC_SIZE": 5},
 }
 
 

@@ -50,6 +50,37 @@ def test_the_four_properties_hold_at_every_size(size):
         assert checker.check(formula), name
 
 
+@pytest.mark.parametrize("size", [2, 3, 4, 5])
+def test_eventual_token_needs_fairness_at_every_size(size):
+    """``AF t_i`` fails in plain CTL and holds under scheduler fairness."""
+    structure = token_ring.build_token_ring(size)
+    constraint = token_ring.ring_scheduler_fairness(size)
+    formula = token_ring.property_eventual_token()
+    assert not ICTLStarModelChecker(structure).check(formula)
+    assert ICTLStarModelChecker(structure, fairness=constraint).check(formula)
+
+
+def test_fair_liveness_crosschecked_and_counterexampled(ring4):
+    """The acceptance loop: engine agreement, fair verdict, validated fair lasso."""
+    from repro.kripke.paths import is_lasso
+    from repro.kripke.structure import IndexedProp
+    from repro.logic.builders import AF, iatom
+    from repro.mc import counterexample_af, crosscheck_ctl_engines
+
+    constraint = token_ring.ring_scheduler_fairness(4)
+    # All three engines agree that every state satisfies fair AF t_4.
+    satisfied = crosscheck_ctl_engines(ring4, AF(iatom("t", 4)), fairness=constraint)
+    assert satisfied == ring4.states
+    # The unfair claim fails, and the bitset engine certifies it with a real
+    # lasso on which process 4 never holds the token.
+    lasso = counterexample_af(ring4, iatom("t", 4), engine="bitset")
+    assert lasso is not None
+    assert is_lasso(ring4, lasso)
+    assert all(IndexedProp("t", 4) not in ring4.label(s) for s in lasso.positions())
+    # Under fairness no counterexample exists.
+    assert counterexample_af(ring4, iatom("t", 4), engine="bitset", fairness=constraint) is None
+
+
 def test_paper_claim_m2_vs_mr_fails(ring2, ring4):
     """The literal Section 5 claim: M_2 corresponds to M_r.  It does not."""
     report = verify_index_relation(ring2, ring4, token_ring.section5_index_relation(4))

@@ -1,0 +1,203 @@
+"""Property tests: fair-CTL engine agreement and witness/counterexample validity.
+
+Two families of properties are pinned down here:
+
+* **differential** — on random total structures with random fairness
+  constraints, all three engines (two SCC-restricted explicit fair-``EG``
+  fixpoints, one symbolic Emerson–Lei fixpoint) must produce identical fair
+  satisfaction sets, and fair satisfaction must relate to plain satisfaction
+  the way the semantics dictates (fair ``EG`` ⊆ plain ``EG``, fair states =
+  fair ``EG true``);
+* **witness validity** — every path returned by the counterexample module is
+  a real path of the structure, every ``Lasso`` closes its cycle
+  (:func:`repro.kripke.paths.is_lasso`), and a fair lasso's cycle meets every
+  fairness set.  A witness exists exactly when the corresponding check says
+  it must.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import ctl_formulas, kripke_structures
+
+from repro.kripke.paths import is_lasso, is_path
+from repro.logic.ast import Atom, Exists, Finally, ForAll, Globally, TrueLiteral, Until
+from repro.mc import FairnessConstraint, make_ctl_checker, resolve_checker
+from repro.mc.counterexample import (
+    counterexample_af,
+    witness_ef,
+    witness_eg,
+    witness_eu,
+)
+from repro.mc.ctl import CTLModelChecker
+from repro.mc.oracle import crosscheck_ctl_engines
+
+ATOMS = ("p", "q", "r")
+
+
+@st.composite
+def fairness_constraints(draw):
+    """A constraint of one or two atomic/disjunctive conditions over ``ATOMS``."""
+    count = draw(st.integers(min_value=1, max_value=2))
+    conditions = tuple(
+        draw(st.sampled_from([Atom(name) for name in ATOMS])) for _ in range(count)
+    )
+    return FairnessConstraint(conditions=conditions)
+
+
+# ---------------------------------------------------------------------------
+# Differential: identical fair satisfaction sets across engines
+# ---------------------------------------------------------------------------
+
+
+@given(
+    structure=kripke_structures(),
+    formula=ctl_formulas(max_depth=2),
+    fairness=fairness_constraints(),
+)
+@settings(max_examples=60, deadline=None)
+def test_fair_satisfaction_sets_agree_across_engines(structure, formula, fairness):
+    # crosscheck_ctl_engines raises on any pairwise disagreement.
+    result = crosscheck_ctl_engines(structure, formula, fairness=fairness)
+    assert result == CTLModelChecker(structure, fairness=fairness).satisfaction_set(formula)
+
+
+@given(structure=kripke_structures(), fairness=fairness_constraints())
+@settings(max_examples=60, deadline=None)
+def test_fair_eg_is_subset_of_plain_eg(structure, fairness):
+    for name in ATOMS:
+        formula = Exists(Globally(Atom(name)))
+        fair = CTLModelChecker(structure, fairness=fairness).satisfaction_set(formula)
+        plain = CTLModelChecker(structure).satisfaction_set(formula)
+        assert fair <= plain
+
+
+@given(structure=kripke_structures(), fairness=fairness_constraints())
+@settings(max_examples=60, deadline=None)
+def test_fair_states_equal_fair_eg_true(structure, fairness):
+    checker = CTLModelChecker(structure, fairness=fairness)
+    assert checker.fair_states() == checker.satisfaction_set(
+        Exists(Globally(TrueLiteral()))
+    )
+
+
+@given(structure=kripke_structures(), fairness=fairness_constraints())
+@settings(max_examples=40, deadline=None)
+def test_fair_af_duality(structure, fairness):
+    from repro.logic.ast import Not
+
+    checker = make_ctl_checker(structure, engine="bitset", fairness=fairness)
+    for name in ATOMS:
+        af = checker.satisfaction_set(ForAll(Finally(Atom(name))))
+        assert af == structure.states - checker.satisfaction_set(
+            Exists(Globally(Not(Atom(name))))
+        )
+
+
+# ---------------------------------------------------------------------------
+# Witness validity
+# ---------------------------------------------------------------------------
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=60, deadline=None)
+def test_witness_ef_is_real_path_ending_in_target(structure, formula):
+    checker = resolve_checker(structure, "bitset")
+    path = witness_ef(checker, formula)
+    holds = checker.check(Exists(Until(TrueLiteral(), formula)))
+    if holds:
+        assert path is not None
+        assert is_path(structure, path)
+        assert path[0] == structure.initial_state
+        assert checker.check(formula, path[-1])
+    else:
+        assert path is None
+
+
+@given(
+    structure=kripke_structures(),
+    left=ctl_formulas(max_depth=1),
+    right=ctl_formulas(max_depth=1),
+)
+@settings(max_examples=60, deadline=None)
+def test_witness_eu_prefix_satisfies_left(structure, left, right):
+    checker = resolve_checker(structure, "bitset")
+    path = witness_eu(checker, left, right)
+    holds = checker.check(Exists(Until(left, right)))
+    if not holds:
+        assert path is None
+        return
+    assert path is not None
+    assert is_path(structure, path)
+    assert checker.check(right, path[-1])
+    # The BFS invariant the removed re-verification used to double-check:
+    # every state before the last satisfies the left operand.
+    assert all(checker.check(left, state) for state in path[:-1])
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=2))
+@settings(max_examples=60, deadline=None)
+def test_witness_eg_lasso_is_valid_and_inside_operand(structure, formula):
+    checker = resolve_checker(structure, "bitset")
+    lasso = witness_eg(checker, formula)
+    holds = checker.check(Exists(Globally(formula)))
+    if not holds:
+        assert lasso is None
+        return
+    assert lasso is not None
+    assert is_lasso(structure, lasso)
+    assert lasso.first_state == structure.initial_state
+    # Pinned behavior for the removed redundant filter: the whole carrier
+    # (not just the EG set) satisfies the operand.
+    assert all(checker.check(formula, state) for state in lasso.positions())
+
+
+@given(
+    structure=kripke_structures(),
+    formula=ctl_formulas(max_depth=1),
+    fairness=fairness_constraints(),
+)
+@settings(max_examples=60, deadline=None)
+def test_fair_lasso_cycle_meets_every_fairness_set(structure, formula, fairness):
+    checker = make_ctl_checker(structure, engine="bitset", fairness=fairness)
+    lasso = witness_eg(checker, formula)
+    holds = checker.check(Exists(Globally(formula)))
+    if not holds:
+        assert lasso is None
+        return
+    assert lasso is not None
+    assert is_lasso(structure, lasso)
+    assert all(checker.check(formula, state) for state in lasso.positions())
+    for condition_set in checker.fairness_condition_sets():
+        assert any(state in condition_set for state in lasso.cycle)
+
+
+@given(
+    structure=kripke_structures(),
+    formula=ctl_formulas(max_depth=1),
+    fairness=fairness_constraints(),
+)
+@settings(max_examples=40, deadline=None)
+def test_fair_counterexample_af_avoids_formula(structure, formula, fairness):
+    checker = make_ctl_checker(structure, engine="bitset", fairness=fairness)
+    lasso = counterexample_af(checker, formula)
+    holds = checker.check(ForAll(Finally(formula)))
+    if holds:
+        assert lasso is None
+        return
+    assert lasso is not None
+    assert is_lasso(structure, lasso)
+    assert not any(checker.check(formula, state) for state in lasso.positions())
+
+
+@given(structure=kripke_structures(), formula=ctl_formulas(max_depth=1))
+@settings(max_examples=40, deadline=None)
+def test_witnesses_agree_across_engines(structure, formula):
+    """Each engine's witness is valid; existence agrees with every engine's verdict."""
+    verdicts = []
+    for engine in ("naive", "bitset", "bdd"):
+        lasso = witness_eg(structure, formula, engine=engine)
+        verdicts.append(lasso is not None)
+        if lasso is not None:
+            assert is_lasso(structure, lasso)
+    assert len(set(verdicts)) == 1

@@ -84,3 +84,9 @@ def test_experiment_drivers_quick_subset():
 
     e9 = experiments.run_e9_conjecture(max_size=3, max_depth=2)
     assert e9["conjecture_holds_on_family"]
+
+    e11 = experiments.run_e11_fairness(sizes=(2, 3), symbolic_sizes=(4,))
+    assert e11["unfair_fails_everywhere"]
+    assert e11["fair_holds_everywhere"]
+    assert e11["engines_agree"]
+    assert e11["counterexample_valid"]

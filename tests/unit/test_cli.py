@@ -13,6 +13,7 @@ def test_parser_defaults():
     assert args.engine == "bitset"
     assert args.ring_size == 4
     assert not args.experiments
+    assert not args.fairness
 
 
 def test_parser_rejects_unknown_engine():
@@ -45,9 +46,31 @@ def test_explicit_engines_report_explicit_graph(capsys):
     assert "explicit state graph" in out
 
 
+@pytest.mark.parametrize("engine", ["naive", "bitset", "bdd"])
+def test_fairness_flag_checks_fair_liveness(engine, capsys):
+    exit_code = main(["--engine", engine, "--ring-size", "3", "--fairness"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "fairness    : 3 conditions" in out
+    assert "fair liveness eventual_token       True" in out
+    assert "all Section 5 properties and invariants hold" in out
+
+
+def test_without_fairness_no_liveness_family(capsys):
+    main(["--engine", "bitset", "--ring-size", "3"])
+    out = capsys.readouterr().out
+    assert "fair liveness" not in out
+    assert "fairness    :" not in out
+
+
 def test_invalid_ring_size_exits_2(capsys):
     assert main(["--ring-size", "0"]) == 2
     assert "--ring-size" in capsys.readouterr().err
+
+
+def test_fairness_with_experiments_rejected(capsys):
+    assert main(["--experiments", "--fairness"]) == 2
+    assert "--fairness" in capsys.readouterr().err
 
 
 def test_python_dash_m_entry_point():

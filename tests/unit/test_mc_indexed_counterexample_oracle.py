@@ -160,6 +160,47 @@ def test_counterexample_af_finds_avoiding_lasso(try_crit):
     assert counterexample_af(try_crit, parse("n | t | c")) is None
 
 
+@pytest.mark.parametrize("engine", ["naive", "bitset", "bdd"])
+def test_witnesses_engine_generic(try_crit, engine):
+    """Every engine drives the same extraction algorithms to valid witnesses."""
+    from repro.kripke.paths import is_lasso, is_path
+
+    path = witness_ef(try_crit, atom("c"), engine=engine)
+    assert path == ["idle", "try", "crit"]
+    assert is_path(try_crit, path)
+    lasso = witness_eg(try_crit, atom("t"), start="try", engine=engine)
+    assert lasso is not None and is_lasso(try_crit, lasso)
+
+
+def test_witness_accepts_prebuilt_checker(try_crit):
+    from repro.mc import make_ctl_checker
+
+    checker = make_ctl_checker(try_crit, engine="bitset")
+    assert witness_ef(checker, atom("c")) == ["idle", "try", "crit"]
+    # The checker's satisfaction memo is reused across calls.
+    assert witness_eu(checker, atom("t"), atom("c"), start="try")[-1] == "crit"
+
+
+def test_checkers_memoised_per_structure(try_crit):
+    from repro.mc import resolve_checker
+
+    first = resolve_checker(try_crit, "bitset")
+    assert resolve_checker(try_crit, "bitset") is first
+    assert resolve_checker(try_crit, "naive") is not first
+    # An explicit checker argument passes through untouched.
+    assert resolve_checker(first) is first
+
+
+def test_witness_eu_prefix_invariant_pinned(try_crit):
+    """Pin the invariant the removed re-verification guard double-checked."""
+    path = witness_eu(try_crit, atom("t"), atom("c"), start="idle")
+    # "idle" starts no E[t U c] path satisfying t at position 0, so no witness.
+    assert path is None
+    path = witness_eu(try_crit, atom("t"), atom("c"), start="try")
+    assert path is not None
+    assert all(state == "try" for state in path[:-1])
+
+
 def test_counterexamples_on_the_ring(ring2):
     # AG(¬c_1) is false: extract a path reaching a state where process 1 is critical.
     path = counterexample_ag(ring2, lnot(iatom("c", 1)))
