@@ -1,0 +1,536 @@
+"""Frozen pre-PR-4 symbolic engine, kept only as a benchmark baseline.
+
+This module is a trimmed, self-contained snapshot of the ROBDD manager and
+symbolic token-ring checking path as they existed before the PR-4 symbolic-core
+rewrite (plain edges, recursive memoized apply, monolithic per-part relprod
+image computation, no GC/reordering).  The benchmark suite races the new
+complement-edge core against it on the same machine, which is the only honest
+way to enforce the "new core >= 3x old core" guard across heterogeneous CI
+runners.
+
+Nothing outside ``benchmarks/`` may import this module; it is not part of the
+library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.kripke.structure import IndexedProp
+from repro.logic.ast import (
+    And,
+    Atom,
+    Exists,
+    FalseLiteral,
+    Finally,
+    ForAll,
+    Globally,
+    Iff,
+    Implies,
+    IndexedAtom,
+    Next,
+    Not,
+    Or,
+    TrueLiteral,
+    Until,
+)
+from repro.logic.transform import instantiate_quantifiers
+
+_TERMINAL = 1 << 30
+
+
+class LegacyBDDManager:
+    """The pre-rewrite manager: plain edges, per-operation recursive memos."""
+
+    def __init__(self):
+        self._nodes: List[Tuple[int, int, int]] = [(_TERMINAL, 0, 0), (_TERMINAL, 1, 1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._exists_cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        self._relprod_cache: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
+        self._rename_cache: Dict[Tuple[object, int], int] = {}
+
+    def __len__(self):
+        return len(self._nodes)
+
+    def _mk(self, level, low, high):
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            self._nodes.append(key)
+            node = len(self._nodes) - 1
+            self._unique[key] = node
+        return node
+
+    def var(self, level):
+        return self._mk(level, 0, 1)
+
+    def cube(self, literals):
+        result = 1
+        for level in sorted(literals, reverse=True):
+            if literals[level]:
+                result = self._mk(level, 0, result)
+            else:
+                result = self._mk(level, result, 0)
+        return result
+
+    def apply_and(self, u, v):
+        if u == v:
+            return u
+        if u == 0 or v == 0:
+            return 0
+        if u == 1:
+            return v
+        if v == 1:
+            return u
+        if u > v:
+            u, v = v, u
+        key = (u, v)
+        result = self._and_cache.get(key)
+        if result is not None:
+            return result
+        nodes = self._nodes
+        ulevel, ulow, uhigh = nodes[u]
+        vlevel, vlow, vhigh = nodes[v]
+        if ulevel == vlevel:
+            result = self._mk(ulevel, self.apply_and(ulow, vlow), self.apply_and(uhigh, vhigh))
+        elif ulevel < vlevel:
+            result = self._mk(ulevel, self.apply_and(ulow, v), self.apply_and(uhigh, v))
+        else:
+            result = self._mk(vlevel, self.apply_and(u, vlow), self.apply_and(u, vhigh))
+        self._and_cache[key] = result
+        return result
+
+    def apply_or(self, u, v):
+        if u == v:
+            return u
+        if u == 1 or v == 1:
+            return 1
+        if u == 0:
+            return v
+        if v == 0:
+            return u
+        if u > v:
+            u, v = v, u
+        key = (u, v)
+        result = self._or_cache.get(key)
+        if result is not None:
+            return result
+        nodes = self._nodes
+        ulevel, ulow, uhigh = nodes[u]
+        vlevel, vlow, vhigh = nodes[v]
+        if ulevel == vlevel:
+            result = self._mk(ulevel, self.apply_or(ulow, vlow), self.apply_or(uhigh, vhigh))
+        elif ulevel < vlevel:
+            result = self._mk(ulevel, self.apply_or(ulow, v), self.apply_or(uhigh, v))
+        else:
+            result = self._mk(vlevel, self.apply_or(u, vlow), self.apply_or(u, vhigh))
+        self._or_cache[key] = result
+        return result
+
+    def negate(self, u):
+        if u < 2:
+            return 1 - u
+        result = self._not_cache.get(u)
+        if result is not None:
+            return result
+        level, low, high = self._nodes[u]
+        result = self._mk(level, self.negate(low), self.negate(high))
+        self._not_cache[u] = result
+        self._not_cache[result] = u
+        return result
+
+    def _cofactors(self, u, level):
+        ulevel, low, high = self._nodes[u]
+        if ulevel != level:
+            return u, u
+        return low, high
+
+    def exists(self, u, levels):
+        return self._exists(u, tuple(sorted(set(levels))))
+
+    def _exists(self, u, cube):
+        if u < 2 or not cube:
+            return u
+        ulevel, low, high = self._nodes[u]
+        start = 0
+        while start < len(cube) and cube[start] < ulevel:
+            start += 1
+        if start:
+            cube = cube[start:]
+        if not cube:
+            return u
+        key = (u, cube)
+        result = self._exists_cache.get(key)
+        if result is not None:
+            return result
+        if ulevel == cube[0]:
+            rest = cube[1:]
+            result = self.apply_or(self._exists(low, rest), self._exists(high, rest))
+        else:
+            result = self._mk(ulevel, self._exists(low, cube), self._exists(high, cube))
+        self._exists_cache[key] = result
+        return result
+
+    def relprod(self, u, v, levels):
+        return self._relprod(u, v, tuple(sorted(set(levels))))
+
+    def _relprod(self, u, v, cube):
+        if u == 0 or v == 0:
+            return 0
+        if not cube:
+            return self.apply_and(u, v)
+        if u == 1:
+            return self._exists(v, cube)
+        if v == 1:
+            return self._exists(u, cube)
+        if u > v:
+            u, v = v, u
+        nodes = self._nodes
+        top = min(nodes[u][0], nodes[v][0])
+        start = 0
+        while start < len(cube) and cube[start] < top:
+            start += 1
+        if start:
+            cube = cube[start:]
+        if not cube:
+            return self.apply_and(u, v)
+        key = (u, v, cube)
+        result = self._relprod_cache.get(key)
+        if result is not None:
+            return result
+        u0, u1 = self._cofactors(u, top)
+        v0, v1 = self._cofactors(v, top)
+        if cube[0] == top:
+            rest = cube[1:]
+            low = self._relprod(u0, v0, rest)
+            if low == 1:
+                result = 1
+            else:
+                result = self.apply_or(low, self._relprod(u1, v1, rest))
+        else:
+            result = self._mk(top, self._relprod(u0, v0, cube), self._relprod(u1, v1, cube))
+        self._relprod_cache[key] = result
+        return result
+
+    def rename(self, u, mapping, tag):
+        if u < 2:
+            return u
+        key = (tag, u)
+        result = self._rename_cache.get(key)
+        if result is not None:
+            return result
+        level, low, high = self._nodes[u]
+        result = self._mk(
+            mapping.get(level, level),
+            self.rename(low, mapping, tag),
+            self.rename(high, mapping, tag),
+        )
+        self._rename_cache[key] = result
+        return result
+
+    def sat_count(self, u, levels):
+        cube = tuple(sorted(set(levels)))
+        position = {level: i for i, level in enumerate(cube)}
+        total = len(cube)
+        nodes = self._nodes
+        memo: Dict[int, int] = {0: 0, 1: 1}
+
+        def pos(node):
+            if node < 2:
+                return total
+            return position[nodes[node][0]]
+
+        def count(node):
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = nodes[node]
+            here = pos(node)
+            result = count(low) << (pos(low) - here - 1)
+            result += count(high) << (pos(high) - here - 1)
+            memo[node] = result
+            return result
+
+        return count(u) << pos(u)
+
+
+_PARTS = ("N", "D", "T", "C")
+
+
+class LegacySymbolicRing:
+    """The pre-rewrite direct BDD encoding of M_r plus a minimal CTL checker."""
+
+    def __init__(self, size: int):
+        self.size = size
+        manager = LegacyBDDManager()
+        self.manager = manager
+        self._bits_per_process = 2
+        self._num_bits = 2 * size
+        self._current_levels = tuple(2 * bit for bit in range(self._num_bits))
+        self._next_levels = tuple(2 * bit + 1 for bit in range(self._num_bits))
+        self._c2n = {2 * bit: 2 * bit + 1 for bit in range(self._num_bits)}
+        self._n2c = {2 * bit + 1: 2 * bit for bit in range(self._num_bits)}
+        indices = tuple(range(1, size + 1))
+        self.indices = indices
+        land, lor, neg = manager.apply_and, manager.apply_or, manager.negate
+
+        def block(index):
+            return (index - 1) * 2
+
+        def part_cube(index, part, offset):
+            code = _PARTS.index(part)
+            b = block(index)
+            return manager.cube(
+                {2 * (b + bit) + offset: bool(code >> bit & 1) for bit in range(2)}
+            )
+
+        current_cache: Dict[Tuple[int, str], int] = {}
+        next_cache: Dict[Tuple[int, str], int] = {}
+
+        def current(index, part):
+            key = (index, part)
+            if key not in current_cache:
+                current_cache[key] = part_cube(index, part, 0)
+            return current_cache[key]
+
+        def nxt(index, part):
+            key = (index, part)
+            if key not in next_cache:
+                next_cache[key] = part_cube(index, part, 1)
+            return next_cache[key]
+
+        unchanged_cache: Dict[int, int] = {}
+
+        def unchanged(index):
+            if index not in unchanged_cache:
+                b = block(index)
+                node = 1
+                for bit in reversed(range(2)):
+                    level = 2 * (b + bit)
+                    iff = lor(
+                        land(manager.var(level), manager.var(level + 1)),
+                        land(neg(manager.var(level)), neg(manager.var(level + 1))),
+                    )
+                    node = land(iff, node)
+                unchanged_cache[index] = node
+            return unchanged_cache[index]
+
+        def frame(changed):
+            touched = set(changed)
+            node = 1
+            for index in indices:
+                if index not in touched:
+                    node = land(node, unchanged(index))
+            return node
+
+        parts: List[int] = []
+        rule1 = 0
+        for process in indices:
+            rule1 = lor(
+                rule1,
+                land(land(current(process, "N"), nxt(process, "D")), frame([process])),
+            )
+        parts.append(rule1)
+        for holder in indices:
+            holder_held = lor(current(holder, "T"), current(holder, "C"))
+            handoffs = 0
+            nobody_between = 1
+            candidate = holder
+            for _ in range(size - 1):
+                candidate = size if candidate == 1 else candidate - 1
+                guard = land(land(holder_held, current(candidate, "D")), nobody_between)
+                effect = land(
+                    land(nxt(holder, "N"), nxt(candidate, "C")),
+                    frame([holder, candidate]),
+                )
+                handoffs = lor(handoffs, land(guard, effect))
+                nobody_between = land(nobody_between, neg(current(candidate, "D")))
+            if handoffs != 0:
+                parts.append(handoffs)
+        rule3 = 0
+        for process in indices:
+            rule3 = lor(
+                rule3,
+                land(land(current(process, "T"), nxt(process, "C")), frame([process])),
+            )
+        parts.append(rule3)
+        nobody_delayed = 1
+        for process in indices:
+            nobody_delayed = land(nobody_delayed, neg(current(process, "D")))
+        rule4 = 0
+        for process in indices:
+            rule4 = lor(
+                rule4,
+                land(
+                    land(nobody_delayed, land(current(process, "C"), nxt(process, "T"))),
+                    frame([process]),
+                ),
+            )
+        parts.append(rule4)
+        self._parts = parts
+
+        self._props: Dict[IndexedProp, int] = {}
+        for process in indices:
+            self._props[IndexedProp("d", process)] = current(process, "D")
+            self._props[IndexedProp("n", process)] = lor(
+                current(process, "N"), current(process, "T")
+            )
+            self._props[IndexedProp("t", process)] = lor(
+                current(process, "T"), current(process, "C")
+            )
+            self._props[IndexedProp("c", process)] = current(process, "C")
+
+        initial = 1
+        for process in reversed(indices):
+            initial = land(current(process, "T" if process == 1 else "N"), initial)
+        self._initial = initial
+        self._domain = self._reachable()
+        self._cache: Dict[object, int] = {}
+
+    # -- images ----------------------------------------------------------------
+
+    def _preimage(self, node):
+        manager = self.manager
+        renamed = manager.rename(node, self._c2n, "c2n")
+        result = 0
+        for part in self._parts:
+            result = manager.apply_or(
+                result, manager.relprod(part, renamed, self._next_levels)
+            )
+        return manager.apply_and(result, self._domain)
+
+    def _image(self, node):
+        manager = self.manager
+        result = 0
+        for part in self._parts:
+            result = manager.apply_or(
+                result, manager.relprod(part, node, self._current_levels)
+            )
+        return manager.rename(result, self._n2c, "n2c")
+
+    def _reachable(self):
+        manager = self.manager
+        current = self._initial
+        frontier = current
+        while frontier != 0:
+            fresh = self._image(frontier)
+            frontier = manager.apply_and(fresh, manager.negate(current))
+            current = manager.apply_or(current, frontier)
+        return current
+
+    # -- CTL ------------------------------------------------------------------
+
+    def _complement(self, node):
+        return self.manager.apply_and(self._domain, self.manager.negate(node))
+
+    def _eu(self, left, right):
+        manager = self.manager
+        satisfied = right
+        frontier = right
+        while frontier != 0:
+            reached = manager.apply_and(left, self._preimage(frontier))
+            frontier = manager.apply_and(reached, manager.negate(satisfied))
+            satisfied = manager.apply_or(satisfied, frontier)
+        return satisfied
+
+    def _eg(self, operand):
+        manager = self.manager
+        current = operand
+        while True:
+            refined = manager.apply_and(current, self._preimage(current))
+            if refined == current:
+                return current
+            current = refined
+
+    def _compute(self, formula):
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        manager = self.manager
+        if isinstance(formula, TrueLiteral):
+            result = self._domain
+        elif isinstance(formula, FalseLiteral):
+            result = 0
+        elif isinstance(formula, (Atom, IndexedAtom)):
+            if isinstance(formula, IndexedAtom):
+                result = manager.apply_and(
+                    self._props.get(IndexedProp(formula.name, formula.index), 0),
+                    self._domain,
+                )
+            else:
+                result = 0
+        elif isinstance(formula, Not):
+            result = self._complement(self._compute(formula.operand))
+        elif isinstance(formula, And):
+            result = manager.apply_and(
+                self._compute(formula.left), self._compute(formula.right)
+            )
+        elif isinstance(formula, Or):
+            result = manager.apply_or(
+                self._compute(formula.left), self._compute(formula.right)
+            )
+        elif isinstance(formula, Implies):
+            result = manager.apply_or(
+                self._complement(self._compute(formula.left)),
+                self._compute(formula.right),
+            )
+        elif isinstance(formula, Iff):
+            left = self._compute(formula.left)
+            right = self._compute(formula.right)
+            result = manager.apply_or(
+                manager.apply_and(left, right),
+                manager.apply_and(self._complement(left), self._complement(right)),
+            )
+        elif isinstance(formula, Exists):
+            result = self._compute_path(formula.path, exists=True)
+        elif isinstance(formula, ForAll):
+            result = self._compute_path(formula.path, exists=False)
+        else:
+            raise ValueError("legacy checker cannot handle %r" % (formula,))
+        self._cache[formula] = result
+        return result
+
+    def _compute_path(self, path, exists):
+        manager = self.manager
+        if exists:
+            if isinstance(path, Next):
+                return self._preimage(self._compute(path.operand))
+            if isinstance(path, Finally):
+                return self._eu(self._domain, self._compute(path.operand))
+            if isinstance(path, Globally):
+                return self._eg(self._compute(path.operand))
+            if isinstance(path, Until):
+                return self._eu(self._compute(path.left), self._compute(path.right))
+            raise ValueError("legacy checker cannot handle E %r" % (path,))
+        if isinstance(path, Next):
+            return self._complement(
+                self._preimage(self._complement(self._compute(path.operand)))
+            )
+        if isinstance(path, Finally):
+            return self._complement(self._eg(self._complement(self._compute(path.operand))))
+        if isinstance(path, Globally):
+            return self._complement(
+                self._eu(self._domain, self._complement(self._compute(path.operand)))
+            )
+        if isinstance(path, Until):
+            not_f = self._complement(self._compute(path.left))
+            not_g = self._complement(self._compute(path.right))
+            bad = manager.apply_or(
+                self._eu(not_g, manager.apply_and(not_f, not_g)), self._eg(not_g)
+            )
+            return self._complement(bad)
+        raise ValueError("legacy checker cannot handle A %r" % (path,))
+
+    def check(self, formula) -> bool:
+        instantiated = instantiate_quantifiers(formula, frozenset(self.indices))
+        node = self._compute(instantiated)
+        return self.manager.apply_and(node, self._initial) != 0
+
+    @property
+    def num_states(self) -> int:
+        return self.manager.sat_count(self._domain, self._current_levels)

@@ -1,13 +1,17 @@
-"""Head-to-head: the symbolic BDD engine vs. the compiled bitset engine.
+"""Head-to-head: the symbolic BDD engine vs. the bitset engine and its old self.
 
-Two regimes are measured.  Inside the explicit range (``r ≤ 6``) both engines
-check the full Section 5 property family on the same ring, with the symbolic
-engine running on the *direct* BDD encoding (the explicit product is never
-built for it).  Beyond the explicit wall (``r ≥ 10``, sizes the explicit
-sweep cannot reach in benchmark time) only the symbolic engine runs; its
-rounds are pinned to 1 so the tier-1 suite stays fast.  Every benchmark
-publishes exact state counts — BDD satisfy-counts for the symbolic runs —
-through ``extra_info`` into the ``BENCH_*.json`` artifact flow.
+Three regimes are measured.  Inside the explicit range (``r ≤ 6``) the
+symbolic and bitset engines check the full Section 5 property family on the
+same ring, with the symbolic engine running on the *direct* BDD encoding
+(the explicit product is never built for it).  Beyond the explicit wall
+(``r ≥ 12`` up to ``r = 20`` — twenty million reachable states) only the
+symbolic engine runs; rounds are pinned to 1 so the tier-1 suite stays fast.
+Finally, the PR-4 complement-edge core races the frozen pre-PR-4 engine
+snapshot (``_legacy_bdd``) on the same machine: ``test_new_core_speedup_vs_
+legacy_r12`` enforces the ≥ 3× speedup guard on the headline properties, and
+the explosion runs enforce peak-live-node regression ceilings.  Every
+benchmark publishes exact state counts and peak node counts through
+``extra_info`` into the ``BENCH_*.json`` artifact flow.
 
 ``test_symbolic_matches_bitset_at_overlap`` is the correctness guard: at a
 size where both engines run, the symbolic verdicts (properties *and*
@@ -15,11 +19,26 @@ invariants, including the ``Θ`` one-token invariant) must equal the bitset
 engine's.
 """
 
+import time
+
 import pytest
 
 from repro.analysis.explosion import symbolic_token_ring_explosion_sweep
 from repro.mc import ICTLStarModelChecker, SymbolicCTLModelChecker
 from repro.systems import token_ring
+
+#: Peak-live-node regression ceilings for the explosion sweep (the new core
+#: peaks at ~65k/~430k on these sizes; the old core allocated 158k nodes at
+#: r=12 without ever freeing one).
+_PEAK_NODE_CEILING = {12: 170_000, 16: 450_000, 20: 1_000_000}
+
+#: The speedup guard's floor: new core vs. the pre-PR-4 snapshot at r=12.
+_SPEEDUP_FLOOR = 3.0
+
+#: Secondary floor on the end-to-end batch (build + all properties); slightly
+#: looser than the per-property median so timer noise on the sub-second new
+#: core cannot flake the job.
+_TOTAL_SPEEDUP_FLOOR = 2.5
 
 
 def _check_symbolic_direct(size):
@@ -71,13 +90,22 @@ def test_bitset_explicit_ring6(benchmark, ring6):
     assert all(results.values())
 
 
-@pytest.mark.parametrize("size", [10, 12])
+@pytest.mark.parametrize(
+    "size",
+    [
+        pytest.param(12, marks=pytest.mark.bench_smoke),
+        16,
+        pytest.param(20, marks=pytest.mark.bench_smoke),
+    ],
+)
 def test_symbolic_explosion_beyond_explicit_range(benchmark, size):
     """Check rings the explicit engines cannot reach; verdicts must all hold.
 
     One round per size: the point is the capability (and a tracked wall
     time), not a statistically tight distribution — the tier-1 suite runs
-    the benchmarks too, so repetition would dominate its runtime.
+    the benchmarks too, so repetition would dominate its runtime.  The peak
+    live node count is pinned under a per-size regression ceiling so memory
+    blow-ups in the symbolic core fail CI even when the wall time squeaks by.
     """
     benchmark.group = "symbolic-explosion"
     benchmark.extra_info["n"] = size
@@ -91,10 +119,122 @@ def test_symbolic_explosion_beyond_explicit_range(benchmark, size):
     benchmark.extra_info["states"] = point.num_states
     benchmark.extra_info["transitions"] = point.num_transitions
     benchmark.extra_info["bdd_nodes"] = point.bdd_nodes
+    benchmark.extra_info["peak_live_nodes"] = point.peak_nodes
     assert all(point.results.values())
     # Reachable states of M_r: the holder is any of r processes in T or C and
     # every other process is independently in N or D, giving r * 2^r states.
     assert point.num_states == size * 2 ** size
+    assert point.peak_nodes <= _PEAK_NODE_CEILING[size], (
+        "peak live nodes regressed past the ceiling: %d > %d"
+        % (point.peak_nodes, _PEAK_NODE_CEILING[size])
+    )
+
+
+@pytest.mark.bench_smoke
+def test_fair_af_family_r20(benchmark):
+    """The fairness-dependent ``∧_i AF t_i`` family at r = 20.
+
+    The unfair claim must fail and the claim under per-process scheduler
+    fairness must hold, decided by the optimised Emerson–Lei fixpoint on a
+    twenty-million-state ring — far beyond every explicit engine.
+    """
+    size = 20
+    benchmark.group = "symbolic-fairness-r20"
+    benchmark.extra_info["n"] = size
+    benchmark.extra_info["engine"] = "bdd"
+    benchmark.extra_info["fairness_conditions"] = size
+    formula = token_ring.property_eventual_token()
+
+    def fair_and_unfair():
+        structure = token_ring.symbolic_token_ring(size)
+        unfair = SymbolicCTLModelChecker(structure).check(formula)
+        fair = SymbolicCTLModelChecker(
+            structure, fairness=token_ring.ring_scheduler_fairness(size)
+        ).check(formula)
+        return structure, unfair, fair
+
+    structure, unfair, fair = benchmark.pedantic(fair_and_unfair, rounds=1, iterations=1)
+    stats = structure.manager.stats()
+    benchmark.extra_info["states"] = structure.num_states
+    benchmark.extra_info["peak_live_nodes"] = stats.peak_live_nodes
+    assert not unfair and fair
+    assert stats.peak_live_nodes <= _PEAK_NODE_CEILING[size]
+
+
+@pytest.mark.bench_smoke
+def test_new_core_speedup_vs_legacy_r12(benchmark):
+    """The ≥ 3× guard: new symbolic core vs. the frozen pre-PR-4 engine.
+
+    Both engines build the direct r=12 encoding and check the four headline
+    Section 5 properties on the *same machine*, which keeps the guard
+    meaningful across heterogeneous CI runners.  The guarded ratio is the
+    median per-property speedup over the properties with measurable legacy
+    cost (the two sub-millisecond safety properties are pure timer noise),
+    and the end-to-end batch must clear the same floor.
+    """
+    from _legacy_bdd import LegacySymbolicRing
+
+    size = 12
+    properties = token_ring.ring_properties()
+
+    def run_legacy():
+        ring = LegacySymbolicRing(size)
+        times = {}
+        for name, formula in properties.items():
+            start = time.perf_counter()
+            assert ring.check(formula), name
+            times[name] = time.perf_counter() - start
+        return times
+
+    def run_new():
+        structure = token_ring.symbolic_token_ring(size)
+        checker = SymbolicCTLModelChecker(structure)
+        times = {}
+        for name, formula in properties.items():
+            start = time.perf_counter()
+            assert checker.check(formula), name
+            times[name] = time.perf_counter() - start
+        return structure, times
+
+    legacy_start = time.perf_counter()
+    legacy_times = run_legacy()
+    legacy_total = time.perf_counter() - legacy_start
+
+    def timed_new():
+        return run_new()
+
+    new_start = time.perf_counter()
+    structure, new_times = benchmark.pedantic(timed_new, rounds=1, iterations=1)
+    new_total = time.perf_counter() - new_start
+
+    ratios = {
+        name: legacy_times[name] / max(new_times[name], 1e-9)
+        for name in properties
+        if legacy_times[name] >= 0.05
+    }
+    ordered = sorted(ratios.values())
+    median_ratio = (
+        ordered[len(ordered) // 2]
+        if len(ordered) % 2
+        else (ordered[len(ordered) // 2 - 1] + ordered[len(ordered) // 2]) / 2
+    )
+    total_ratio = legacy_total / max(new_total, 1e-9)
+    benchmark.group = "new-core-vs-legacy-r12"
+    benchmark.extra_info["n"] = size
+    benchmark.extra_info["legacy_seconds"] = round(legacy_total, 4)
+    benchmark.extra_info["new_seconds"] = round(new_total, 4)
+    benchmark.extra_info["median_property_speedup"] = round(median_ratio, 2)
+    benchmark.extra_info["total_speedup"] = round(total_ratio, 2)
+    benchmark.extra_info["peak_live_nodes"] = structure.manager.stats().peak_live_nodes
+    assert ratios, "no property had measurable legacy cost — guard is vacuous"
+    assert median_ratio >= _SPEEDUP_FLOOR, (
+        "median speedup over the pre-PR-4 engine regressed: %.2fx < %.1fx"
+        % (median_ratio, _SPEEDUP_FLOOR)
+    )
+    assert total_ratio >= _TOTAL_SPEEDUP_FLOOR, (
+        "end-to-end speedup over the pre-PR-4 engine regressed: %.2fx < %.1fx"
+        % (total_ratio, _TOTAL_SPEEDUP_FLOOR)
+    )
 
 
 @pytest.mark.bench_smoke

@@ -23,7 +23,7 @@ from repro.mc import ICTLStarModelChecker
 from repro.systems import token_ring
 
 SWEEP_SIZES = (2, 3, 4, 5, 6, 7)
-SYMBOLIC_SIZES = (8, 10, 12)
+SYMBOLIC_SIZES = (8, 12, 16, 20)
 LARGE_SIZE = 1000
 
 

@@ -292,7 +292,7 @@ def run_e8_explosion(
     num_walks: int = 10,
     walk_length: int = 30,
     engine: str = "bitset",
-    symbolic_sizes: Sequence[int] = (8, 10),
+    symbolic_sizes: Sequence[int] = (8, 10, 20),
 ) -> Dict:
     """Reproduce the state-explosion narrative (the "1000 processes" claim).
 
@@ -300,7 +300,9 @@ def run_e8_explosion(
     ring sizes only the symbolic BDD engine can reach: the ring is encoded
     directly as decision diagrams, the four Section 5 properties are checked
     as BDD fixpoints, and the state counts come from satisfy-count rather
-    than enumeration.
+    than enumeration.  Since the PR-4 complement-edge core, ``r = 20``
+    (twenty million reachable states) sits comfortably inside the default
+    sweep.
     """
     sweep = token_ring_explosion_sweep(sizes, engine=engine)
     symbolic_sweep = symbolic_token_ring_explosion_sweep(symbolic_sizes)
@@ -333,6 +335,7 @@ def run_e8_explosion(
                 "states": point.num_states,
                 "transitions": point.num_transitions,
                 "bdd_nodes": point.bdd_nodes,
+                "peak_nodes": point.peak_nodes,
                 "build_seconds": point.build_seconds,
                 "check_seconds": point.check_seconds,
                 "all_hold": all(point.results.values()),
@@ -411,7 +414,7 @@ def run_e10_scaling(sizes: Sequence[int] = (3, 4, 5)) -> Dict:
 
 def run_e11_fairness(
     sizes: Sequence[int] = (2, 3, 4),
-    symbolic_sizes: Sequence[int] = (10,),
+    symbolic_sizes: Sequence[int] = (10, 20),
     engine: str = "bitset",
 ) -> Dict:
     """E11 — the ``AF t_i`` liveness claims hold exactly under scheduler fairness.
@@ -517,13 +520,13 @@ def run_all(quick: bool = True, engine: str = "bitset") -> Dict[str, Dict]:
         "E8_explosion": run_e8_explosion(
             sizes=(2, 3, 4) if quick else (2, 3, 4, 5, 6),
             engine=engine,
-            symbolic_sizes=(6, 8) if quick else (8, 10),
+            symbolic_sizes=(6, 8) if quick else (10, 14, 20),
         ),
         "E9_conjecture": run_e9_conjecture(max_size=4 if quick else 5),
         "E10_scaling": run_e10_scaling(sizes=(3, 4) if quick else (3, 4, 5)),
         "E11_fairness": run_e11_fairness(
             sizes=(2, 3) if quick else (2, 4, 8),
-            symbolic_sizes=(6,) if quick else (10,),
+            symbolic_sizes=(6,) if quick else (10, 20),
             engine=engine,
         ),
     }

@@ -85,15 +85,17 @@ class SymbolicExplosionPoint:
     """One row of the symbolic state-explosion sweep.
 
     ``num_states``/``num_transitions`` are exact counts obtained by BDD
-    satisfy-count over the reachable set; ``bdd_nodes`` is the total node
-    count of the ring's BDD manager after checking — the actual memory
-    footprint, which grows polynomially where the state counts explode.
+    satisfy-count over the reachable set; ``bdd_nodes`` is the live node
+    count of the ring's BDD manager after checking and ``peak_nodes`` the
+    peak over the whole run — the actual memory footprint, which grows
+    polynomially where the state counts explode.
     """
 
     size: int
     num_states: int
     num_transitions: int
     bdd_nodes: int
+    peak_nodes: int
     build_seconds: float
     check_seconds: float
     results: Dict[str, bool]
@@ -118,12 +120,14 @@ def symbolic_token_ring_explosion_sweep(
         structure = built.value
         checker = SymbolicCTLModelChecker(structure)
         checked = timed_call(checker.check_batch, checks)
+        stats = structure.manager.stats()
         points.append(
             SymbolicExplosionPoint(
                 size=size,
                 num_states=structure.num_states,
                 num_transitions=structure.num_transitions,
-                bdd_nodes=len(structure.manager),
+                bdd_nodes=stats.live_nodes,
+                peak_nodes=stats.peak_live_nodes,
                 build_seconds=built.seconds,
                 check_seconds=checked.seconds,
                 results=checked.value,

@@ -1,18 +1,38 @@
 """Reduced ordered binary decision diagrams (the symbolic engine's substrate).
 
-The package provides a pure-Python ROBDD implementation:
+The package provides a production-grade pure-Python ROBDD implementation:
 
-* :class:`BDDManager` — the node table: hash-consed nodes, a unique table,
-  and memoized ``apply``/``ite``/``restrict``/``exists``/``relprod``/``rename``
-  operations on raw integer node ids;
-* :class:`BDDFunction` — an operator-overloaded ``(manager, node)`` wrapper
-  (``f & g``, ``~f``, ``f >> g``, ``f.relprod(g, levels)``, …).
+* :class:`BDDManager` — the node table: complement-edge canonical nodes
+  (negation is an O(1) edge flip), a unified iterative ITE-based apply with a
+  single normalized operation cache, bounded/instrumented memo caches,
+  mark-and-sweep garbage collection, and dynamic variable reordering by
+  Rudell sifting with variable groups and order persistence;
+* :class:`BDDFunction` — an operator-overloaded, reference-counted handle
+  (``f & g``, ``~f``, ``f >> g``, ``f.relprod(g, vars)``, …) whose lifetime
+  tells the garbage collector what is live;
+* :class:`ManagerStats` / :class:`CacheStats` — health counters (live/peak
+  nodes, cache hit/miss/evict, GC and reorder activity).
 
 :mod:`repro.kripke.symbolic` builds Kripke-structure encodings on top of this
 package and :mod:`repro.mc.symbolic` runs CTL fixpoints over them.
 """
 
 from repro.bdd.function import BDDFunction
-from repro.bdd.manager import FALSE, TERMINAL_LEVEL, TRUE, BDDManager
+from repro.bdd.manager import (
+    FALSE,
+    TERMINAL_LEVEL,
+    TRUE,
+    BDDManager,
+    CacheStats,
+    ManagerStats,
+)
 
-__all__ = ["BDDManager", "BDDFunction", "FALSE", "TRUE", "TERMINAL_LEVEL"]
+__all__ = [
+    "BDDManager",
+    "BDDFunction",
+    "ManagerStats",
+    "CacheStats",
+    "FALSE",
+    "TRUE",
+    "TERMINAL_LEVEL",
+]

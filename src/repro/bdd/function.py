@@ -1,10 +1,17 @@
-"""An operator-overloaded wrapper pairing a BDD node with its manager.
+"""An operator-overloaded, reference-counted handle on a BDD edge.
 
 :class:`BDDFunction` is the ergonomic face of :class:`repro.bdd.BDDManager`:
 it carries the ``(manager, node)`` pair around so call sites can write
-``f & g``, ``~f``, ``f >> g`` instead of threading raw node ids.  Because
-nodes are hash-consed, equality of two functions from the same manager is a
-single integer comparison.
+``f & g``, ``~f``, ``f >> g`` instead of threading raw edge ids.  Because
+edges are hash-consed and canonical, equality of two functions from the same
+manager is a single integer comparison.
+
+A handle is also the unit of *memory management*: constructing one registers
+an external reference with the manager and dropping it (garbage collection of
+the Python object) releases it, so :meth:`BDDManager.collect`'s mark-and-sweep
+and the sifting reorderer treat everything reachable from live handles as
+roots.  Layers that must survive a GC or a reorder hold handles; raw edge
+ints are only safe between manager calls.
 
 Truthiness is deliberately undefined (``bool(f)`` raises): ``f and g`` would
 silently compute the *Python* conjunction, not the boolean-function one.  Use
@@ -22,13 +29,20 @@ __all__ = ["BDDFunction"]
 
 
 class BDDFunction:
-    """A boolean function: one hash-consed node inside one manager."""
+    """A boolean function: one canonical edge inside one manager, refcounted."""
 
     __slots__ = ("manager", "node")
 
     def __init__(self, manager: BDDManager, node: int) -> None:
         self.manager = manager
         self.node = node
+        manager.incref(node)
+
+    def __del__(self) -> None:
+        try:
+            self.manager.decref(self.node)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     # -- constructors ---------------------------------------------------------
 

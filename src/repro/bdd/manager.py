@@ -1,132 +1,481 @@
-"""A reduced ordered binary decision diagram (ROBDD) manager.
+"""A production-grade ROBDD manager with complement edges.
 
-The manager owns every node: nodes are rows ``(level, low, high)`` in an
-append-only table, identified by their integer row index, and *hash-consed*
-through a unique table so that structurally equal functions are represented by
-the same node id.  Equality of two boolean functions is therefore a single
-``==`` on ints, which is what makes the symbolic fixpoint computations of
-:mod:`repro.mc.symbolic` terminate cheaply.
+The manager owns every node.  A *node* is a row ``(var, low, high)`` in a
+table of parallel lists; a boolean function is referenced by an *edge* — an
+integer ``node_index << 1 | complement_bit``.  The complement bit negates the
+whole function below it, so negation is a single XOR (``edge ^ 1``) that
+allocates nothing.  Canonical form:
 
-Conventions
------------
-* Node ``0`` is the constant *false*, node ``1`` the constant *true*.
-* Variables are identified by an integer *level*; lower levels are closer to
-  the root (tested first).  The manager imposes no meaning on levels — the
-  current/next interleaving used for transition relations is a convention of
-  :mod:`repro.kripke.symbolic` (state bit ``k`` lives at level ``2k``, its
-  next-state copy at level ``2k + 1``).
-* Every operation is memoized: the binary connectives share per-operation
-  caches (``apply``), and ``ite``, ``negate``, ``restrict``, ``exists``,
-  ``relprod`` and ``rename`` each keep their own.  Caches live as long as the
-  manager, which matches the library's compile-once/check-a-family usage.
+* the terminal node ``0`` denotes the constant *false*; edge ``0`` is false
+  and edge ``1`` (the complemented terminal) is true — the classic ``FALSE``/
+  ``TRUE`` constants keep their historical values;
+* the *high* (then) edge of every stored node is regular (uncomplemented);
+  :meth:`_mk` pushes stray complement bits onto the low edge and the result,
+  so structurally equal functions are represented by exactly one edge and
+  equality of two functions is a single ``==`` on ints.
 
-The recursion depth of every operation is bounded by the number of levels in
-the operands' support, so the default interpreter recursion limit comfortably
-accommodates the encodings used here (a few dozen levels).
+Variables vs. levels
+--------------------
+A function is built over *variables* — stable integer ids that never change —
+while the *order* in which they are tested (their *levels*) is owned by the
+manager and may change at run time (:meth:`reorder`, Rudell sifting).  The
+two coincide until the first reorder.  All public operations take variable
+ids; encodings built by :mod:`repro.kripke.symbolic` therefore survive
+reorders unchanged.  Variables can be tied into *groups*
+(:meth:`set_variable_groups`) that sifting moves as contiguous blocks — the
+symbolic Kripke layer groups each current/next pair so its renames stay
+order-preserving under any reorder.  :meth:`var_order` /
+:meth:`set_var_order` persist and restore an order explicitly.
+
+Operations
+----------
+Every binary connective is routed through one unified, *iterative*
+(explicit-stack) :meth:`ite` with the standard normalizations, sharing a
+single operation cache — deep variable orders can never hit Python's
+recursion limit.  ``exists``/``relprod``/``rename``/``restrict`` run their
+own explicit-stack walks on top of the same machinery.  All operation caches
+are bounded (stale halves are evicted wholesale), instrumented with
+hit/miss/evict counters, clearable via :meth:`clear_caches`, and cleared
+automatically by :meth:`collect` and :meth:`reorder`.
+
+Memory management
+-----------------
+External references are counted per node (:meth:`incref`/:meth:`decref`,
+managed automatically by :class:`repro.bdd.BDDFunction` handles).
+:meth:`collect` runs a mark-and-sweep over the unique table: it marks the
+closure of the externally referenced nodes and frees everything else,
+returning freed slots to a free list.  Reordering likewise reclaims dead
+nodes as it sweeps levels.  **Contract:** any edge held as a raw int across
+manager calls is invisible to GC and sifting's dead-node reclamation — wrap
+it in a ``BDDFunction`` (or ``incref`` it) before calling :meth:`collect`,
+:meth:`reorder`, or enabling ``auto_reorder_threshold``.
+
+:meth:`stats` exposes live/peak node counts, GC and reorder counters, and
+per-cache hit/miss/evict statistics as a :class:`ManagerStats`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+from dataclasses import dataclass
+from itertools import islice as _islice
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import BDDError
 
-__all__ = ["BDDManager", "TERMINAL_LEVEL", "FALSE", "TRUE"]
+__all__ = [
+    "BDDManager",
+    "ManagerStats",
+    "CacheStats",
+    "TERMINAL_LEVEL",
+    "FALSE",
+    "TRUE",
+]
 
-#: Sentinel level of the two terminal nodes; larger than any variable level.
+#: Sentinel level of the terminal node; larger than any variable level.
 TERMINAL_LEVEL = 1 << 30
 
-#: The node id of the constant false function.
+#: The edge of the constant false function.
 FALSE = 0
 
-#: The node id of the constant true function.
+#: The edge of the constant true function (the complemented terminal).
 TRUE = 1
+
+#: Default bound on the number of entries of each operation cache.
+_DEFAULT_CACHE_LIMIT = 1 << 20
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/evict counters of one bounded operation cache."""
+
+    name: str
+    size: int
+    limit: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+@dataclass(frozen=True)
+class ManagerStats:
+    """A point-in-time snapshot of a manager's health counters."""
+
+    live_nodes: int
+    peak_live_nodes: int
+    num_vars: int
+    external_references: int
+    gc_runs: int
+    gc_reclaimed: int
+    reorder_runs: int
+    sift_swaps: int
+    caches: Tuple[CacheStats, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten into a JSON-serialisable dictionary (for ``--profile``/benchmarks)."""
+        return {
+            "live_nodes": self.live_nodes,
+            "peak_live_nodes": self.peak_live_nodes,
+            "num_vars": self.num_vars,
+            "external_references": self.external_references,
+            "gc_runs": self.gc_runs,
+            "gc_reclaimed": self.gc_reclaimed,
+            "reorder_runs": self.reorder_runs,
+            "sift_swaps": self.sift_swaps,
+            "caches": {
+                cache.name: {
+                    "size": cache.size,
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "evictions": cache.evictions,
+                }
+                for cache in self.caches
+            },
+        }
+
+
+class _OpCache:
+    """A bounded memo table with hit/miss/evict accounting.
+
+    Eviction drops the *oldest half* of the table (dicts preserve insertion
+    order), so the entries a running fixpoint is actively re-hitting — the
+    recently inserted ones — survive; clearing wholesale would force every
+    subsequent iteration to recompute the shared substructure from scratch.
+    """
+
+    __slots__ = ("name", "data", "limit", "hits", "misses", "evictions")
+
+    def __init__(self, name: str, limit: int) -> None:
+        self.name = name
+        self.data: Dict = {}
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def room(self) -> None:
+        """Make room for one insert, evicting the oldest half when full."""
+        data = self.data
+        if len(data) >= self.limit:
+            drop = self.limit // 2 + 1
+            for key in list(_islice(iter(data), drop)):
+                del data[key]
+            self.evictions += drop
+
+    def clear(self) -> int:
+        """Drop every entry (not counted as eviction); return how many were dropped."""
+        dropped = len(self.data)
+        self.data.clear()
+        return dropped
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            self.name, len(self.data), self.limit, self.hits, self.misses, self.evictions
+        )
 
 
 class BDDManager:
-    """Owns a shared node table and the memo caches of every BDD operation.
+    """Owns the shared node table, the operation caches, and the variable order.
 
-    The manager API works on raw integer node ids; the ergonomic entry point
-    is :class:`repro.bdd.BDDFunction`, which wraps a ``(manager, node)`` pair
-    with operator overloading.  All node ids returned by one manager are only
-    meaningful to that manager.
+    Parameters
+    ----------
+    cache_limit:
+        Entry bound of each operation cache (see :class:`_OpCache`).
+    auto_reorder_threshold:
+        When set, crossing this live-node count triggers an automatic
+        :meth:`reorder` at the next operation boundary (the threshold then
+        doubles).  Only enable it when every client-held edge is externally
+        referenced — see the module docstring's contract.
     """
 
-    def __init__(self) -> None:
-        # Rows are (level, low, high); the two terminals point at themselves
-        # so that cofactor lookups never need a special case for ids < 2.
-        self._nodes: List[Tuple[int, int, int]] = [
-            (TERMINAL_LEVEL, 0, 0),
-            (TERMINAL_LEVEL, 1, 1),
-        ]
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._and_cache: Dict[Tuple[int, int], int] = {}
-        self._or_cache: Dict[Tuple[int, int], int] = {}
-        self._xor_cache: Dict[Tuple[int, int], int] = {}
-        self._not_cache: Dict[int, int] = {}
-        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
-        self._restrict_cache: Dict[Tuple[int, int, int], int] = {}
-        self._exists_cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
-        self._relprod_cache: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
-        self._rename_cache: Dict[Tuple[object, int], int] = {}
-        #: Cumulative hit/miss counters of the binary apply caches; exposed so
-        #: the test-suite can assert that memoization actually engages.
-        self.apply_cache_hits = 0
-        self.apply_cache_misses = 0
+    def __init__(
+        self,
+        cache_limit: int = _DEFAULT_CACHE_LIMIT,
+        auto_reorder_threshold: Optional[int] = None,
+    ) -> None:
+        # Node table: parallel lists indexed by node.  Node 0 is the terminal.
+        self._varr: List[int] = [-1]
+        self._lo: List[int] = [0]
+        self._hi: List[int] = [0]
+        self._ref: List[int] = [0]  # internal parent count
+        self._lvl: List[int] = [TERMINAL_LEVEL]
+        self._free: List[int] = []
+        self._live = 1
+        self._peak = 1
+        # Variable order.
+        self._var2level: List[int] = []
+        self._level2var: List[int] = []
+        self._subtables: List[Dict[Tuple[int, int], int]] = []
+        self._blocks: List[List[int]] = []  # sifting blocks, sorted by level
+        # External (handle) references: node -> count.
+        self._external: Dict[int, int] = {}
+        # Bounded operation caches.
+        self._ite_cache = _OpCache("ite", cache_limit)
+        self._exists_cache = _OpCache("exists", cache_limit)
+        self._relprod_cache = _OpCache("relprod", cache_limit)
+        self._rename_cache = _OpCache("rename", cache_limit)
+        self._restrict_cache = _OpCache("restrict", cache_limit)
+        self._caches = (
+            self._ite_cache,
+            self._exists_cache,
+            self._relprod_cache,
+            self._rename_cache,
+            self._restrict_cache,
+        )
+        # Interning tables keeping cache keys small-int-only: quantification
+        # cubes and rename tags are mapped to dense ids, so a cache lookup
+        # never re-hashes a long tuple.  Cleared together with the caches.
+        self._cube_intern: Dict[Tuple[int, ...], int] = {}
+        self._tag_intern: Dict[Tuple, int] = {}
+        # Health counters.
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._reorder_runs = 0
+        self._sift_swaps = 0
+        self.auto_reorder_threshold = auto_reorder_threshold
 
     # -- node table ----------------------------------------------------------
 
     def __len__(self) -> int:
-        """The total number of allocated nodes (including the two terminals)."""
-        return len(self._nodes)
+        """The number of live nodes (including the terminal)."""
+        return self._live
 
-    def level_of(self, node: int) -> int:
-        """The level tested at ``node`` (``TERMINAL_LEVEL`` for the terminals)."""
-        return self._nodes[node][0]
+    @property
+    def num_vars(self) -> int:
+        """The number of variables the manager knows about."""
+        return len(self._var2level)
 
-    def low_of(self, node: int) -> int:
-        """The low (level-false) cofactor edge of ``node``."""
-        return self._nodes[node][1]
+    def var_of(self, edge: int) -> int:
+        """The variable tested at ``edge``'s node (``-1`` for the terminal)."""
+        return self._varr[edge >> 1]
 
-    def high_of(self, node: int) -> int:
-        """The high (level-true) cofactor edge of ``node``."""
-        return self._nodes[node][2]
+    def level_of(self, edge: int) -> int:
+        """The current level of ``edge``'s node (``TERMINAL_LEVEL`` for terminals)."""
+        return self._lvl[edge >> 1]
 
-    def _mk(self, level: int, low: int, high: int) -> int:
-        """Hash-consed node constructor enforcing both ROBDD reduction rules."""
-        if low == high:
-            return low
-        key = (level, low, high)
-        node = self._unique.get(key)
+    def low_of(self, edge: int) -> int:
+        """The low (else) cofactor edge, with ``edge``'s complement applied."""
+        return self._lo[edge >> 1] ^ (edge & 1)
+
+    def high_of(self, edge: int) -> int:
+        """The high (then) cofactor edge, with ``edge``'s complement applied."""
+        return self._hi[edge >> 1] ^ (edge & 1)
+
+    def _ensure_var(self, var: int) -> None:
+        if var < 0 or var >= TERMINAL_LEVEL:
+            raise BDDError("variable id %r out of range" % (var,))
+        while len(self._var2level) <= var:
+            fresh = len(self._var2level)
+            self._var2level.append(fresh)
+            self._level2var.append(fresh)
+            self._subtables.append({})
+            self._blocks.append([fresh])
+
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        """Hash-consed node constructor enforcing the canonical form.
+
+        Both reduction rules plus the complement-edge rule: a node's high
+        edge is always regular; a complemented high edge flips both children
+        and the returned edge instead.
+        """
+        if lo == hi:
+            return lo
+        flip = hi & 1
+        if flip:
+            lo ^= 1
+            hi ^= 1
+        table = self._subtables[var]
+        key = (lo, hi)
+        node = table.get(key)
         if node is None:
-            self._nodes.append(key)
-            node = len(self._nodes) - 1
-            self._unique[key] = node
-        return node
+            free = self._free
+            if free:
+                node = free.pop()
+                self._varr[node] = var
+                self._lo[node] = lo
+                self._hi[node] = hi
+                self._ref[node] = 0
+                self._lvl[node] = self._var2level[var]
+            else:
+                node = len(self._varr)
+                self._varr.append(var)
+                self._lo.append(lo)
+                self._hi.append(hi)
+                self._ref.append(0)
+                self._lvl.append(self._var2level[var])
+            table[key] = node
+            self._ref[lo >> 1] += 1
+            self._ref[hi >> 1] += 1
+            self._live += 1
+            if self._live > self._peak:
+                self._peak = self._live
+        return node << 1 | flip
 
-    def var(self, level: int) -> int:
-        """The single-variable function that is true iff ``level`` is true."""
-        if level < 0 or level >= TERMINAL_LEVEL:
-            raise BDDError("variable level %r out of range" % (level,))
-        return self._mk(level, 0, 1)
+    def var(self, var: int) -> int:
+        """The single-variable function that is true iff ``var`` is true."""
+        self._ensure_var(var)
+        return self._mk(var, 0, 1)
 
-    def nvar(self, level: int) -> int:
-        """The single-variable function that is true iff ``level`` is false."""
-        if level < 0 or level >= TERMINAL_LEVEL:
-            raise BDDError("variable level %r out of range" % (level,))
-        return self._mk(level, 1, 0)
+    def nvar(self, var: int) -> int:
+        """The single-variable function that is true iff ``var`` is false."""
+        return self.var(var) ^ 1
 
     def cube(self, literals: Mapping[int, bool]) -> int:
-        """The conjunction of literals ``{level: polarity}`` (a minterm over its keys)."""
+        """The conjunction of literals ``{var: polarity}`` (a minterm over its keys)."""
+        for var in literals:
+            self._ensure_var(var)
+        self._maybe_reorder()
+        v2l = self._var2level
         result = 1
-        for level in sorted(literals, reverse=True):
-            if literals[level]:
-                result = self._mk(level, 0, result)
+        for var in sorted(literals, key=v2l.__getitem__, reverse=True):
+            if literals[var]:
+                result = self._mk(var, 0, result)
             else:
-                result = self._mk(level, result, 0)
+                result = self._mk(var, result, 0)
         return result
 
-    # -- binary connectives ----------------------------------------------------
+    # -- reference counting ------------------------------------------------------
+
+    def incref(self, edge: int) -> int:
+        """Register one external reference to ``edge``'s node; returns ``edge``."""
+        node = edge >> 1
+        if node:
+            external = self._external
+            external[node] = external.get(node, 0) + 1
+        return edge
+
+    def decref(self, edge: int) -> None:
+        """Drop one external reference previously registered with :meth:`incref`."""
+        node = edge >> 1
+        if node:
+            external = self._external
+            count = external.get(node, 0)
+            if count <= 1:
+                external.pop(node, None)
+            else:
+                external[node] = count - 1
+
+    # -- the unified ITE core ----------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else ``(f ∧ g) ∨ (¬f ∧ h)`` — the one connective all others use."""
+        self._maybe_reorder()
+        return self._ite(f, g, h)
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        """Iterative (explicit-stack) normalized ITE.
+
+        Frames: ``(0, f, g, h)`` evaluates a subproblem; ``(1, var, key,
+        flip)`` pops the two child results, builds the node, and memoizes.
+        Normalization forces a regular ``f`` (swapping the branches) and a
+        regular then-branch (complementing the output), so equivalent calls
+        share one entry in the single operation cache.
+        """
+        cache = self._ite_cache
+        data = cache.data
+        lvl = self._lvl
+        lo_ = self._lo
+        hi_ = self._hi
+        l2v = self._level2var
+        tasks = [(0, f, g, h)]
+        push = tasks.append
+        results: List[int] = []
+        rpush = results.append
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == 0:
+                f, g, h = frame[1], frame[2], frame[3]
+                # Terminal and absorption cases.
+                if f < 2:
+                    rpush(g if f else h)
+                    continue
+                if g == h:
+                    rpush(g)
+                    continue
+                if f & 1:
+                    f ^= 1
+                    g, h = h, g
+                nf = f ^ 1
+                if g == f:
+                    g = 1
+                elif g == nf:
+                    g = 0
+                if h == f:
+                    h = 0
+                elif h == nf:
+                    h = 1
+                if g == h:
+                    rpush(g)
+                    continue
+                if g == 1 and h == 0:
+                    rpush(f)
+                    continue
+                if g == 0 and h == 1:
+                    rpush(nf)
+                    continue
+                flip = g & 1
+                if flip:
+                    g ^= 1
+                    h ^= 1
+                if h == 0 and g < f:  # conjunction commutes
+                    f, g = g, f
+                key = (f, g, h)
+                r = data.get(key)
+                if r is not None:
+                    cache.hits += 1
+                    rpush(r ^ flip)
+                    continue
+                cache.misses += 1
+                fn = f >> 1
+                gn = g >> 1
+                hn = h >> 1
+                fl = lvl[fn]
+                gl = lvl[gn]
+                hl = lvl[hn]
+                top = fl
+                if gl < top:
+                    top = gl
+                if hl < top:
+                    top = hl
+                if fl == top:
+                    f1 = hi_[fn]  # f is regular here
+                    f0 = lo_[fn]
+                else:
+                    f1 = f0 = f
+                if gl == top:
+                    c = g & 1
+                    g1 = hi_[gn] ^ c
+                    g0 = lo_[gn] ^ c
+                else:
+                    g1 = g0 = g
+                if hl == top:
+                    c = h & 1
+                    h1 = hi_[hn] ^ c
+                    h0 = lo_[hn] ^ c
+                else:
+                    h1 = h0 = h
+                push((1, l2v[top], key, flip))
+                push((0, f0, g0, h0))
+                push((0, f1, g1, h1))
+            else:
+                r0 = results.pop()  # low branch (evaluated second)
+                r1 = results.pop()  # high branch (evaluated first)
+                r = self._mk(frame[1], r0, r1)
+                cache.room()
+                data[frame[2]] = r
+                rpush(r ^ frame[3])
+        return results[-1]
+
+    # -- binary connectives (all ITE) ---------------------------------------------
+
+    def negate(self, u: int) -> int:
+        """Complement ``¬u`` — an O(1) pointer flip under complement edges."""
+        return u ^ 1
 
     def apply_and(self, u: int, v: int) -> int:
         """Conjunction ``u ∧ v``."""
@@ -138,26 +487,8 @@ class BDDManager:
             return v
         if v == 1:
             return u
-        if u > v:
-            u, v = v, u
-        cache = self._and_cache
-        key = (u, v)
-        result = cache.get(key)
-        if result is not None:
-            self.apply_cache_hits += 1
-            return result
-        self.apply_cache_misses += 1
-        nodes = self._nodes
-        ulevel, ulow, uhigh = nodes[u]
-        vlevel, vlow, vhigh = nodes[v]
-        if ulevel == vlevel:
-            result = self._mk(ulevel, self.apply_and(ulow, vlow), self.apply_and(uhigh, vhigh))
-        elif ulevel < vlevel:
-            result = self._mk(ulevel, self.apply_and(ulow, v), self.apply_and(uhigh, v))
-        else:
-            result = self._mk(vlevel, self.apply_and(u, vlow), self.apply_and(u, vhigh))
-        cache[key] = result
-        return result
+        self._maybe_reorder()
+        return self._ite(u, v, 0)
 
     def apply_or(self, u: int, v: int) -> int:
         """Disjunction ``u ∨ v``."""
@@ -169,59 +500,15 @@ class BDDManager:
             return v
         if v == 0:
             return u
-        if u > v:
-            u, v = v, u
-        cache = self._or_cache
-        key = (u, v)
-        result = cache.get(key)
-        if result is not None:
-            self.apply_cache_hits += 1
-            return result
-        self.apply_cache_misses += 1
-        nodes = self._nodes
-        ulevel, ulow, uhigh = nodes[u]
-        vlevel, vlow, vhigh = nodes[v]
-        if ulevel == vlevel:
-            result = self._mk(ulevel, self.apply_or(ulow, vlow), self.apply_or(uhigh, vhigh))
-        elif ulevel < vlevel:
-            result = self._mk(ulevel, self.apply_or(ulow, v), self.apply_or(uhigh, v))
-        else:
-            result = self._mk(vlevel, self.apply_or(u, vlow), self.apply_or(u, vhigh))
-        cache[key] = result
-        return result
+        self._maybe_reorder()
+        return self._ite(u, 1, v)
 
     def apply_xor(self, u: int, v: int) -> int:
         """Exclusive disjunction ``u ⊕ v``."""
         if u == v:
             return 0
-        if u == 0:
-            return v
-        if v == 0:
-            return u
-        if u == 1:
-            return self.negate(v)
-        if v == 1:
-            return self.negate(u)
-        if u > v:
-            u, v = v, u
-        cache = self._xor_cache
-        key = (u, v)
-        result = cache.get(key)
-        if result is not None:
-            self.apply_cache_hits += 1
-            return result
-        self.apply_cache_misses += 1
-        nodes = self._nodes
-        ulevel, ulow, uhigh = nodes[u]
-        vlevel, vlow, vhigh = nodes[v]
-        if ulevel == vlevel:
-            result = self._mk(ulevel, self.apply_xor(ulow, vlow), self.apply_xor(uhigh, vhigh))
-        elif ulevel < vlevel:
-            result = self._mk(ulevel, self.apply_xor(ulow, v), self.apply_xor(uhigh, v))
-        else:
-            result = self._mk(vlevel, self.apply_xor(u, vlow), self.apply_xor(u, vhigh))
-        cache[key] = result
-        return result
+        self._maybe_reorder()
+        return self._ite(u, v ^ 1, v)
 
     def apply(self, op: str, u: int, v: int) -> int:
         """Dispatch a named binary connective (``and``/``or``/``xor``/``diff``/``imp``/``iff``)."""
@@ -232,339 +519,855 @@ class BDDManager:
         if op == "xor":
             return self.apply_xor(u, v)
         if op == "diff":
-            return self.apply_and(u, self.negate(v))
+            return self.apply_and(u, v ^ 1)
         if op == "imp":
-            return self.apply_or(self.negate(u), v)
+            return self.apply_or(u ^ 1, v)
         if op == "iff":
-            return self.negate(self.apply_xor(u, v))
+            return self.apply_xor(u, v) ^ 1
         raise BDDError("unknown apply operation %r" % (op,))
-
-    def negate(self, u: int) -> int:
-        """Complement ``¬u``."""
-        if u < 2:
-            return 1 - u
-        cache = self._not_cache
-        result = cache.get(u)
-        if result is not None:
-            return result
-        level, low, high = self._nodes[u]
-        result = self._mk(level, self.negate(low), self.negate(high))
-        cache[u] = result
-        cache[result] = u
-        return result
-
-    def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``(f ∧ g) ∨ (¬f ∧ h)``."""
-        if f == 1:
-            return g
-        if f == 0:
-            return h
-        if g == h:
-            return g
-        if g == 1 and h == 0:
-            return f
-        if g == 0 and h == 1:
-            return self.negate(f)
-        cache = self._ite_cache
-        key = (f, g, h)
-        result = cache.get(key)
-        if result is not None:
-            return result
-        nodes = self._nodes
-        top = min(nodes[f][0], nodes[g][0], nodes[h][0])
-        f0, f1 = self._cofactors(f, top)
-        g0, g1 = self._cofactors(g, top)
-        h0, h1 = self._cofactors(h, top)
-        result = self._mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        cache[key] = result
-        return result
-
-    def _cofactors(self, u: int, level: int) -> Tuple[int, int]:
-        ulevel, low, high = self._nodes[u]
-        if ulevel != level:
-            return u, u
-        return low, high
 
     # -- restriction and quantification ---------------------------------------
 
-    def restrict(self, u: int, level: int, value: bool) -> int:
-        """The cofactor ``u[level := value]``."""
-        if u < 2:
-            return u
-        ulevel, low, high = self._nodes[u]
-        if ulevel > level:
-            return u
-        if ulevel == level:
-            return high if value else low
-        key = (u, level, int(value))
+    def restrict(self, u: int, var: int, value: bool) -> int:
+        """The cofactor ``u[var := value]`` (explicit-stack walk)."""
+        self._ensure_var(var)
+        self._maybe_reorder()
+        target = self._var2level[var]
+        branch = 2 if value else 1  # index into (lo, hi) selection below
         cache = self._restrict_cache
-        result = cache.get(key)
-        if result is not None:
-            return result
-        result = self._mk(
-            ulevel, self.restrict(low, level, value), self.restrict(high, level, value)
-        )
-        cache[key] = result
-        return result
-
-    def _cube_levels(self, levels: Iterable[int]) -> Tuple[int, ...]:
-        return tuple(sorted(set(levels)))
-
-    def exists(self, u: int, levels: Iterable[int]) -> int:
-        """Existential quantification ``∃ levels . u``."""
-        return self._exists(u, self._cube_levels(levels))
-
-    def _exists(self, u: int, cube: Tuple[int, ...]) -> int:
-        if u < 2 or not cube:
-            return u
-        ulevel, low, high = self._nodes[u]
-        start = 0
-        while start < len(cube) and cube[start] < ulevel:
-            start += 1
-        if start:
-            cube = cube[start:]
-        if not cube:
-            return u
-        key = (u, cube)
-        cache = self._exists_cache
-        result = cache.get(key)
-        if result is not None:
-            return result
-        if ulevel == cube[0]:
-            rest = cube[1:]
-            result = self.apply_or(self._exists(low, rest), self._exists(high, rest))
-        else:
-            result = self._mk(ulevel, self._exists(low, cube), self._exists(high, cube))
-        cache[key] = result
-        return result
-
-    def forall(self, u: int, levels: Iterable[int]) -> int:
-        """Universal quantification ``∀ levels . u`` (the dual of :meth:`exists`)."""
-        return self.negate(self.exists(self.negate(u), levels))
-
-    def relprod(self, u: int, v: int, levels: Iterable[int]) -> int:
-        """The relational product ``∃ levels . (u ∧ v)``, fused.
-
-        Conjunction and quantification are interleaved in one recursion, so
-        quantified variables are eliminated as soon as both operands have
-        branched on them and the (often much larger) intermediate ``u ∧ v``
-        is never materialised.  This is the workhorse of symbolic image and
-        pre-image computation.
-        """
-        return self._relprod(u, v, self._cube_levels(levels))
-
-    def _relprod(self, u: int, v: int, cube: Tuple[int, ...]) -> int:
-        if u == 0 or v == 0:
-            return 0
-        if not cube:
-            return self.apply_and(u, v)
-        if u == 1:
-            return self._exists(v, cube)
-        if v == 1:
-            return self._exists(u, cube)
-        if u > v:
-            u, v = v, u
-        nodes = self._nodes
-        top = min(nodes[u][0], nodes[v][0])
-        start = 0
-        while start < len(cube) and cube[start] < top:
-            start += 1
-        if start:
-            cube = cube[start:]
-        if not cube:
-            return self.apply_and(u, v)
-        key = (u, v, cube)
-        cache = self._relprod_cache
-        result = cache.get(key)
-        if result is not None:
-            return result
-        u0, u1 = self._cofactors(u, top)
-        v0, v1 = self._cofactors(v, top)
-        if cube[0] == top:
-            rest = cube[1:]
-            low = self._relprod(u0, v0, rest)
-            if low == 1:
-                result = 1
+        data = cache.data
+        lvl = self._lvl
+        lo_ = self._lo
+        hi_ = self._hi
+        l2v = self._level2var
+        tasks: List[Tuple] = [(0, u)]
+        results: List[int] = []
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == 0:
+                e = frame[1]
+                n = e >> 1
+                el = lvl[n]
+                if el > target:  # includes the terminal
+                    results.append(e)
+                    continue
+                c = e & 1
+                if el == target:
+                    results.append((hi_[n] if branch == 2 else lo_[n]) ^ c)
+                    continue
+                key = (n, target, branch)
+                r = data.get(key)
+                if r is not None:
+                    cache.hits += 1
+                    results.append(r ^ c)
+                    continue
+                cache.misses += 1
+                tasks.append((1, l2v[el], key, c))
+                tasks.append((0, lo_[n]))
+                tasks.append((0, hi_[n]))
             else:
-                result = self.apply_or(low, self._relprod(u1, v1, rest))
-        else:
-            result = self._mk(top, self._relprod(u0, v0, cube), self._relprod(u1, v1, cube))
-        cache[key] = result
-        return result
+                r0 = results.pop()
+                r1 = results.pop()
+                r = self._mk(frame[1], r0, r1)
+                cache.room()
+                data[frame[2]] = r
+                results.append(r ^ frame[3])
+        return results[-1]
+
+    def _level_cube(self, variables: Iterable[int]) -> Tuple[Tuple[int, ...], int]:
+        """Normalize a variable set into sorted *current* levels plus a dense id."""
+        unique = set(variables)
+        for var in unique:
+            self._ensure_var(var)
+        v2l = self._var2level
+        cube = tuple(sorted(v2l[var] for var in unique))
+        intern = self._cube_intern
+        cube_id = intern.get(cube)
+        if cube_id is None:
+            cube_id = len(intern)
+            intern[cube] = cube_id
+        return cube, cube_id
+
+    def exists(self, u: int, variables: Iterable[int]) -> int:
+        """Existential quantification ``∃ variables . u``."""
+        self._maybe_reorder()
+        cube, cube_id = self._level_cube(variables)
+        return self._exists(u, cube, cube_id, 0)
+
+    def forall(self, u: int, variables: Iterable[int]) -> int:
+        """Universal quantification ``∀ variables . u`` (the dual of :meth:`exists`)."""
+        self._maybe_reorder()
+        cube, cube_id = self._level_cube(variables)
+        return self._exists(u ^ 1, cube, cube_id, 0) ^ 1
+
+    def _exists(self, u: int, cube: Tuple[int, ...], cube_id: int, start: int) -> int:
+        """Iterative existential quantification over a level cube.
+
+        Frames: ``(0, e, i)`` evaluate; ``(1, high, i, key)`` inspect the low
+        result of a quantified level (shortcutting on true); ``(2, var,
+        key)`` rebuild an unquantified level; ``(3, low, key)`` OR-combine.
+        """
+        ncube = len(cube)
+        cache = self._exists_cache
+        data = cache.data
+        lvl = self._lvl
+        lo_ = self._lo
+        hi_ = self._hi
+        l2v = self._level2var
+        tasks: List[Tuple] = [(0, u, start)]
+        results: List[int] = []
+        while tasks:
+            frame = tasks.pop()
+            tag = frame[0]
+            if tag == 0:
+                e, i = frame[1], frame[2]
+                if e < 2:
+                    results.append(e)
+                    continue
+                n = e >> 1
+                el = lvl[n]
+                while i < ncube and cube[i] < el:
+                    i += 1
+                if i == ncube:
+                    results.append(e)
+                    continue
+                key = (e, cube_id, i)
+                r = data.get(key)
+                if r is not None:
+                    cache.hits += 1
+                    results.append(r)
+                    continue
+                cache.misses += 1
+                c = e & 1
+                low = lo_[n] ^ c
+                high = hi_[n] ^ c
+                if cube[i] == el:
+                    tasks.append((1, high, i + 1, key))
+                    tasks.append((0, low, i + 1))
+                else:
+                    tasks.append((2, l2v[el], key))
+                    tasks.append((0, low, i))
+                    tasks.append((0, high, i))
+            elif tag == 1:
+                rl = results.pop()
+                key = frame[3]
+                if rl == 1:
+                    cache.room()
+                    data[key] = 1
+                    results.append(1)
+                else:
+                    tasks.append((3, rl, key))
+                    tasks.append((0, frame[1], frame[2]))
+            elif tag == 2:
+                rl = results.pop()
+                rh = results.pop()
+                r = self._mk(frame[1], rl, rh)
+                cache.room()
+                data[frame[2]] = r
+                results.append(r)
+            else:
+                rh = results.pop()
+                r = self._ite(frame[1], 1, rh)
+                cache.room()
+                data[frame[2]] = r
+                results.append(r)
+        return results[-1]
+
+    def relprod(self, u: int, v: int, variables: Iterable[int]) -> int:
+        """The relational product ``∃ variables . (u ∧ v)``, fused.
+
+        Conjunction and quantification are interleaved in one explicit-stack
+        walk, so quantified variables are eliminated as soon as both operands
+        have branched on them and the (often much larger) intermediate
+        ``u ∧ v`` is never materialised.  This is the workhorse of clustered
+        image and pre-image computation.
+        """
+        self._maybe_reorder()
+        cube, cube_id = self._level_cube(variables)
+        return self._relprod(u, v, cube, cube_id, 0)
+
+    def _relprod(
+        self, u: int, v: int, cube: Tuple[int, ...], cube_id: int, start: int
+    ) -> int:
+        ncube = len(cube)
+        cache = self._relprod_cache
+        data = cache.data
+        lvl = self._lvl
+        lo_ = self._lo
+        hi_ = self._hi
+        l2v = self._level2var
+        tasks: List[Tuple] = [(0, u, v, start)]
+        results: List[int] = []
+        while tasks:
+            frame = tasks.pop()
+            tag = frame[0]
+            if tag == 0:
+                u, v, i = frame[1], frame[2], frame[3]
+                if u == 0 or v == 0:
+                    results.append(0)
+                    continue
+                if u == 1:
+                    results.append(self._exists(v, cube, cube_id, i))
+                    continue
+                if v == 1:
+                    results.append(self._exists(u, cube, cube_id, i))
+                    continue
+                if u > v:
+                    u, v = v, u
+                un = u >> 1
+                vn = v >> 1
+                ul = lvl[un]
+                vl = lvl[vn]
+                top = ul if ul < vl else vl
+                while i < ncube and cube[i] < top:
+                    i += 1
+                if i == ncube:
+                    results.append(self._ite(u, v, 0))
+                    continue
+                key = (u, v, cube_id, i)
+                r = data.get(key)
+                if r is not None:
+                    cache.hits += 1
+                    results.append(r)
+                    continue
+                cache.misses += 1
+                if ul == top:
+                    c = u & 1
+                    u1 = hi_[un] ^ c
+                    u0 = lo_[un] ^ c
+                else:
+                    u1 = u0 = u
+                if vl == top:
+                    c = v & 1
+                    v1 = hi_[vn] ^ c
+                    v0 = lo_[vn] ^ c
+                else:
+                    v1 = v0 = v
+                if cube[i] == top:
+                    tasks.append((1, u1, v1, i + 1, key))
+                    tasks.append((0, u0, v0, i + 1))
+                else:
+                    tasks.append((2, l2v[top], key))
+                    tasks.append((0, u0, v0, i))
+                    tasks.append((0, u1, v1, i))
+            elif tag == 1:
+                rl = results.pop()
+                key = frame[4]
+                if rl == 1:
+                    cache.room()
+                    data[key] = 1
+                    results.append(1)
+                else:
+                    tasks.append((3, rl, key))
+                    tasks.append((0, frame[1], frame[2], frame[3]))
+            elif tag == 2:
+                rl = results.pop()
+                rh = results.pop()
+                r = self._mk(frame[1], rl, rh)
+                cache.room()
+                data[frame[2]] = r
+                results.append(r)
+            else:
+                rh = results.pop()
+                r = self._ite(frame[1], 1, rh)
+                cache.room()
+                data[frame[2]] = r
+                results.append(r)
+        return results[-1]
 
     # -- renaming ---------------------------------------------------------------
 
     def rename(self, u: int, mapping: Mapping[int, int], tag: object = None) -> int:
-        """Substitute variables per ``mapping`` (level → level).
+        """Substitute variables per ``mapping`` (var → var).
 
-        The mapping must be strictly order-preserving on the operand's support
-        (``a < b`` implies ``mapping[a] < mapping[b]``, with unmapped levels
-        keeping their place), so the rename is a single structural walk rather
-        than a general composition.  Violations — including ones involving
-        *unmapped* support levels — are detected during the walk and raise
-        :class:`~repro.errors.BDDError` rather than producing an unordered
-        diagram.  The current↔next shifts used by the symbolic Kripke encoding
-        satisfy the requirement by construction.  ``tag``, when given,
-        identifies the mapping in the memo cache; callers renaming with the
-        same mapping repeatedly should pass a stable tag.
+        The mapping must be strictly order-preserving on the operand's
+        support under the *current* level order (with unmapped variables
+        keeping their place), so the rename is a single structural walk
+        rather than a general composition; violations — including ones
+        involving unmapped support variables — are detected during the walk.
+        Cache entries are keyed by a canonical ``tuple(sorted(mapping.items()))``
+        derived from the mapping's content, so semantically identical
+        renamings share entries regardless of the mapping object identity
+        (``tag`` is accepted for backwards compatibility and ignored).
         """
-        if tag is None:
-            tag = tuple(sorted(mapping.items()))
-        items = sorted(mapping.items())
-        for (a, fa), (b, fb) in zip(items, items[1:]):
-            if fa >= fb:
+        for var, target in mapping.items():
+            self._ensure_var(var)
+            self._ensure_var(target)
+        self._maybe_reorder()
+        canonical = tuple(sorted(mapping.items()))
+        intern = self._tag_intern
+        tag_id = intern.get(canonical)
+        if tag_id is None:
+            tag_id = len(intern)
+            intern[canonical] = tag_id
+        v2l = self._var2level
+        items = sorted(mapping.items(), key=lambda item: v2l[item[0]])
+        for (_, fa), (_, fb) in zip(items, items[1:]):
+            if v2l[fa] >= v2l[fb]:
                 raise BDDError(
-                    "rename mapping is not order-preserving: %r -> %r but %r -> %r"
-                    % (a, fa, b, fb)
+                    "rename mapping is not order-preserving under the current "
+                    "variable order: %r" % (dict(mapping),)
                 )
-        return self._rename(u, mapping, tag)
+        return self._rename(u, dict(mapping), tag_id)
 
-    def _rename(self, u: int, mapping: Mapping[int, int], tag: object) -> int:
-        if u < 2:
-            return u
-        key = (tag, u)
+    def _rename(self, u: int, mapping: Dict[int, int], tag: int) -> int:
         cache = self._rename_cache
-        result = cache.get(key)
-        if result is not None:
-            return result
-        nodes = self._nodes
-        level, low, high = nodes[u]
-        new_level = mapping.get(level, level)
-        new_low = self._rename(low, mapping, tag)
-        new_high = self._rename(high, mapping, tag)
-        # The renamed children are ordered by induction; the parent must stay
-        # strictly above them or the mapping interleaves mapped and unmapped
-        # levels — a silent ordering violation without this check.
-        if new_level >= min(nodes[new_low][0], nodes[new_high][0]):
-            raise BDDError(
-                "rename mapping is not order-preserving on the support: level %d "
-                "maps to %d, at or below a renamed child" % (level, new_level)
-            )
-        result = self._mk(new_level, new_low, new_high)
-        cache[key] = result
-        return result
+        data = cache.data
+        varr = self._varr
+        lo_ = self._lo
+        hi_ = self._hi
+        lvl = self._lvl
+        v2l = self._var2level
+        tasks: List[Tuple] = [(0, u)]
+        results: List[int] = []
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == 0:
+                e = frame[1]
+                n = e >> 1
+                if n == 0:
+                    results.append(e)
+                    continue
+                c = e & 1
+                key = (tag, n)
+                r = data.get(key)
+                if r is not None:
+                    cache.hits += 1
+                    results.append(r ^ c)
+                    continue
+                cache.misses += 1
+                var = varr[n]
+                tasks.append((1, mapping.get(var, var), key, c))
+                tasks.append((0, lo_[n]))
+                tasks.append((0, hi_[n]))
+            else:
+                rl = results.pop()
+                rh = results.pop()
+                new_var = frame[1]
+                new_level = v2l[new_var]
+                child_top = lvl[rl >> 1]
+                other = lvl[rh >> 1]
+                if other < child_top:
+                    child_top = other
+                if new_level >= child_top:
+                    raise BDDError(
+                        "rename mapping is not order-preserving on the support: "
+                        "variable %d maps at or below a renamed child" % (new_var,)
+                    )
+                r = self._mk(new_var, rl, rh)
+                cache.room()
+                data[frame[2]] = r
+                results.append(r ^ frame[3])
+        return results[-1]
 
     # -- inspection --------------------------------------------------------------
 
     def evaluate(self, u: int, assignment: Mapping[int, bool]) -> bool:
-        """Evaluate ``u`` under a (total enough) truth assignment ``{level: value}``."""
-        nodes = self._nodes
+        """Evaluate ``u`` under a (total enough) truth assignment ``{var: value}``."""
+        varr = self._varr
+        lo_ = self._lo
+        hi_ = self._hi
         while u >= 2:
-            level, low, high = nodes[u]
+            n = u >> 1
             try:
-                u = high if assignment[level] else low
+                branch = assignment[varr[n]]
             except KeyError:
                 raise BDDError(
-                    "assignment does not cover level %d in the function's support" % level
+                    "assignment does not cover variable %d in the function's support"
+                    % varr[n]
                 ) from None
+            u = (hi_[n] if branch else lo_[n]) ^ (u & 1)
         return u == 1
 
     def support(self, u: int) -> frozenset:
-        """The set of levels the function actually depends on."""
+        """The set of variables the function actually depends on."""
         seen = set()
-        levels = set()
-        stack = [u]
-        nodes = self._nodes
+        variables = set()
+        stack = [u >> 1]
+        varr = self._varr
+        lo_ = self._lo
+        hi_ = self._hi
         while stack:
             node = stack.pop()
-            if node < 2 or node in seen:
+            if not node or node in seen:
                 continue
             seen.add(node)
-            level, low, high = nodes[node]
-            levels.add(level)
-            stack.append(low)
-            stack.append(high)
-        return frozenset(levels)
+            variables.add(varr[node])
+            stack.append(lo_[node] >> 1)
+            stack.append(hi_[node] >> 1)
+        return frozenset(variables)
 
     def node_count(self, u: int) -> int:
         """The number of internal (non-terminal) nodes reachable from ``u``."""
         seen = set()
-        stack = [u]
-        nodes = self._nodes
+        stack = [u >> 1]
+        lo_ = self._lo
+        hi_ = self._hi
         while stack:
             node = stack.pop()
-            if node < 2 or node in seen:
+            if not node or node in seen:
                 continue
             seen.add(node)
-            _, low, high = nodes[node]
-            stack.append(low)
-            stack.append(high)
+            stack.append(lo_[node] >> 1)
+            stack.append(hi_[node] >> 1)
         return len(seen)
 
-    def sat_count(self, u: int, levels: Iterable[int]) -> int:
-        """The number of satisfying assignments over the variable set ``levels``.
+    def sat_count(self, u: int, variables: Iterable[int]) -> int:
+        """The number of satisfying assignments over the variable set ``variables``.
 
-        ``levels`` must cover the function's support; variables in ``levels``
+        ``variables`` must cover the function's support; variables in the set
         that the function does not test double the count (the usual minterm
-        weighting).  This is how the symbolic engine reports state-space sizes
-        without ever enumerating states.
+        weighting).  Complemented edges count as ``2^k - count(node)`` over
+        the remaining variables, so no negation is ever materialised.
         """
-        cube = self._cube_levels(levels)
-        position = {level: i for i, level in enumerate(cube)}
+        cube, _ = self._level_cube(variables)
         total = len(cube)
-        nodes = self._nodes
-        memo: Dict[int, int] = {0: 0, 1: 1}
+        position = {level: i for i, level in enumerate(cube)}
+        lvl = self._lvl
+        lo_ = self._lo
+        hi_ = self._hi
+        counts: Dict[int, int] = {0: 0}
 
-        def pos(node: int) -> int:
-            if node < 2:
+        def pos_of(node: int) -> int:
+            if not node:
                 return total
-            level = nodes[node][0]
             try:
-                return position[level]
+                return position[lvl[node]]
             except KeyError:
                 raise BDDError(
-                    "sat_count variable set does not cover support level %d" % level
+                    "sat_count variable set does not cover support variable %d"
+                    % self._varr[node]
                 ) from None
 
-        def count(node: int) -> int:
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
-            level, low, high = nodes[node]
-            here = pos(node)
-            result = count(low) << (pos(low) - here - 1)
-            result += count(high) << (pos(high) - here - 1)
-            memo[node] = result
-            return result
+        # Iterative post-order: compute counts children-first.
+        stack = [u >> 1]
+        while stack:
+            node = stack[-1]
+            if node in counts:
+                stack.pop()
+                continue
+            ln = lo_[node] >> 1
+            hn = hi_[node] >> 1
+            pending = False
+            if ln not in counts:
+                stack.append(ln)
+                pending = True
+            if hn not in counts:
+                stack.append(hn)
+                pending = True
+            if pending:
+                continue
+            stack.pop()
+            here = pos_of(node)
+            result = 0
+            for edge in (lo_[node], hi_[node]):
+                child = edge >> 1
+                p = pos_of(child)
+                base = counts[child]
+                if edge & 1:
+                    base = (1 << (total - p)) - base
+                result += base << (p - here - 1)
+            counts[node] = result
 
-        return count(u) << pos(u)
+        node = u >> 1
+        p = pos_of(node)
+        base = counts[node]
+        if u & 1:
+            base = (1 << (total - p)) - base
+        return base << p
 
-    def iter_models(self, u: int, levels: Iterable[int]) -> Iterator[Dict[int, bool]]:
-        """Yield every satisfying assignment of ``u`` over ``levels`` as a dict.
+    def iter_models(self, u: int, variables: Iterable[int]) -> Iterator[Dict[int, bool]]:
+        """Yield every satisfying assignment of ``u`` over ``variables`` as a dict.
 
         Intended for decoding *small* satisfying sets (tests, examples); the
         scalable counterpart is :meth:`sat_count`.
         """
-        cube = self._cube_levels(levels)
+        for var in set(variables):
+            self._ensure_var(var)
+        v2l = self._var2level
+        order = sorted(set(variables), key=v2l.__getitem__)
         support = self.support(u)
-        if not support <= set(cube):
+        if not support <= set(order):
             raise BDDError(
-                "iter_models variable set does not cover support levels %s"
-                % sorted(support - set(cube))
+                "iter_models variable set does not cover support variables %s"
+                % sorted(support - set(order))
             )
-        nodes = self._nodes
+        lvl = self._lvl
+        lo_ = self._lo
+        hi_ = self._hi
 
-        def rec(node: int, index: int) -> Iterator[Dict[int, bool]]:
-            if node == 0:
+        def rec(e: int, index: int) -> Iterator[Dict[int, bool]]:
+            if e == 0:
                 return
-            if index == len(cube):
+            if index == len(order):
                 yield {}
                 return
-            level = cube[index]
-            if node >= 2 and nodes[node][0] == level:
-                _, low, high = nodes[node]
-                for model in rec(low, index + 1):
-                    model[level] = False
+            var = order[index]
+            n = e >> 1
+            if n and lvl[n] == v2l[var]:
+                c = e & 1
+                for model in rec(lo_[n] ^ c, index + 1):
+                    model[var] = False
                     yield model
-                for model in rec(high, index + 1):
-                    model[level] = True
+                for model in rec(hi_[n] ^ c, index + 1):
+                    model[var] = True
                     yield model
             else:
-                for model in rec(node, index + 1):
+                for model in rec(e, index + 1):
                     positive = dict(model)
-                    model[level] = False
+                    model[var] = False
                     yield model
-                    positive[level] = True
+                    positive[var] = True
                     yield positive
 
         return rec(u, 0)
+
+    # -- caches and garbage collection ---------------------------------------------
+
+    def clear_caches(self) -> int:
+        """Drop every operation-cache entry; returns the number dropped.
+
+        The cube/tag interning tables are dropped too — their ids are
+        embedded in (now gone) cache keys and their content is order-
+        dependent.
+        """
+        dropped = sum(cache.clear() for cache in self._caches)
+        self._cube_intern.clear()
+        self._tag_intern.clear()
+        return dropped
+
+    def collect(self) -> int:
+        """Mark-and-sweep garbage collection of the unique table.
+
+        Operation caches are cleared first (they reference nodes without
+        keeping them alive); the closure of the externally referenced nodes
+        is marked; everything unmarked is freed and its slot recycled.
+        Returns the number of nodes reclaimed.
+        """
+        self.clear_caches()
+        lo_ = self._lo
+        hi_ = self._hi
+        marked = bytearray(len(self._varr))
+        marked[0] = 1
+        stack = [node for node in self._external if self._varr[node] >= 0]
+        for node in stack:
+            marked[node] = 1
+        while stack:
+            node = stack.pop()
+            for child in (lo_[node] >> 1, hi_[node] >> 1):
+                if not marked[child]:
+                    marked[child] = 1
+                    stack.append(child)
+        freed = 0
+        varr = self._varr
+        ref = self._ref
+        free = self._free
+        for table in self._subtables:
+            dead = [key for key, node in table.items() if not marked[node]]
+            for key in dead:
+                node = table.pop(key)
+                varr[node] = -2
+                free.append(node)
+                freed += 1
+        # Recompute internal parent counts from the survivors (self-healing).
+        for node in range(len(varr)):
+            ref[node] = 0
+        for table in self._subtables:
+            for (lo, hi) in table.keys():
+                ref[lo >> 1] += 1
+                ref[hi >> 1] += 1
+        self._live -= freed
+        self._gc_runs += 1
+        self._gc_reclaimed += freed
+        return freed
+
+    def stats(self) -> ManagerStats:
+        """A snapshot of node, GC, reorder, and cache counters."""
+        return ManagerStats(
+            live_nodes=self._live,
+            peak_live_nodes=self._peak,
+            num_vars=self.num_vars,
+            external_references=sum(self._external.values()),
+            gc_runs=self._gc_runs,
+            gc_reclaimed=self._gc_reclaimed,
+            reorder_runs=self._reorder_runs,
+            sift_swaps=self._sift_swaps,
+            caches=tuple(cache.stats() for cache in self._caches),
+        )
+
+    #: Backwards-compatible aliases for the unified apply cache counters.
+    @property
+    def apply_cache_hits(self) -> int:
+        return self._ite_cache.hits
+
+    @property
+    def apply_cache_misses(self) -> int:
+        return self._ite_cache.misses
+
+    # -- dynamic variable reordering ------------------------------------------------
+
+    def variable_groups(self) -> Tuple[Tuple[int, ...], ...]:
+        """The non-singleton sifting groups currently registered, in level order."""
+        return tuple(
+            tuple(block) for block in self._blocks if len(block) > 1
+        )
+
+    def set_variable_groups(self, groups: Sequence[Sequence[int]]) -> None:
+        """Tie variables into blocks that sifting moves as units.
+
+        Each group must consist of distinct, currently-adjacent variables
+        (adjacent in the *current* level order); ungrouped variables form
+        singleton blocks.  The previous grouping is replaced wholesale —
+        callers sharing a manager merge :meth:`variable_groups` into their
+        request (as the symbolic Kripke layer does) so one client cannot
+        silently dissolve another's blocks.  The symbolic Kripke layer
+        groups every current/next pair so its renames stay order-preserving
+        under any reorder.
+        """
+        seen: set = set()
+        v2l = self._var2level
+        blocks: List[List[int]] = []
+        for group in groups:
+            group = list(group)
+            if not group:
+                continue
+            for var in group:
+                self._ensure_var(var)
+                if var in seen:
+                    raise BDDError("variable %d appears in more than one group" % var)
+                seen.add(var)
+            group.sort(key=v2l.__getitem__)
+            levels = [v2l[var] for var in group]
+            if levels != list(range(levels[0], levels[0] + len(levels))):
+                raise BDDError(
+                    "group %r is not contiguous in the current variable order" % (group,)
+                )
+            blocks.append(group)
+        for var in range(self.num_vars):
+            if var not in seen:
+                blocks.append([var])
+        blocks.sort(key=lambda block: v2l[block[0]])
+        self._blocks = blocks
+
+    def var_order(self) -> Tuple[int, ...]:
+        """The current variable order, top level first (persistable)."""
+        return tuple(self._level2var)
+
+    def set_var_order(self, order: Sequence[int]) -> None:
+        """Restore a saved variable order (e.g. from :meth:`var_order`).
+
+        Implemented as a sequence of adjacent block swaps, so every live edge
+        stays valid.  The target order must keep each sifting group
+        contiguous.
+        """
+        order = list(order)
+        if sorted(order) != list(range(self.num_vars)):
+            raise BDDError("set_var_order needs a permutation of all variable ids")
+        self.clear_caches()
+        blocks = self._blocks
+        # Target block sequence: blocks sorted by their first variable's
+        # position in the requested order; each block must be contiguous there.
+        position = {var: i for i, var in enumerate(order)}
+        for block in blocks:
+            positions = sorted(position[var] for var in block)
+            if positions != list(range(positions[0], positions[0] + len(positions))):
+                raise BDDError(
+                    "target order splits the variable group %r" % (block,)
+                )
+        target = sorted(range(len(blocks)), key=lambda b: position[blocks[b][0]])
+        # Selection sort with adjacent block swaps.
+        sequence = list(range(len(blocks)))
+        for goal_index, want in enumerate(target):
+            at = sequence.index(want)
+            while at > goal_index:
+                self._swap_adjacent_blocks(at - 1)
+                sequence[at - 1], sequence[at] = sequence[at], sequence[at - 1]
+                at -= 1
+        # Within-block order is preserved by construction; verify the result.
+        if list(self._level2var) != [var for block in self._blocks for var in block]:
+            raise BDDError("internal error: block swap sequence lost coherence")
+
+    def reorder(self, max_growth: float = 1.2) -> int:
+        """Rudell sifting over the variable blocks; returns live nodes after.
+
+        Runs :meth:`collect` first (so decisions see only live nodes), then
+        sifts blocks in decreasing-size order: each block is moved through
+        every position by adjacent block swaps, abandoning a direction once
+        the table grows past ``max_growth`` times the best size seen, and is
+        parked at the best position.  Operation caches are invalid across a
+        reorder and are cleared.
+        """
+        self._reorder_runs += 1
+        self.collect()
+        blocks = self._blocks
+        if len(blocks) < 2:
+            return self._live
+        sizes = []
+        for index, block in enumerate(blocks):
+            sizes.append((-sum(len(self._subtables[var]) for var in block), index, block))
+        sizes.sort()
+        for _, _, block in sizes:
+            self._sift_block(block, max_growth)
+        self.clear_caches()
+        threshold = self.auto_reorder_threshold
+        if threshold is not None and self._live >= threshold:
+            self.auto_reorder_threshold = max(threshold * 2, self._live * 2)
+        return self._live
+
+    def _maybe_reorder(self) -> None:
+        threshold = self.auto_reorder_threshold
+        if threshold is not None and self._live > threshold:
+            self.reorder()
+
+    def _sift_block(self, block: List[int], max_growth: float) -> None:
+        blocks = self._blocks
+        start = blocks.index(block)
+        nb = len(blocks)
+        best_size = self._live
+        best_pos = start
+        pos = start
+        # Visit the nearer end first.
+        directions = ("up", "down") if start < nb - 1 - start else ("down", "up")
+        for direction in directions:
+            if direction == "down":
+                while pos < nb - 1:
+                    self._swap_adjacent_blocks(pos)
+                    pos += 1
+                    if self._live < best_size:
+                        best_size = self._live
+                        best_pos = pos
+                    elif self._live > max_growth * best_size:
+                        break
+            else:
+                while pos > 0:
+                    self._swap_adjacent_blocks(pos - 1)
+                    pos -= 1
+                    if self._live < best_size:
+                        best_size = self._live
+                        best_pos = pos
+                    elif self._live > max_growth * best_size:
+                        break
+        while pos < best_pos:
+            self._swap_adjacent_blocks(pos)
+            pos += 1
+        while pos > best_pos:
+            self._swap_adjacent_blocks(pos - 1)
+            pos -= 1
+
+    def _swap_adjacent_blocks(self, index: int) -> None:
+        """Exchange ``blocks[index]`` and ``blocks[index + 1]`` by level swaps."""
+        blocks = self._blocks
+        upper = blocks[index]
+        lower = blocks[index + 1]
+        top = self._var2level[upper[0]]
+        s = len(upper)
+        t = len(lower)
+        for k in range(s):
+            src = top + s - 1 - k
+            for j in range(t):
+                self._swap_levels(src + j)
+        blocks[index], blocks[index + 1] = lower, upper
+
+    def _swap_levels(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` in place.
+
+        Every live node keeps its index (so every external edge stays
+        valid); nodes at the upper level that depend on the lower variable
+        are rewritten in place, dead upper-level nodes are reclaimed, and
+        orphaned children are cascade-freed via the internal parent counts.
+        """
+        self._sift_swaps += 1
+        l2v = self._level2var
+        v2l = self._var2level
+        x = l2v[level]
+        y = l2v[level + 1]
+        varr = self._varr
+        lo_ = self._lo
+        hi_ = self._hi
+        ref = self._ref
+        lvl = self._lvl
+        external = self._external
+        xtab = self._subtables[x]
+        keep: Dict[Tuple[int, int], int] = {}
+        rewrite: List[int] = []
+        dead: List[int] = []
+        for key, n in xtab.items():
+            lo, hi = key
+            if varr[lo >> 1] == y or varr[hi >> 1] == y:
+                if ref[n] == 0 and n not in external:
+                    dead.append(n)
+                else:
+                    rewrite.append(n)
+            else:
+                keep[key] = n
+        # Commit the order change before creating nodes for the new x level.
+        l2v[level] = y
+        l2v[level + 1] = x
+        v2l[x] = level + 1
+        v2l[y] = level
+        self._subtables[x] = keep
+        ytab = self._subtables[y]
+        for n in dead:
+            # Already unlinked from the x subtable (it was replaced by `keep`);
+            # release the children and recycle the slot directly.
+            for child in (lo_[n] >> 1, hi_[n] >> 1):
+                if child:
+                    ref[child] -= 1
+                    if not ref[child] and child not in external:
+                        self._free_cascade(child)
+            varr[n] = -2
+            self._free.append(n)
+            self._live -= 1
+        for n in rewrite:
+            lo = lo_[n]
+            hi = hi_[n]
+            ln = lo >> 1
+            if varr[ln] == y:
+                c = lo & 1
+                f00 = lo_[ln] ^ c
+                f01 = hi_[ln] ^ c
+            else:
+                f00 = f01 = lo
+            hn = hi >> 1
+            if varr[hn] == y:
+                f10 = lo_[hn]
+                f11 = hi_[hn]
+            else:
+                f10 = f11 = hi
+            new_lo = self._mk(x, f00, f10)
+            new_hi = self._mk(x, f01, f11)  # regular: f11 is a then-edge
+            ref[new_lo >> 1] += 1
+            ref[new_hi >> 1] += 1
+            for old_child in (ln, hn):
+                ref[old_child] -= 1
+                if not ref[old_child] and old_child not in external:
+                    self._free_cascade(old_child)
+            varr[n] = y
+            lo_[n] = new_lo
+            hi_[n] = new_hi
+            ytab[(new_lo, new_hi)] = n
+        for n in keep.values():
+            lvl[n] = level + 1
+        for n in ytab.values():
+            lvl[n] = level
+
+    def _free_cascade(self, node: int) -> None:
+        """Free ``node`` and, transitively, children left without parents."""
+        varr = self._varr
+        lo_ = self._lo
+        hi_ = self._hi
+        ref = self._ref
+        external = self._external
+        free = self._free
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            del self._subtables[varr[n]][(lo_[n], hi_[n])]
+            for child in (lo_[n] >> 1, hi_[n] >> 1):
+                if child:
+                    ref[child] -= 1
+                    if not ref[child] and child not in external:
+                        stack.append(child)
+            varr[n] = -2
+            free.append(n)
+            self._live -= 1

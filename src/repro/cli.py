@@ -72,6 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the full E1-E11 experiment suite instead of a single ring check",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "emit a JSON profile to stderr: per-phase wall times (build, each "
+            "check) plus, for the bdd engine, live/peak node counts, cache "
+            "hit/miss/evict statistics, and GC/reorder activity"
+        ),
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="with --experiments: use the smaller quick parameters",
@@ -79,7 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_ring_check(engine: str, size: int, fairness: bool, out) -> bool:
+def _run_ring_check(engine: str, size: int, fairness: bool, out, profile: bool = False) -> bool:
     from repro.systems import token_ring
 
     family = {}
@@ -118,15 +127,30 @@ def _run_ring_check(engine: str, size: int, fairness: bool, out) -> bool:
     print("", file=out)
     print("  %-34s %-8s %s" % ("check", "verdict", "seconds"), file=out)
     all_hold = True
+    phases = [{"name": "build", "seconds": built.seconds}]
     for name, formula in family.items():
         checked = timed_call(checker.check, formula)
         all_hold = all_hold and checked.value
+        phases.append({"name": "check %s" % name, "seconds": checked.seconds})
         print("  %-34s %-8s %.4f" % (name, checked.value, checked.seconds), file=out)
     print("", file=out)
     if all_hold:
         print("  all Section 5 properties and invariants hold on M_%d" % size, file=out)
     else:
         print("  FAILURE: some property/invariant is violated on M_%d" % size, file=out)
+    if profile:
+        import json
+
+        payload = {
+            "engine": engine,
+            "ring_size": size,
+            "fairness": fairness,
+            "phases": phases,
+            "total_seconds": sum(phase["seconds"] for phase in phases),
+        }
+        if engine == "bdd":
+            payload["bdd"] = structure.manager.stats().as_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True), file=sys.stderr)
     return all_hold
 
 
@@ -189,9 +213,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.profile:
+            print(
+                "error: --profile applies to single ring checks",
+                file=sys.stderr,
+            )
+            return 2
         ok = _run_experiments(args.engine, args.quick, out)
     else:
-        ok = _run_ring_check(args.engine, args.ring_size, args.fairness, out)
+        ok = _run_ring_check(
+            args.engine, args.ring_size, args.fairness, out, profile=args.profile
+        )
     return 0 if ok else 1
 
 

@@ -1,4 +1,4 @@
-"""Symbolic (BDD-encoded) Kripke structures.
+"""Symbolic (BDD-encoded) Kripke structures with clustered image computation.
 
 Where :class:`repro.kripke.compiled.CompiledKripkeStructure` freezes a
 structure into *explicit* integer-indexed arrays, this module encodes it into
@@ -17,14 +17,32 @@ enumerated.  Two construction paths are provided:
   that unlocks ring sizes the explicit engines cannot reach (see
   :func:`repro.systems.token_ring.symbolic_token_ring`).
 
+Image computation
+-----------------
+The transition relation is kept *partitioned*.  Each part is either a single
+BDD or a sequence of **conjuncts**; parts are assembled into clusters — small
+single-BDD parts are OR-merged up to a node-size cap, conjunct-list parts
+become conjoin-and-quantify pipelines with an **early-quantification
+schedule**: walking the conjuncts in support order, a quantified variable is
+eliminated by the fused ``relprod`` as soon as no later conjunct mentions it,
+so the intermediate products stay small.  ``preimage`` additionally accepts a
+*constraint* set that is conjoined before the first relational product,
+confining the whole computation to a caller-supplied candidate set — only
+worthwhile when that set is small (a current-vars × next-vars conjunction
+multiplies BDD sizes under the interleaved order, which is why the EG
+fixpoint of :mod:`repro.mc.symbolic` measured faster without it).
+
 Variable-order convention
 -------------------------
-State bit ``k`` lives at BDD level ``2k`` (its *current* copy) and level
-``2k + 1`` (its *next* copy).  Interleaving current/next keeps the
-transition-relation BDDs small and makes the current↔next renames
-order-preserving, so they are single structural walks.  For process families
-the bits of one process are contiguous (process-major order), which keeps
-processes that interact frequently close together in the order.
+State bit ``k`` lives at BDD *variable* ``2k`` (its *current* copy) and
+variable ``2k + 1`` (its *next* copy).  Variables are stable ids; the
+manager may reorder their levels dynamically (Rudell sifting), and every
+current/next pair is registered as a sifting *group* so the pair stays
+adjacent and the current↔next renames remain order-preserving under any
+order — the encoding therefore survives reorders unchanged.  Everything the
+structure stores is held through reference-counted :class:`~repro.bdd.BDDFunction`
+handles, so the manager's mark-and-sweep GC and the reorderer treat it as
+roots.
 """
 
 from __future__ import annotations
@@ -38,6 +56,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.bdd import BDDFunction, BDDManager
@@ -59,6 +78,61 @@ __all__ = ["SymbolicKripkeStructure", "ProcessFamilyEncoding", "symbolic_structu
 #: Chunk size for partitioning the transition relation of explicit encodings.
 _EXPLICIT_PARTITION_CHUNK = 256
 
+#: Node-count cap when OR-merging small relation parts into one cluster.
+_CLUSTER_NODE_CAP = 2048
+
+#: A transition part as accepted by the constructor: one BDD edge, or a
+#: sequence of conjunct edges to be conjoined with early quantification.
+TransitionPart = Union[int, Sequence[int]]
+
+
+class _Cluster:
+    """One disjunct of the partitioned relation, with quantification schedules.
+
+    ``pre_schedule``/``img_schedule`` are sequences of ``(conjunct,
+    quantify_now)`` steps: conjoin the conjunct and eliminate exactly the
+    quantified variables no later conjunct mentions.
+    """
+
+    __slots__ = ("conjuncts", "pre_schedule", "img_schedule")
+
+    def __init__(
+        self,
+        conjuncts: Tuple[BDDFunction, ...],
+        pre_schedule: Tuple[Tuple[BDDFunction, Tuple[int, ...]], ...],
+        img_schedule: Tuple[Tuple[BDDFunction, Tuple[int, ...]], ...],
+    ) -> None:
+        self.conjuncts = conjuncts
+        self.pre_schedule = pre_schedule
+        self.img_schedule = img_schedule
+
+
+def _schedule(
+    conjuncts: Sequence[BDDFunction], quantify: Sequence[int]
+) -> Tuple[Tuple[BDDFunction, Tuple[int, ...]], ...]:
+    """Early-quantification schedule: eliminate each variable at its last mention.
+
+    The target of the relational product is assumed to mention every
+    quantified variable, so a variable can be eliminated at step ``i`` iff no
+    conjunct after ``i`` mentions it; variables no conjunct mentions at all
+    are eliminated in the first step.
+    """
+    supports = [conjunct.support() for conjunct in conjuncts]
+    quantify_set = set(quantify)
+    steps: List[Tuple[BDDFunction, Tuple[int, ...]]] = []
+    seen_later: set = set()
+    released: List[set] = []
+    for support in reversed(supports):
+        released.insert(0, (support - seen_later) & quantify_set)
+        seen_later |= support
+    unmentioned = quantify_set - seen_later
+    for index, conjunct in enumerate(conjuncts):
+        now = released[index]
+        if index == 0:
+            now = now | unmentioned
+        steps.append((conjunct, tuple(sorted(now))))
+    return tuple(steps)
+
 
 class SymbolicKripkeStructure:
     """A Kripke structure encoded as BDDs over current/next state bits.
@@ -68,39 +142,35 @@ class SymbolicKripkeStructure:
     manager:
         The BDD manager owning every node below.
     num_bits:
-        The number of state bits; current copies live at levels ``0, 2, …``
-        and next copies at ``1, 3, …``.
+        The number of state bits; current copies live at variables
+        ``0, 2, …`` and next copies at ``1, 3, …``.
     transition_parts:
-        The partitioned transition relation: node ids whose disjunction is
-        ``R`` as a function of current *and* next levels.  Keeping the parts
-        separate lets pre-image computation run one fused ``relprod`` per
-        part instead of building a monolithic relation.
+        The partitioned transition relation: a sequence of parts whose
+        disjunction is ``R`` as a function of current *and* next variables.
+        Each part is a single edge or a sequence of conjunct edges (clusters
+        with early-quantification scheduling — see the module docstring).
     initial:
-        The characteristic function of ``{s0}`` over current levels.
+        The characteristic function of ``{s0}`` over current variables.
     domain:
         The characteristic function of the state set ``S`` over current
-        levels, or ``None`` to take ``S`` to be the states reachable from
-        ``initial`` (computed symbolically at construction).  Explicit
-        encodings pass the set of valid codes; process families pass ``None``,
-        mirroring how the explicit family builders restrict to reachable
-        states.
+        variables, or ``None`` to take ``S`` to be the states reachable from
+        ``initial`` (computed symbolically at construction).
     prop_nodes:
-        Per-proposition characteristic functions over current levels.
+        Per-proposition characteristic functions over current variables.
     index_values:
         The index set ``I`` when the structure is indexed (enables ``Θ``).
     source:
         The explicit structure this encoding came from, when there is one.
     encode_assignment / decode_assignment:
-        Callbacks translating between states and ``{level: bool}`` truth
-        assignments over the current levels.  ``from_explicit`` fills them
-        in automatically; family encoders supply their own.
+        Callbacks translating between states and ``{var: bool}`` truth
+        assignments over the current variables.
     """
 
     def __init__(
         self,
         manager: BDDManager,
         num_bits: int,
-        transition_parts: Sequence[int],
+        transition_parts: Sequence[TransitionPart],
         initial: int,
         domain: Optional[int],
         prop_nodes: Mapping[Label, int],
@@ -109,36 +179,111 @@ class SymbolicKripkeStructure:
         encode_assignment: Optional[Callable[[State], Dict[int, bool]]] = None,
         decode_assignment: Optional[Callable[[Mapping[int, bool]], State]] = None,
         name: Optional[str] = None,
+        cluster_node_cap: int = _CLUSTER_NODE_CAP,
     ) -> None:
         if num_bits < 1:
             raise StructureError("a symbolic structure needs at least one state bit")
         self.manager = manager
         self._num_bits = num_bits
-        self._current_levels = tuple(2 * bit for bit in range(num_bits))
-        self._next_levels = tuple(2 * bit + 1 for bit in range(num_bits))
+        self._current_vars = tuple(2 * bit for bit in range(num_bits))
+        self._next_vars = tuple(2 * bit + 1 for bit in range(num_bits))
         self._c2n = {2 * bit: 2 * bit + 1 for bit in range(num_bits)}
         self._n2c = {2 * bit + 1: 2 * bit for bit in range(num_bits)}
-        # Rename-cache tags: keyed by direction and bit count, so two
-        # structures with the same geometry on one manager share cache
-        # entries (the mappings are identical) and different geometries
-        # cannot collide.
-        self._c2n_tag = ("c2n", num_bits)
-        self._n2c_tag = ("n2c", num_bits)
-        self._transition_parts = tuple(transition_parts)
-        self._initial = initial
+        for var in self._current_vars + self._next_vars:
+            manager.var(var)
+        # Keep every current/next pair a sifting block so the c2n/n2c renames
+        # stay order-preserving under any dynamic reorder.  Groups already
+        # registered on a *shared* manager (another encoding's pairs) are
+        # preserved by merging them into the request; a manager that was
+        # already reordered incompatibly simply keeps its existing blocks.
+        pairs = {(2 * bit, 2 * bit + 1) for bit in range(num_bits)}
+        mine = {var for pair in pairs for var in pair}
+        for group in manager.variable_groups():
+            if not mine.intersection(group):
+                pairs.add(tuple(group))
+        try:
+            manager.set_variable_groups(sorted(pairs))
+        except BDDError:  # pragma: no cover - shared-manager corner case
+            pass
+        self._clusters = self._build_clusters(transition_parts, cluster_node_cap)
+        self._initial = BDDFunction(manager, initial)
+        self._true = BDDFunction.true(manager)
+        self._false = BDDFunction.false(manager)
         if domain is None:
-            self._domain = 1  # over-approximation used only while computing
-            self._domain = self.reachable()
+            self._domain: Optional[BDDFunction] = None
+            self._domain = self._reachable_fn()
         else:
-            self._domain = domain
-        self._prop_nodes = dict(prop_nodes)
+            self._domain = BDDFunction(manager, domain)
+        self._prop_nodes: Dict[Label, BDDFunction] = {
+            label: BDDFunction(manager, node) for label, node in prop_nodes.items()
+        }
         self._index_values = index_values
         self._source = source
         self._encode_assignment = encode_assignment
         self._decode_assignment = decode_assignment
         self._name = name
-        self._exactly_one_nodes: Dict[str, int] = {}
-        self._transition_total: Optional[int] = None
+        self._exactly_one_nodes: Dict[str, BDDFunction] = {}
+        self._transition_total: Optional[BDDFunction] = None
+
+    # -- cluster construction ------------------------------------------------
+
+    def _build_clusters(
+        self, transition_parts: Sequence[TransitionPart], cap: int
+    ) -> Tuple[_Cluster, ...]:
+        manager = self.manager
+        singles: List[int] = []
+        multis: List[Tuple[int, ...]] = []
+        for part in transition_parts:
+            if isinstance(part, int):
+                conjuncts: Tuple[int, ...] = (part,)
+            else:
+                conjuncts = tuple(part)
+            if not conjuncts:
+                continue
+            if len(conjuncts) > 1:
+                # Adaptive flattening: a conjunct part whose conjunction stays
+                # small is cheaper as one BDD (one fused relational product
+                # instead of a pipeline); parts that would blow past the cap
+                # keep their conjoin-and-quantify schedule.
+                flat = conjuncts[0]
+                for conjunct in conjuncts[1:]:
+                    flat = manager.apply_and(flat, conjunct)
+                    if flat != 0 and manager.node_count(flat) > cap:
+                        flat = None
+                        break
+                if flat is None:
+                    multis.append(conjuncts)
+                    continue
+                conjuncts = (flat,)
+            if conjuncts[0] != 0:
+                singles.append(conjuncts[0])
+        # OR-merge small single-BDD parts into clusters bounded by `cap`
+        # nodes, ordered by support so related parts land together.
+        singles.sort(key=lambda edge: tuple(sorted(manager.support(edge))))
+        merged: List[int] = []
+        accumulator = 0
+        for edge in singles:
+            candidate = manager.apply_or(accumulator, edge)
+            if accumulator != 0 and manager.node_count(candidate) > cap:
+                merged.append(accumulator)
+                accumulator = edge
+            else:
+                accumulator = candidate
+        if accumulator != 0:
+            merged.append(accumulator)
+        clusters: List[_Cluster] = []
+        for conjunct_edges in [(edge,) for edge in merged] + multis:
+            conjuncts = tuple(
+                BDDFunction(manager, edge) for edge in conjunct_edges
+            )
+            clusters.append(
+                _Cluster(
+                    conjuncts,
+                    _schedule(conjuncts, self._next_vars),
+                    _schedule(conjuncts, self._current_vars),
+                )
+            )
+        return tuple(clusters)
 
     # -- basic accessors -----------------------------------------------------
 
@@ -149,33 +294,36 @@ class SymbolicKripkeStructure:
 
     @property
     def num_bits(self) -> int:
-        """The number of state bits (half the number of BDD levels in use)."""
+        """The number of state bits (half the number of BDD variables in use)."""
         return self._num_bits
 
     @property
     def current_levels(self) -> Tuple[int, ...]:
-        """The BDD levels carrying the current-state bits (``0, 2, 4, …``)."""
-        return self._current_levels
+        """The BDD variables carrying the current-state bits (``0, 2, 4, …``)."""
+        return self._current_vars
 
     @property
     def next_levels(self) -> Tuple[int, ...]:
-        """The BDD levels carrying the next-state bits (``1, 3, 5, …``)."""
-        return self._next_levels
+        """The BDD variables carrying the next-state bits (``1, 3, 5, …``)."""
+        return self._next_vars
 
     @property
     def initial(self) -> int:
-        """The node encoding ``{s0}``."""
-        return self._initial
+        """The edge encoding ``{s0}``."""
+        return self._initial.node
 
     @property
     def domain(self) -> int:
-        """The node encoding the state set ``S``."""
-        return self._domain
+        """The edge encoding the state set ``S``."""
+        return self._domain.node
 
     @property
-    def transition_parts(self) -> Tuple[int, ...]:
-        """The partitioned transition relation (disjunction of the parts)."""
-        return self._transition_parts
+    def transition_parts(self) -> Tuple[Tuple[int, ...], ...]:
+        """The clustered transition relation, one conjunct tuple per cluster."""
+        return tuple(
+            tuple(conjunct.node for conjunct in cluster.conjuncts)
+            for cluster in self._clusters
+        )
 
     @property
     def index_values(self) -> Optional[FrozenSet[int]]:
@@ -188,111 +336,133 @@ class SymbolicKripkeStructure:
         return self._source
 
     def function(self, node: int) -> BDDFunction:
-        """Wrap a raw node id of this structure's manager."""
+        """Wrap a raw edge of this structure's manager in a refcounted handle."""
         return BDDFunction(self.manager, node)
 
     @property
     def transition(self) -> int:
-        """The monolithic transition relation (the disjunction of the parts)."""
+        """The monolithic transition relation (the disjunction of the clusters)."""
         if self._transition_total is None:
-            total = 0
-            for part in self._transition_parts:
-                total = self.manager.apply_or(total, part)
+            total = self._false
+            for cluster in self._clusters:
+                conjunction = self._true
+                for conjunct in cluster.conjuncts:
+                    conjunction = conjunction & conjunct
+                total = total | conjunction
             self._transition_total = total
-        return self._transition_total
+        return self._transition_total.node
 
     # -- counting ---------------------------------------------------------------
 
     @property
     def num_states(self) -> int:
         """``|S|`` computed by BDD satisfy-count — no state is ever enumerated."""
-        return self.manager.sat_count(self._domain, self._current_levels)
+        return self._domain.sat_count(self._current_vars)
 
     @property
     def num_transitions(self) -> int:
-        """``|R ∩ (S × S)|`` via satisfy-count over current and next levels."""
-        manager = self.manager
-        pairs = manager.apply_and(
-            self.transition,
-            manager.apply_and(
-                self._domain, manager.rename(self._domain, self._c2n, self._c2n_tag)
-            ),
-        )
-        return manager.sat_count(pairs, self._current_levels + self._next_levels)
+        """``|R ∩ (S × S)|`` via satisfy-count over current and next variables."""
+        domain = self._domain
+        pairs = self.function(self.transition) & domain & domain.rename(self._c2n)
+        return pairs.sat_count(self._current_vars + self._next_vars)
 
     def count(self, node: int) -> int:
         """The number of domain states in the set encoded by ``node``."""
-        return self.manager.sat_count(
-            self.manager.apply_and(node, self._domain), self._current_levels
-        )
+        return (self.function(node) & self._domain).sat_count(self._current_vars)
 
     # -- images ------------------------------------------------------------------
 
-    def preimage(self, node: int) -> int:
-        """States of ``S`` with at least one successor in ``node`` (the EX pre-image).
+    def preimage_fn(
+        self, target: BDDFunction, constraint: Optional[BDDFunction] = None
+    ) -> BDDFunction:
+        """States of ``S`` with a successor in ``target`` (the EX pre-image).
 
-        ``node`` must be a function of current levels only; it is renamed to
-        next levels and one fused relational product per transition part
-        eliminates the next-state bits.
+        ``target`` must be a function of current variables only; it is
+        renamed to next variables and each cluster runs its conjoin-and-
+        quantify schedule.  ``constraint`` (over current variables) is
+        conjoined before the first relational product of every cluster,
+        confining the whole computation to it; the result then equals
+        ``constraint ∧ preimage(target)``.  Only profitable when the
+        constraint is *small* — see the module docstring.
         """
-        manager = self.manager
-        renamed = manager.rename(node, self._c2n, self._c2n_tag)
-        result = 0
-        for part in self._transition_parts:
-            result = manager.apply_or(
-                result, manager.relprod(part, renamed, self._next_levels)
-            )
-        return manager.apply_and(result, self._domain)
+        renamed = target.rename(self._c2n)
+        if constraint is not None:
+            renamed = renamed & constraint
+        total = self._false
+        for cluster in self._clusters:
+            accumulator = renamed
+            for conjunct, quantify_now in cluster.pre_schedule:
+                accumulator = accumulator.relprod(conjunct, quantify_now)
+                if accumulator.is_false:
+                    break
+            total = total | accumulator
+        return total & self._domain
+
+    def preimage(self, node: int, constraint: Optional[int] = None) -> int:
+        """Raw-edge convenience wrapper of :meth:`preimage_fn`."""
+        return self.preimage_fn(
+            self.function(node),
+            None if constraint is None else self.function(constraint),
+        ).node
+
+    def image_fn(self, source: BDDFunction) -> BDDFunction:
+        """Successors of the states in ``source`` (post-image), over current variables."""
+        total = self._false
+        for cluster in self._clusters:
+            accumulator = source
+            for conjunct, quantify_now in cluster.img_schedule:
+                accumulator = accumulator.relprod(conjunct, quantify_now)
+                if accumulator.is_false:
+                    break
+            total = total | accumulator
+        return total.rename(self._n2c)
 
     def image(self, node: int) -> int:
-        """Successors of the states in ``node`` (the post-image), over current levels."""
-        manager = self.manager
-        result = 0
-        for part in self._transition_parts:
-            result = manager.apply_or(
-                result, manager.relprod(part, node, self._current_levels)
-            )
-        return manager.rename(result, self._n2c, self._n2c_tag)
+        """Raw-edge convenience wrapper of :meth:`image_fn`."""
+        return self.image_fn(self.function(node)).node
+
+    def _reachable_fn(self) -> BDDFunction:
+        domain = self._domain
+        current = self._initial if domain is None else self._initial & domain
+        frontier = current
+        while not frontier.is_false:
+            fresh = self.image_fn(frontier)
+            if domain is not None:
+                fresh = fresh & domain
+            frontier = fresh & ~current
+            current = current | frontier
+        return current
 
     def reachable(self) -> int:
         """The least fixpoint of post-images from the initial state."""
-        manager = self.manager
-        current = manager.apply_and(self._initial, self._domain)
-        frontier = current
-        while frontier != 0:
-            fresh = manager.apply_and(self.image(frontier), self._domain)
-            frontier = manager.apply_and(fresh, manager.negate(current))
-            current = manager.apply_or(current, frontier)
-        return current
+        return self._reachable_fn().node
 
     def complement(self, node: int) -> int:
         """The complement of ``node`` *relative to the state set* ``S``."""
         manager = self.manager
-        return manager.apply_and(self._domain, manager.negate(node))
+        return manager.apply_and(self._domain.node, manager.negate(node))
 
     def is_total(self) -> bool:
         """Return ``True`` when every domain state has at least one successor."""
-        manager = self.manager
-        has_successor = manager.exists(self.transition, self._next_levels)
-        deadlocked = manager.apply_and(self._domain, manager.negate(has_successor))
-        return deadlocked == 0
+        has_successor = self.preimage_fn(self._true)
+        return (self._domain & ~has_successor).is_false
 
     # -- atomic satisfaction -------------------------------------------------------
 
     def atom_node(self, formula: Formula) -> int:
         """The characteristic function of an atomic formula (cf. ``atom_mask``)."""
         manager = self.manager
+        domain = self._domain
         if isinstance(formula, TrueLiteral):
-            return self._domain
+            return domain.node
         if isinstance(formula, FalseLiteral):
             return 0
         if isinstance(formula, Atom):
-            return manager.apply_and(self._prop_nodes.get(formula.name, 0), self._domain)
+            prop = self._prop_nodes.get(formula.name)
+            return 0 if prop is None else manager.apply_and(prop.node, domain.node)
         if isinstance(formula, IndexedAtom):
-            return manager.apply_and(
-                self._prop_nodes.get(IndexedProp(formula.name, formula.index), 0),
-                self._domain,
-            )
+            prop = self._prop_nodes.get(IndexedProp(formula.name, formula.index))
+            return 0 if prop is None else manager.apply_and(prop.node, domain.node)
         if isinstance(formula, ExactlyOne):
             return self._exactly_one_node(formula.name)
         raise StructureError("atom_node expects an atomic formula, got %r" % (formula,))
@@ -305,28 +475,25 @@ class SymbolicKripkeStructure:
             )
         cached = self._exactly_one_nodes.get(name)
         if cached is not None:
-            return cached
-        manager = self.manager
+            return cached.node
         # Same one-pass "at least one"/"at least two" trick as the compiled
         # engine, but on characteristic functions instead of bitmasks.
-        at_least_one = 0
-        at_least_two = 0
+        at_least_one = self._false
+        at_least_two = self._false
         for value in sorted(self._index_values):
-            prop = self._prop_nodes.get(IndexedProp(name, value), 0)
-            at_least_two = manager.apply_or(
-                at_least_two, manager.apply_and(at_least_one, prop)
-            )
-            at_least_one = manager.apply_or(at_least_one, prop)
-        result = manager.apply_and(
-            manager.apply_and(at_least_one, manager.negate(at_least_two)), self._domain
-        )
+            prop = self._prop_nodes.get(IndexedProp(name, value))
+            if prop is None:
+                continue
+            at_least_two = at_least_two | (at_least_one & prop)
+            at_least_one = at_least_one | prop
+        result = at_least_one & ~at_least_two & self._domain
         self._exactly_one_nodes[name] = result
-        return result
+        return result.node
 
     # -- state <-> assignment translation ------------------------------------------
 
     def encode_state(self, state: State) -> Dict[int, bool]:
-        """The current-level truth assignment encoding ``state``."""
+        """The current-variable truth assignment encoding ``state``."""
         if self._encode_assignment is None:
             raise BDDError("this symbolic structure has no state encoder")
         return self._encode_assignment(state)
@@ -350,19 +517,19 @@ class SymbolicKripkeStructure:
             )
         if self._decode_assignment is None:
             raise BDDError("this symbolic structure has no state decoder")
-        constrained = self.manager.apply_and(node, self._domain)
+        constrained = self.manager.apply_and(node, self._domain.node)
         return frozenset(
             self._decode_assignment(model)
-            for model in self.manager.iter_models(constrained, self._current_levels)
+            for model in self.manager.iter_models(constrained, self._current_vars)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         descriptor = self._name or "SymbolicKripkeStructure"
-        return "<Symbolic %s: %d bits, %d states, %d transition parts>" % (
+        return "<Symbolic %s: %d bits, %d states, %d transition clusters>" % (
             descriptor,
             self._num_bits,
             self.num_states,
-            len(self._transition_parts),
+            len(self._clusters),
         )
 
     # -- construction from an explicit structure ------------------------------------
@@ -457,7 +624,8 @@ class ProcessFamilyEncoding:
     encoding which *part* (local situation) it is in; the caller then writes
     the family's global transition rules as BDDs over the per-process
     current/next literals this class hands out, without ever constructing the
-    explicit product graph.  See
+    explicit product graph.  Every cached literal is externally referenced,
+    so the construction is safe across garbage collections.  See
     :func:`repro.systems.token_ring.symbolic_token_ring` for the canonical
     usage.
     """
@@ -528,7 +696,7 @@ class ProcessFamilyEncoding:
         key = (index, part)
         node = self._current_cache.get(key)
         if node is None:
-            node = self._part_cube(index, part, 0)
+            node = self.manager.incref(self._part_cube(index, part, 0))
             self._current_cache[key] = node
         return node
 
@@ -537,7 +705,7 @@ class ProcessFamilyEncoding:
         key = (index, part)
         node = self._next_cache.get(key)
         if node is None:
-            node = self._part_cube(index, part, 1)
+            node = self.manager.incref(self._part_cube(index, part, 1))
             self._next_cache[key] = node
         return node
 
@@ -557,12 +725,12 @@ class ProcessFamilyEncoding:
         block = self._block(index)
         node = 1
         for bit in reversed(range(self._bits_per_process)):
-            level = 2 * (block + bit)
+            var = 2 * (block + bit)
             bit_equal = manager.apply(
-                "iff", manager.var(level), manager.var(level + 1)
+                "iff", manager.var(var), manager.var(var + 1)
             )
             node = manager.apply_and(bit_equal, node)
-        self._unchanged_cache[index] = node
+        self._unchanged_cache[index] = manager.incref(node)
         return node
 
     def frame(self, changed: Sequence[int]) -> int:
@@ -576,7 +744,7 @@ class ProcessFamilyEncoding:
 
     @property
     def current_levels(self) -> Tuple[int, ...]:
-        """All current-state levels of the family, in order."""
+        """All current-state variables of the family, in order."""
         return tuple(2 * bit for bit in range(self.num_bits))
 
     def state_cube(self, assignment: Mapping[int, str]) -> int:
@@ -592,7 +760,7 @@ class ProcessFamilyEncoding:
         return node
 
     def decode(self, model: Mapping[int, bool]) -> Dict[int, str]:
-        """Decode a current-level truth assignment into ``{process: part}``."""
+        """Decode a current-variable truth assignment into ``{process: part}``."""
         result: Dict[int, str] = {}
         for index in self._indices:
             block = self._block(index)
@@ -608,7 +776,7 @@ class ProcessFamilyEncoding:
         return result
 
     def encode(self, assignment: Mapping[int, str]) -> Dict[int, bool]:
-        """Encode ``{process: part}`` as a current-level truth assignment."""
+        """Encode ``{process: part}`` as a current-variable truth assignment."""
         model: Dict[int, bool] = {}
         for index in self._indices:
             try:

@@ -147,12 +147,62 @@ class BitsetCTLModelChecker:
         """Check a whole family of formulas against the one compiled structure.
 
         With a mapping the result is keyed by the mapping's names; with a
-        plain iterable it is keyed by the formulas themselves.  Shared
-        sub-formulas are computed once thanks to the per-formula memo.
+        plain iterable it is keyed by the formulas themselves.  The batch is
+        labelled bottom-up first (:meth:`label_batch`): every distinct state
+        sub-formula across the *whole* family is computed exactly once into
+        the shared sub-formula → bitmask table, so formulas sharing structure
+        never recompute it and deep formulas never recurse.
         """
         if isinstance(formulas, Mapping):
+            family = list(formulas.values())
+        else:
+            family = list(formulas)
+        self.label_batch(family)
+        if isinstance(formulas, Mapping):
             return {name: self.check(formula, state) for name, formula in formulas.items()}
-        return {formula: self.check(formula, state) for formula in formulas}
+        return {formula: self.check(formula, state) for formula in family}
+
+    def label_batch(self, formulas: Iterable[Formula]) -> Dict[Formula, int]:
+        """Label every distinct state sub-formula of ``formulas`` bottom-up.
+
+        Walks each formula's state sub-formulas in post-order (children of a
+        path quantifier are the operands of its temporal operator), dedupes
+        them across the batch, and fills the memoised sub-formula → bitmask
+        table children-first, so each :meth:`_compute` call finds its
+        operands already cached — one table entry per distinct sub-formula
+        for the whole family, and no deep recursion on tall formulas.
+        Returns the table (shared with :meth:`satisfaction_mask`).
+        """
+        cache = self._cache
+        for formula in formulas:
+            stack: List[Tuple[Formula, bool]] = [(formula, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if node in cache:
+                    continue
+                if expanded:
+                    cache[node] = self._compute(node)
+                    continue
+                stack.append((node, True))
+                for child in self._state_children(node):
+                    if child not in cache:
+                        stack.append((child, False))
+        return cache
+
+    @staticmethod
+    def _state_children(formula: Formula) -> Tuple[Formula, ...]:
+        """The direct *state-formula* children (descending through path operators)."""
+        if isinstance(formula, Not):
+            return (formula.operand,)
+        if isinstance(formula, (And, Or, Implies, Iff)):
+            return (formula.left, formula.right)
+        if isinstance(formula, (Exists, ForAll)):
+            path = formula.path
+            if isinstance(path, (Next, Finally, Globally)):
+                return (path.operand,)
+            if isinstance(path, (Until, Release, WeakUntil)):
+                return (path.left, path.right)
+        return ()
 
     # -- recursive computation -------------------------------------------------
 

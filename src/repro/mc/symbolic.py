@@ -12,24 +12,33 @@ large to construct — see
 :func:`repro.systems.token_ring.symbolic_token_ring` and the extended
 explosion experiment.
 
-The fixpoints are the textbook symbolic ones:
+The fixpoints drive the clustered pre-image of :mod:`repro.kripke.symbolic`
+with the cheapest set that makes progress:
 
-* ``EX f``   — one pre-image: ``∃x'. R(x, x') ∧ f(x')``, computed as one
-  fused ``relprod`` per partitioned-transition part;
-* ``E[f U g]`` — least fixpoint ``Z = g ∨ (f ∧ EX Z)``, iterated on the
-  *frontier* so each round's pre-image only processes newly added states;
-* ``EG f``  — greatest fixpoint ``Z = f ∧ EX Z``.
+* ``EX f``   — one clustered pre-image;
+* ``E[f U g]`` — least fixpoint iterated on the frontier: each round's
+  pre-image only processes the states added in the previous round;
+* ``EG f``  — the classic greatest fixpoint ``νZ. f ∧ EX Z``, *deliberately*
+  iterated on the full (slowly shrinking) set: successive rounds re-hit
+  almost every relational-product subproblem in the bounded caches, which
+  makes the iteration incremental — a removal-propagation variant driving
+  the constrained pre-image was measured 5× slower here (see :meth:`_eg`).
 
 Under a :class:`~repro.mc.fairness.FairnessConstraint` the fair ``EG`` is
 the Emerson–Lei nested μ/ν fixpoint
 
     ``νZ. f ∧ ⋀_i EX E[f U (Z ∧ F_i)]``
 
-— one inner ``EU`` round per fairness condition ``F_i`` per outer iteration —
-and ``EX``/``EU`` targets are conjoined with the fair states
+— one inner (frontier) ``EU`` round per fairness condition ``F_i`` per outer
+iteration — and ``EX``/``EU`` targets are conjoined with the fair states
 (``fair = fair-EG true``).  This is the one fair-``EG`` formulation that
 never enumerates states, so fairness-constrained liveness stays checkable on
 ring sizes only the symbolic encoding reaches.
+
+Every memoised satisfaction set is held through a reference-counted
+:class:`~repro.bdd.BDDFunction` handle, as is all fixpoint state, so the
+manager's garbage collector and dynamic reordering can run at any operation
+boundary without invalidating a checker.
 
 Unlike the explicit checkers, the symbolic checker also *instantiates index
 quantifiers itself* when the underlying encoding knows its index set: family
@@ -42,6 +51,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
 
+from repro.bdd import BDDFunction
 from repro.errors import FragmentError, ValidationError
 from repro.kripke.structure import KripkeStructure, State
 from repro.kripke.symbolic import SymbolicKripkeStructure, symbolic_structure
@@ -103,9 +113,9 @@ class SymbolicCTLModelChecker:
                 "the symbolic transition relation is not total on its state set"
             )
         self._fairness = normalize_fairness(fairness)
-        self._cache: Dict[Formula, int] = {}
-        self._fair_condition_nodes: Optional[Tuple[int, ...]] = None
-        self._fair_states_node: Optional[int] = None
+        self._cache: Dict[Formula, BDDFunction] = {}
+        self._fair_condition_fns: Optional[Tuple[BDDFunction, ...]] = None
+        self._fair_states_fn: Optional[BDDFunction] = None
 
     @property
     def fairness(self) -> Optional[FairnessConstraint]:
@@ -124,8 +134,8 @@ class SymbolicCTLModelChecker:
 
     # -- public API ----------------------------------------------------------
 
-    def satisfaction_node(self, formula: Formula) -> int:
-        """Return the satisfaction set of ``formula`` as a raw BDD node id."""
+    def satisfaction_fn(self, formula: Formula) -> BDDFunction:
+        """The satisfaction set of ``formula`` as a refcounted handle."""
         cached = self._cache.get(formula)
         if cached is not None:
             return cached
@@ -133,9 +143,13 @@ class SymbolicCTLModelChecker:
         self._cache[formula] = result
         return result
 
-    def satisfaction_bdd(self, formula: Formula):
+    def satisfaction_node(self, formula: Formula) -> int:
+        """Return the satisfaction set of ``formula`` as a raw BDD edge id."""
+        return self.satisfaction_fn(formula).node
+
+    def satisfaction_bdd(self, formula: Formula) -> BDDFunction:
         """Return the satisfaction set as a :class:`repro.bdd.BDDFunction`."""
-        return self._symbolic.function(self.satisfaction_node(formula))
+        return self.satisfaction_fn(formula)
 
     def satisfaction_set(self, formula: Formula) -> FrozenSet[State]:
         """Decode the satisfaction set into a frozenset of states.
@@ -165,7 +179,8 @@ class SymbolicCTLModelChecker:
         """Check a whole family of formulas against the one shared encoding.
 
         With a mapping the result is keyed by the mapping's names; with a
-        plain iterable it is keyed by the formulas themselves.
+        plain iterable it is keyed by the formulas themselves.  Shared
+        sub-formulas are computed once thanks to the per-formula memo.
         """
         if isinstance(formulas, Mapping):
             return {name: self.check(formula, state) for name, formula in formulas.items()}
@@ -190,115 +205,114 @@ class SymbolicCTLModelChecker:
 
     # -- recursive computation -------------------------------------------------
 
-    def _compute(self, formula: Formula) -> int:
+    def _fn(self, node: int) -> BDDFunction:
+        return self._symbolic.function(node)
+
+    def _domain_fn(self) -> BDDFunction:
+        return self._fn(self._symbolic.domain)
+
+    def _complement(self, operand: BDDFunction) -> BDDFunction:
+        """The complement relative to the state set ``S``."""
+        return self._domain_fn() & ~operand
+
+    def _compute(self, formula: Formula) -> BDDFunction:
         symbolic = self._symbolic
-        manager = symbolic.manager
         if isinstance(formula, _ATOMIC):
-            return symbolic.atom_node(formula)
+            return self._fn(symbolic.atom_node(formula))
         if isinstance(formula, Not):
-            return symbolic.complement(self.satisfaction_node(formula.operand))
+            return self._complement(self.satisfaction_fn(formula.operand))
         if isinstance(formula, And):
-            return manager.apply_and(
-                self.satisfaction_node(formula.left), self.satisfaction_node(formula.right)
-            )
+            return self.satisfaction_fn(formula.left) & self.satisfaction_fn(formula.right)
         if isinstance(formula, Or):
-            return manager.apply_or(
-                self.satisfaction_node(formula.left), self.satisfaction_node(formula.right)
-            )
+            return self.satisfaction_fn(formula.left) | self.satisfaction_fn(formula.right)
         if isinstance(formula, Implies):
-            return manager.apply_or(
-                symbolic.complement(self.satisfaction_node(formula.left)),
-                self.satisfaction_node(formula.right),
+            return self._complement(self.satisfaction_fn(formula.left)) | (
+                self.satisfaction_fn(formula.right)
             )
         if isinstance(formula, Iff):
-            left = self.satisfaction_node(formula.left)
-            right = self.satisfaction_node(formula.right)
-            return symbolic.complement(manager.apply_xor(left, right))
+            left = self.satisfaction_fn(formula.left)
+            right = self.satisfaction_fn(formula.right)
+            return self._complement(left ^ right)
         if isinstance(formula, Exists):
             return self._compute_exists(formula.path)
         if isinstance(formula, ForAll):
             return self._compute_forall(formula.path)
         raise FragmentError("formula is not a CTL state formula: %s" % formula)
 
-    def _compute_exists(self, path: Formula) -> int:
+    def _compute_exists(self, path: Formula) -> BDDFunction:
         symbolic = self._symbolic
         if isinstance(path, Next):
-            return symbolic.preimage(self._constrain(self.satisfaction_node(path.operand)))
+            return symbolic.preimage_fn(
+                self._constrain(self.satisfaction_fn(path.operand))
+            )
         if isinstance(path, Finally):
             return self._eu(
-                symbolic.domain, self._constrain(self.satisfaction_node(path.operand))
+                self._domain_fn(), self._constrain(self.satisfaction_fn(path.operand))
             )
         if isinstance(path, Globally):
-            return self._eg_op(self.satisfaction_node(path.operand))
+            return self._eg_op(self.satisfaction_fn(path.operand))
         if isinstance(path, Until):
             return self._eu(
-                self.satisfaction_node(path.left),
-                self._constrain(self.satisfaction_node(path.right)),
+                self.satisfaction_fn(path.left),
+                self._constrain(self.satisfaction_fn(path.right)),
             )
         if isinstance(path, Release):
             # E[f R g]  ≡  ¬A[¬f U ¬g]
-            return symbolic.complement(
+            return self._complement(
                 self._compute_forall(Until(Not(path.left), Not(path.right)))
             )
         if isinstance(path, WeakUntil):
             # E[f W g]  ≡  E[f U g] ∨ EG f
-            return symbolic.manager.apply_or(
-                self._compute_exists(Until(path.left, path.right)),
-                self._compute_exists(Globally(path.left)),
+            return self._compute_exists(Until(path.left, path.right)) | (
+                self._compute_exists(Globally(path.left))
             )
         raise FragmentError(
             "E must be applied to a single temporal operator over state formulas "
             "for CTL checking; got E(%s)" % path
         )
 
-    def _compute_forall(self, path: Formula) -> int:
+    def _compute_forall(self, path: Formula) -> BDDFunction:
         symbolic = self._symbolic
-        manager = symbolic.manager
         if isinstance(path, Next):
             # AX f ≡ ¬EX ¬f
-            return symbolic.complement(
-                symbolic.preimage(
+            return self._complement(
+                symbolic.preimage_fn(
                     self._constrain(
-                        symbolic.complement(self.satisfaction_node(path.operand))
+                        self._complement(self.satisfaction_fn(path.operand))
                     )
                 )
             )
         if isinstance(path, Finally):
             # AF f ≡ ¬EG ¬f
-            return symbolic.complement(
-                self._eg_op(symbolic.complement(self.satisfaction_node(path.operand)))
+            return self._complement(
+                self._eg_op(self._complement(self.satisfaction_fn(path.operand)))
             )
         if isinstance(path, Globally):
             # AG f ≡ ¬EF ¬f
-            return symbolic.complement(
+            return self._complement(
                 self._eu(
-                    symbolic.domain,
+                    self._domain_fn(),
                     self._constrain(
-                        symbolic.complement(self.satisfaction_node(path.operand))
+                        self._complement(self.satisfaction_fn(path.operand))
                     ),
                 )
             )
         if isinstance(path, Until):
             # A[f U g] ≡ ¬( E[¬g U (¬f ∧ ¬g)] ∨ EG ¬g )
-            not_f = symbolic.complement(self.satisfaction_node(path.left))
-            not_g = symbolic.complement(self.satisfaction_node(path.right))
-            bad = manager.apply_or(
-                self._eu(not_g, self._constrain(manager.apply_and(not_f, not_g))),
-                self._eg_op(not_g),
-            )
-            return symbolic.complement(bad)
+            not_f = self._complement(self.satisfaction_fn(path.left))
+            not_g = self._complement(self.satisfaction_fn(path.right))
+            bad = self._eu(not_g, self._constrain(not_f & not_g)) | self._eg_op(not_g)
+            return self._complement(bad)
         if isinstance(path, Release):
             # A[f R g] ≡ ¬E[¬f U ¬g]
-            return symbolic.complement(
+            return self._complement(
                 self._compute_exists(Until(Not(path.left), Not(path.right)))
             )
         if isinstance(path, WeakUntil):
             # A[f W g] ≡ ¬E[¬g U (¬f ∧ ¬g)]
-            not_f = symbolic.complement(self.satisfaction_node(path.left))
-            not_g = symbolic.complement(self.satisfaction_node(path.right))
-            return symbolic.complement(
-                self._eu(not_g, self._constrain(manager.apply_and(not_f, not_g)))
-            )
+            not_f = self._complement(self.satisfaction_fn(path.left))
+            not_g = self._complement(self.satisfaction_fn(path.right))
+            return self._complement(self._eu(not_g, self._constrain(not_f & not_g)))
         raise FragmentError(
             "A must be applied to a single temporal operator over state formulas "
             "for CTL checking; got A(%s)" % path
@@ -306,7 +320,7 @@ class SymbolicCTLModelChecker:
 
     # -- fixpoint primitives -----------------------------------------------------
 
-    def _eu(self, left: int, right: int) -> int:
+    def _eu(self, left: BDDFunction, right: BDDFunction) -> BDDFunction:
         """Least fixpoint for ``E[left U right]``, iterated on the frontier.
 
         A state enters the fixpoint in round ``k`` only through a successor
@@ -314,91 +328,111 @@ class SymbolicCTLModelChecker:
         *newly added* states instead of the whole accumulated set.
         """
         symbolic = self._symbolic
-        manager = symbolic.manager
         satisfied = right
         frontier = right
-        while frontier != 0:
-            reached = manager.apply_and(left, symbolic.preimage(frontier))
-            frontier = manager.apply_and(reached, manager.negate(satisfied))
-            satisfied = manager.apply_or(satisfied, frontier)
+        while not frontier.is_false:
+            reached = left & symbolic.preimage_fn(frontier)
+            frontier = reached & ~satisfied
+            satisfied = satisfied | frontier
         return satisfied
 
-    def _eg(self, operand: int) -> int:
-        """Greatest fixpoint for ``EG operand``: ``νZ. operand ∧ EX Z``."""
+    def _eg(self, operand: BDDFunction) -> BDDFunction:
+        """Greatest fixpoint for ``EG operand``: ``νZ. operand ∧ EX Z``.
+
+        Iterated on the full candidate set *by design*: the set shrinks
+        slowly between rounds, so virtually every relational-product
+        subproblem of round ``k`` is a cache hit in round ``k + 1`` — the
+        bounded caches (with oldest-half eviction) make the classic
+        iteration incremental.  A removal-propagation variant driving the
+        constrained pre-image was measured 5× slower here: its per-round
+        frontier targets are fresh BDDs that defeat exactly that reuse.
+        """
         symbolic = self._symbolic
-        manager = symbolic.manager
         current = operand
         while True:
-            refined = manager.apply_and(current, symbolic.preimage(current))
+            refined = current & symbolic.preimage_fn(current)
             if refined == current:
                 return current
             current = refined
 
     # -- fairness ----------------------------------------------------------------
 
-    def fair_states_node(self) -> int:
-        """The fair states (starting at least one fair path) as a BDD node."""
+    def fair_states_fn(self) -> BDDFunction:
+        """The fair states (starting at least one fair path) as a handle."""
         if self._fairness is None:
-            return self._symbolic.domain
-        if self._fair_states_node is None:
-            self._fair_states_node = self._fair_eg(self._symbolic.domain)
-        return self._fair_states_node
+            return self._domain_fn()
+        if self._fair_states_fn is None:
+            self._fair_states_fn = self._fair_eg(self._domain_fn())
+        return self._fair_states_fn
+
+    def fair_states_node(self) -> int:
+        """The fair states as a raw BDD edge id."""
+        return self.fair_states_fn().node
 
     def fair_states(self) -> FrozenSet[State]:
         """The fair states, decoded (non-symbolic convenience for tests/reports)."""
         return self._symbolic.states_of(self.fair_states_node())
 
-    def fairness_condition_nodes(self) -> Tuple[int, ...]:
-        """The (plain-semantics) satisfaction nodes of the fairness conditions."""
+    def fairness_condition_fns(self) -> Tuple[BDDFunction, ...]:
+        """The (plain-semantics) satisfaction handles of the fairness conditions."""
         if self._fairness is None:
             return ()
-        if self._fair_condition_nodes is None:
+        if self._fair_condition_fns is None:
             # Conditions are decided under the unconstrained semantics by a
             # plain sub-checker sharing this instance's encoding.
             plain = SymbolicCTLModelChecker(self._symbolic, validate_structure=False)
-            self._fair_condition_nodes = tuple(
-                plain.satisfaction_node(condition)
+            self._fair_condition_fns = tuple(
+                plain.satisfaction_fn(condition)
                 for condition in self._fairness.conditions
             )
-        return self._fair_condition_nodes
+        return self._fair_condition_fns
+
+    def fairness_condition_nodes(self) -> Tuple[int, ...]:
+        """The fairness-condition satisfaction sets as raw BDD edge ids."""
+        return tuple(fn.node for fn in self.fairness_condition_fns())
 
     def fairness_condition_sets(self) -> Tuple[FrozenSet[State], ...]:
         """The fairness-condition satisfaction sets, decoded into frozensets."""
         states_of = self._symbolic.states_of
         return tuple(states_of(node) for node in self.fairness_condition_nodes())
 
-    def _constrain(self, target: int) -> int:
+    def _constrain(self, target: BDDFunction) -> BDDFunction:
         """Conjoin an ``EX``/``EU`` target with the fair states (no-op when unconstrained)."""
         if self._fairness is None:
             return target
-        return self._symbolic.manager.apply_and(target, self.fair_states_node())
+        return target & self.fair_states_fn()
 
-    def _eg_op(self, operand: int) -> int:
+    def _eg_op(self, operand: BDDFunction) -> BDDFunction:
         """Dispatch ``EG`` to the plain or the fairness-constrained fixpoint."""
         if self._fairness is None:
             return self._eg(operand)
         return self._fair_eg(operand)
 
-    def _fair_eg(self, operand: int) -> int:
+    def _fair_eg(self, operand: BDDFunction) -> BDDFunction:
         """Emerson–Lei fixpoint for fair ``EG operand``.
 
-        ``νZ. operand ∧ ⋀_i EX E[operand U (Z ∧ F_i)]`` — each outer round
-        shrinks ``Z`` to the states that can, for every fairness condition,
-        stay inside ``operand`` until hitting the condition *and* ``Z``
-        again; the fixpoint is exactly the start of some fair
-        ``operand``-path.
+        ``νZ. operand ∧ ⋀_i EX E[Z U (Z ∧ F_i)]`` — each outer round shrinks
+        ``Z`` to the states that can, for every fairness condition, stay
+        inside ``Z`` until hitting the condition *and* ``Z`` again; the
+        fixpoint is exactly the start of some fair ``operand``-path.  Two
+        standard accelerations keep the nested fixpoint tractable on large
+        encodings: the iteration starts from the plain ``EG`` (every fair
+        ``operand``-path is in particular an infinite one, and the plain
+        greatest fixpoint is far cheaper), and the inner until is confined
+        to the current ``Z`` (a fair path's suffix is fair, so the true
+        fixpoint survives the stronger condition while the inner fixpoints
+        stay small).
         """
         symbolic = self._symbolic
-        manager = symbolic.manager
-        condition_nodes = self.fairness_condition_nodes()
-        current = operand
+        condition_fns = self.fairness_condition_fns()
+        current = self._eg(operand)
         while True:
-            refined = operand
-            for condition in condition_nodes:
-                target = manager.apply_and(current, condition)
-                refined = manager.apply_and(
-                    refined, symbolic.preimage(self._eu(operand, target))
-                )
+            refined = current
+            for condition in condition_fns:
+                target = current & condition
+                refined = refined & symbolic.preimage_fn(self._eu(current, target))
+                if refined.is_false:
+                    return refined
             if refined == current:
                 return current
             current = refined

@@ -303,6 +303,14 @@ def symbolic_token_ring(size: int):
     the ``cln`` side condition that no process strictly between ``j`` and
     ``i`` (walking left from ``j``) is delayed.
 
+    Parts with a natural conjunctive factoring are handed to the symbolic
+    structure as *conjunct lists* so its clustered image computation can
+    conjoin-and-quantify them with early-quantification scheduling: rule 2's
+    per-holder guard/effect on the holder is factored out of the receiver
+    disjunction, and rule 4's global "nobody is delayed" side condition is
+    its own conjunct — conjoining these small factors first keeps the
+    intermediate products of each relational product small.
+
     The returned :class:`~repro.kripke.symbolic.SymbolicKripkeStructure`
     restricts its state set to the states reachable from ``s_r^0`` (computed
     symbolically), so it represents exactly the structure
@@ -319,7 +327,7 @@ def symbolic_token_ring(size: int):
     encoding = ProcessFamilyEncoding(manager, indices, _SYMBOLIC_PARTS)
     land, lor, neg = manager.apply_and, manager.apply_or, manager.negate
 
-    parts: List[int] = []
+    parts: List[object] = []
 
     # Rule 1: a neutral process becomes delayed.
     rule1 = 0
@@ -334,20 +342,21 @@ def symbolic_token_ring(size: int):
     parts.append(rule1)
 
     # Rule 2: the holder j ∈ T ∪ C hands the token to i = cln(j) ∈ D; j
-    # becomes neutral and i enters its critical region.  One part per j.
+    # becomes neutral and i enters its critical region.  One part per j,
+    # factored as (holder guard ∧ holder effect) ∧ (receiver disjunction).
     for holder in indices:
-        holder_held = lor(encoding.current(holder, "T"), encoding.current(holder, "C"))
+        holder_core = land(
+            lor(encoding.current(holder, "T"), encoding.current(holder, "C")),
+            encoding.next(holder, "N"),
+        )
         handoffs = 0
         nobody_between_delayed = 1
         candidate = holder
         for _ in range(size - 1):
             candidate = size if candidate == 1 else candidate - 1
-            guard = land(
-                land(holder_held, encoding.current(candidate, "D")),
-                nobody_between_delayed,
-            )
+            guard = land(encoding.current(candidate, "D"), nobody_between_delayed)
             effect = land(
-                land(encoding.next(holder, "N"), encoding.next(candidate, "C")),
+                encoding.next(candidate, "C"),
                 encoding.frame([holder, candidate]),
             )
             handoffs = lor(handoffs, land(guard, effect))
@@ -355,7 +364,7 @@ def symbolic_token_ring(size: int):
                 nobody_between_delayed, neg(encoding.current(candidate, "D"))
             )
         if handoffs != 0:
-            parts.append(handoffs)
+            parts.append((holder_core, handoffs))
 
     # Rule 3: the process in T enters its critical region.
     rule3 = 0
@@ -369,7 +378,8 @@ def symbolic_token_ring(size: int):
         )
     parts.append(rule3)
 
-    # Rule 4: the process in C returns to T, but only when nobody is delayed.
+    # Rule 4: the process in C returns to T, but only when nobody is delayed;
+    # the global side condition is a separate conjunct.
     nobody_delayed = 1
     for process in indices:
         nobody_delayed = land(nobody_delayed, neg(encoding.current(process, "D")))
@@ -378,14 +388,11 @@ def symbolic_token_ring(size: int):
         rule4 = lor(
             rule4,
             land(
-                land(
-                    nobody_delayed,
-                    land(encoding.current(process, "C"), encoding.next(process, "T")),
-                ),
+                land(encoding.current(process, "C"), encoding.next(process, "T")),
                 encoding.frame([process]),
             ),
         )
-    parts.append(rule4)
+    parts.append((nobody_delayed, rule4))
 
     # The labelling L_r as characteristic functions (cf. state_label).
     prop_nodes = {}

@@ -1,10 +1,13 @@
-"""Unit tests for the ROBDD manager and the BDDFunction wrapper.
+"""Unit tests for the complement-edge ROBDD manager and the BDDFunction wrapper.
 
-Covers the invariants the symbolic engine relies on: hash-consing (structural
-equality is node-id equality, no duplicate rows, both reduction rules),
-apply-cache effectiveness, quantification and relational products against
-brute-force truth tables, order-preserving renaming, satisfy-counting, and
-the wrapper's operator algebra.
+Covers the invariants the symbolic engine relies on: canonical complement-edge
+form (structural equality is edge-id equality, O(1) negation, regular high
+edges), the unified ITE apply cache, quantification and relational products
+against brute-force truth tables, order-preserving renaming with canonical
+content-derived cache keys, satisfy-counting, mark-and-sweep garbage
+collection driven by reference-counted handles, bounded operation caches with
+hit/miss/evict statistics, and dynamic reordering (Rudell sifting) with
+variable groups and order persistence.
 """
 
 from itertools import product
@@ -37,7 +40,7 @@ def abc(manager):
 
 
 # ---------------------------------------------------------------------------
-# Hash-consing
+# Canonical form (hash-consing + complement edges)
 # ---------------------------------------------------------------------------
 
 
@@ -50,21 +53,40 @@ def test_same_function_built_differently_is_same_node(manager, abc):
     assert (a & b) | (a & c) == a & (b | c)
 
 
+def test_negation_is_an_edge_flip(manager, abc):
+    a, b, _ = abc
+    f = (a & b) | (~a & ~b)
+    before = len(manager)
+    g = ~f
+    # O(1): no node may be allocated by a complement.
+    assert len(manager) == before
+    assert g.node == f.node ^ 1
+    assert ~g == f
+    assert manager.negate(f.node) == f.node ^ 1
+
+
 def test_reduction_rules(manager):
-    # Redundant test: mk(level, t, t) must collapse to t.
+    for var in (0, 1, 2):  # _mk is the raw constructor; variables must exist
+        manager.var(var)
+    # Redundant test: mk(var, t, t) must collapse to t.
     v = manager.var(0)
     assert manager._mk(1, v, v) == v
-    # Sharing: building the same triple twice yields the same id.
+    # Sharing: building the same triple twice yields the same edge.
     left = manager._mk(2, 0, 1)
     right = manager._mk(2, 0, 1)
     assert left == right
+    # Complement normalization: a complemented high edge flips the result.
+    assert manager._mk(2, 1, 0) == manager._mk(2, 0, 1) ^ 1
 
 
-def test_unique_table_has_no_duplicate_rows(manager, abc):
+def test_high_edges_are_always_regular(manager, abc):
     a, b, c = abc
-    _ = (a & b) | (b & c) | (a ^ c)
-    rows = manager._nodes[2:]
-    assert len(rows) == len(set(rows))
+    _ = (a & b) | (b ^ c) | (~a & c)
+    for var, table in enumerate(manager._subtables):
+        for (lo, hi), node in table.items():
+            assert hi & 1 == 0, "stored high edge must be regular"
+            assert manager._lvl[node] < min(manager._lvl[lo >> 1], manager._lvl[hi >> 1])
+        assert len(set(table.values())) == len(table)
 
 
 def test_terminals_and_literals(manager):
@@ -78,7 +100,7 @@ def test_terminals_and_literals(manager):
 
 
 # ---------------------------------------------------------------------------
-# Apply cache
+# The unified ITE apply cache
 # ---------------------------------------------------------------------------
 
 
@@ -108,6 +130,18 @@ def test_apply_dispatcher_derived_ops(manager, abc):
     assert manager.apply("diff", a.node, b.node) == (a & ~b).node
     with pytest.raises(BDDError):
         manager.apply("nand", a.node, b.node)
+
+
+def test_bounded_cache_evicts_and_counts(manager, abc):
+    small = BDDManager(cache_limit=8)
+    vs = [BDDFunction.variable(small, i) for i in range(6)]
+    f = vs[0]
+    for v in vs[1:]:
+        f = (f & v) | (~f & ~v)
+    stats = {cache.name: cache for cache in small.stats().caches}
+    assert stats["ite"].evictions > 0
+    assert stats["ite"].size <= 8
+    assert stats["ite"].misses > 0
 
 
 # ---------------------------------------------------------------------------
@@ -178,11 +212,33 @@ def test_rename_rejects_order_violations(manager, abc):
 
 
 def test_rename_rejects_interleaving_with_unmapped_support(manager):
-    # {0: 5} is trivially monotone on its own, but moving level 0 past the
-    # *unmapped* support level 3 would build an unordered diagram.
+    # {0: 5} is trivially monotone on its own, but moving variable 0 past the
+    # *unmapped* support variable 3 would build an unordered diagram.
     f = BDDFunction.variable(manager, 0) & BDDFunction.variable(manager, 3)
     with pytest.raises(BDDError):
         f.rename({0: 5})
+
+
+def test_rename_cache_key_is_content_derived(manager, abc):
+    """Semantically identical mappings share cache entries (PR-4 bugfix).
+
+    The cache key used to be an arbitrary caller-supplied ``tag`` object, so
+    two equal mappings with different tags (or two equal dicts) missed each
+    other's entries.  The key is now derived from the mapping's sorted
+    content; any tag argument is ignored.
+    """
+    a, b, c = abc
+    f = (a & b) | c
+    first = manager.rename(f.node, {0: 10, 1: 11, 2: 12}, tag="one tag")
+    rename_stats = {cache.name: cache for cache in manager.stats().caches}["rename"]
+    misses_before = rename_stats.hits + rename_stats.misses  # snapshot via counters
+    hits_before = rename_stats.hits
+    # A *different* dict object with different tag but the same content.
+    second = manager.rename(f.node, {2: 12, 0: 10, 1: 11}, tag=("another", "tag"))
+    assert second == first
+    rename_stats = {cache.name: cache for cache in manager.stats().caches}["rename"]
+    assert rename_stats.hits > hits_before
+    assert rename_stats.hits + rename_stats.misses == misses_before + 1
 
 
 # ---------------------------------------------------------------------------
@@ -198,6 +254,12 @@ def test_sat_count_weights_free_variables(manager, abc):
     assert f.sat_count([0, 1, 2, 3, 4]) == 8
     assert BDDFunction.true(manager).sat_count(LEVELS) == 8
     assert BDDFunction.false(manager).sat_count(LEVELS) == 0
+
+
+def test_sat_count_of_complemented_edges(manager, abc):
+    a, b, c = abc
+    f = (a & b) | (b ^ c)
+    assert f.sat_count(LEVELS) + (~f).sat_count(LEVELS) == 8
 
 
 def test_sat_count_requires_support_coverage(manager, abc):
@@ -229,6 +291,178 @@ def test_cube_builder(manager):
     assert manager.evaluate(cube, {0: True, 2: False, 4: True})
     assert not manager.evaluate(cube, {0: True, 2: True, 4: True})
     assert manager.sat_count(cube, (0, 1, 2, 3, 4)) == 4
+
+
+# ---------------------------------------------------------------------------
+# Garbage collection and ManagerStats
+# ---------------------------------------------------------------------------
+
+
+def test_collect_reclaims_unreferenced_nodes_and_clears_caches(manager):
+    vs = [BDDFunction.variable(manager, i) for i in range(8)]
+    keep = (vs[0] & vs[1]) | (vs[2] ^ vs[3])
+    keep_table = brute_force(keep, tuple(range(8)))
+    # Build a pile of garbage whose handles die immediately.
+    for i in range(7):
+        _ = (vs[i] | ~vs[i + 1]) & (vs[0] ^ vs[i])
+    live_before = len(manager)
+    stats_before = manager.stats()
+    assert any(cache.size for cache in stats_before.caches)
+    freed = manager.collect()
+    stats_after = manager.stats()
+    assert freed > 0
+    assert len(manager) < live_before
+    # Caches are cleared automatically on GC.
+    assert all(cache.size == 0 for cache in stats_after.caches)
+    assert stats_after.gc_runs == stats_before.gc_runs + 1
+    assert stats_after.gc_reclaimed >= freed
+    # Externally referenced functions survive with identical semantics.
+    assert brute_force(keep, tuple(range(8))) == keep_table
+
+
+def test_handle_lifetime_drives_external_references(manager):
+    v = BDDFunction.variable(manager, 0)
+    w = BDDFunction.variable(manager, 1)
+    f = v & w
+    external_with = manager.stats().external_references
+    node = f.node
+    del f
+    assert manager.stats().external_references < external_with
+    # The dropped conjunction is garbage now; the literals are still held.
+    manager.collect()
+    assert manager.evaluate(v.node, {0: True})
+    assert node  # silences the linter; the raw id is dead after collect()
+
+
+def test_stats_snapshot_shape(manager, abc):
+    a, b, _ = abc
+    _ = a & b
+    stats = manager.stats()
+    assert stats.live_nodes == len(manager)
+    assert stats.peak_live_nodes >= stats.live_nodes
+    assert stats.num_vars == 3
+    payload = stats.as_dict()
+    assert set(payload["caches"]) == {"ite", "exists", "relprod", "rename", "restrict"}
+    ite = [cache for cache in stats.caches if cache.name == "ite"][0]
+    assert 0.0 <= ite.hit_rate <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Dynamic reordering
+# ---------------------------------------------------------------------------
+
+
+def _random_functions(manager, num_vars, count, seed):
+    import random
+
+    rng = random.Random(seed)
+    vs = [BDDFunction.variable(manager, i) for i in range(num_vars)]
+
+    def build(depth):
+        if depth == 0:
+            return rng.choice(vs)
+        op = rng.choice("&|^")
+        left, right = build(depth - 1), build(depth - 1)
+        return {"&": left & right, "|": left | right, "^": left ^ right}[op]
+
+    return [build(4) for _ in range(count)]
+
+
+def test_reorder_preserves_semantics_and_edges(manager):
+    functions = _random_functions(manager, 8, 10, seed=11)
+    tables = [brute_force(f, tuple(range(8))) for f in functions]
+    stats_before = manager.stats()
+    manager.reorder()
+    stats_after = manager.stats()
+    assert stats_after.reorder_runs == stats_before.reorder_runs + 1
+    assert stats_after.sift_swaps > 0
+    # Every handle's edge is still valid and denotes the same function.
+    for function, table in zip(functions, tables):
+        assert brute_force(function, tuple(range(8))) == table
+    # Caches do not survive a reorder.
+    assert all(cache.size == 0 for cache in stats_after.caches)
+
+
+def test_reorder_can_shrink_the_table(manager):
+    # A function with a known bad/good order: x0 x2 x4 ... interleaved
+    # equality pairs; the identity order (pairs split) is exponentially
+    # worse than the paired order, which sifting should approach.
+    pairs = 5
+    f = BDDFunction.true(manager)
+    for k in range(pairs):
+        left = BDDFunction.variable(manager, k)
+        right = BDDFunction.variable(manager, pairs + k)
+        f = f & (left.iff(right))
+    before = f.size
+    manager.reorder()
+    assert f.size < before
+
+
+def test_variable_groups_stay_contiguous(manager):
+    for i in range(6):
+        manager.var(i)
+    manager.set_variable_groups([(0, 1), (2, 3), (4, 5)])
+    functions = _random_functions(manager, 6, 6, seed=3)
+    tables = [brute_force(f, tuple(range(6))) for f in functions]
+    manager.reorder()
+    order = manager.var_order()
+    for pair in ((0, 1), (2, 3), (4, 5)):
+        assert order.index(pair[1]) == order.index(pair[0]) + 1, order
+    for function, table in zip(functions, tables):
+        assert brute_force(function, tuple(range(6))) == table
+
+
+def test_variable_group_validation(manager):
+    for i in range(4):
+        manager.var(i)
+    with pytest.raises(BDDError):
+        manager.set_variable_groups([(0, 1), (1, 2)])  # overlapping
+    with pytest.raises(BDDError):
+        manager.set_variable_groups([(0, 2)])  # not adjacent
+
+
+def test_order_persistence_round_trip(manager):
+    functions = _random_functions(manager, 8, 8, seed=5)
+    tables = [brute_force(f, tuple(range(8))) for f in functions]
+    manager.reorder()
+    saved = manager.var_order()
+    manager.set_var_order(tuple(range(8)))
+    assert manager.var_order() == tuple(range(8))
+    manager.set_var_order(saved)
+    assert manager.var_order() == saved
+    for function, table in zip(functions, tables):
+        assert brute_force(function, tuple(range(8))) == table
+    with pytest.raises(BDDError):
+        manager.set_var_order((0, 1))  # not a permutation of all variables
+
+
+def test_auto_reorder_threshold_triggers_and_doubles(manager):
+    auto = BDDManager(auto_reorder_threshold=64)
+    functions = _random_functions(auto, 10, 12, seed=9)
+    tables = [brute_force(f, tuple(range(10))) for f in functions]
+    stats = auto.stats()
+    assert stats.reorder_runs >= 1
+    assert auto.auto_reorder_threshold > 64
+    for function, table in zip(functions, tables):
+        assert brute_force(function, tuple(range(10))) == table
+
+
+def test_operations_stay_correct_after_reorder(manager):
+    functions = _random_functions(manager, 6, 4, seed=21)
+    manager.reorder()
+    a, b = functions[0], functions[1]
+    assert brute_force(a & b, tuple(range(6))) == (
+        brute_force(a, tuple(range(6))) & brute_force(b, tuple(range(6)))
+    )
+    quantified = a.exists([2, 3])
+    for values in product([False, True], repeat=6):
+        assignment = dict(enumerate(values))
+        expected = any(
+            a.evaluate({**assignment, 2: x, 3: y})
+            for x in (False, True)
+            for y in (False, True)
+        )
+        assert quantified.evaluate(assignment) == expected
 
 
 # ---------------------------------------------------------------------------

@@ -81,3 +81,38 @@ def test_python_dash_m_entry_point():
     )
     assert completed.returncode == 0, completed.stderr
     assert "M_2 via engine=bdd" in completed.stdout
+
+
+def test_profile_emits_json_with_phases_and_bdd_stats(capsys):
+    import json
+
+    exit_code = main(["--engine", "bdd", "--ring-size", "3", "--profile"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.err)
+    assert payload["engine"] == "bdd"
+    assert payload["ring_size"] == 3
+    phase_names = [phase["name"] for phase in payload["phases"]]
+    assert phase_names[0] == "build"
+    assert any(name.startswith("check property ") for name in phase_names)
+    assert all(phase["seconds"] >= 0 for phase in payload["phases"])
+    bdd = payload["bdd"]
+    assert bdd["peak_live_nodes"] >= bdd["live_nodes"] > 0
+    assert set(bdd["caches"]) == {"ite", "exists", "relprod", "rename", "restrict"}
+
+
+def test_profile_on_explicit_engine_has_no_bdd_section(capsys):
+    import json
+
+    exit_code = main(["--engine", "bitset", "--ring-size", "3", "--profile"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.err)
+    assert payload["engine"] == "bitset"
+    assert "bdd" not in payload
+    assert payload["total_seconds"] >= 0
+
+
+def test_profile_with_experiments_rejected(capsys):
+    assert main(["--experiments", "--profile"]) == 2
+    assert "--profile" in capsys.readouterr().err

@@ -54,6 +54,60 @@ def test_preimage_and_image_match_adjacency(branching_structure):
         ) == branching_structure.successors(state)
 
 
+def test_constrained_preimage_equals_intersected_preimage(branching_structure):
+    """``preimage(t, constraint=c)`` must equal ``c ∧ preimage(t)`` for any sets."""
+    encoded = symbolic_structure(branching_structure)
+    manager = encoded.manager
+    states = sorted(branching_structure.states, key=repr)
+    cubes = {state: manager.cube(encoded.encode_state(state)) for state in states}
+    import itertools
+
+    sets = [0, encoded.domain] + [
+        manager.apply_or(cubes[a], cubes[b])
+        for a, b in itertools.combinations(states, 2)
+    ]
+    for target in sets:
+        unconstrained = encoded.preimage(target)
+        for constraint in sets:
+            expected = manager.apply_and(constraint, unconstrained)
+            assert encoded.preimage(target, constraint=constraint) == expected
+
+
+def test_shared_manager_preserves_existing_sifting_groups():
+    """A second encoding on a shared manager must not dissolve the first's pairs."""
+    from repro.bdd import BDDManager
+
+    manager = BDDManager()
+    wide = SymbolicKripkeStructure(
+        manager,
+        3,
+        [manager.cube({bit: False for bit in range(6)})],
+        manager.cube({0: False, 2: False, 4: False}),
+        manager.cube({0: False, 2: False, 4: False}),
+        {},
+    )
+    narrow = SymbolicKripkeStructure(
+        manager,
+        1,
+        [manager.cube({0: False, 1: False})],
+        manager.cube({0: False}),
+        manager.cube({0: False}),
+        {},
+    )
+    groups = set(manager.variable_groups())
+    assert {(0, 1), (2, 3), (4, 5)} <= groups
+    manager.reorder()
+    order = manager.var_order()
+    for current, nxt in ((0, 1), (2, 3), (4, 5)):
+        assert order.index(nxt) == order.index(current) + 1
+    # Both encodings' current→next renames keep working after the reorder
+    # (a split pair would raise BDDError inside preimage).
+    wide_pre = wide.preimage(wide.domain)
+    narrow_pre = narrow.preimage(narrow.domain)
+    assert manager.apply_and(wide_pre, manager.negate(wide.domain)) == 0
+    assert manager.apply_and(narrow_pre, manager.negate(narrow.domain)) == 0
+
+
 def test_reachable_respects_unreachable_states():
     structure = KripkeStructure(
         states=["a", "b", "island"],
@@ -190,6 +244,33 @@ def test_symbolic_ring_state_counts_via_satisfy_count():
 def test_symbolic_ring_rejects_empty_ring():
     with pytest.raises(StructureError):
         token_ring.symbolic_token_ring(0)
+
+
+def test_symbolic_ring_survives_reorder():
+    """Sifting the ring encoding must not change any engine-visible answer.
+
+    The current/next pairs are registered as sifting groups, so the c2n/n2c
+    renames stay order-preserving and image computation keeps working after
+    the variable order changes.
+    """
+    from repro.mc.symbolic import SymbolicCTLModelChecker
+
+    symbolic = token_ring.symbolic_token_ring(4)
+    explicit = token_ring.build_token_ring(4)
+    checker = SymbolicCTLModelChecker(symbolic)
+    family = {**token_ring.ring_properties(), **token_ring.ring_invariants()}
+    before = checker.check_batch(family)
+    symbolic.manager.reorder()
+    order = symbolic.manager.var_order()
+    for bit in range(symbolic.num_bits):
+        assert order.index(2 * bit + 1) == order.index(2 * bit) + 1
+    # Old memoised answers still decode; a fresh checker recomputes the same.
+    assert checker.check_batch(family) == before
+    fresh = SymbolicCTLModelChecker(symbolic)
+    assert fresh.check_batch(family) == before
+    assert symbolic.states_of(symbolic.domain) == explicit.states
+    assert symbolic.num_states == explicit.num_states
+    assert symbolic.num_transitions == explicit.num_transitions
 
 
 def test_states_of_requires_decoder():

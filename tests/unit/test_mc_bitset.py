@@ -75,6 +75,49 @@ def test_check_batch_shares_one_compilation(branching_structure):
     assert set(keyed) == set(formulas)
 
 
+def test_label_batch_computes_each_shared_subformula_once(branching_structure):
+    checker = BitsetCTLModelChecker(branching_structure)
+    computed = []
+    original = checker._compute
+
+    def counting_compute(formula):
+        computed.append(formula)
+        return original(formula)
+
+    checker._compute = counting_compute
+    # Three formulas sharing the sub-formula (p | q) and the atoms.
+    shared = parse("p | q")
+    family = [
+        parse("E F (p | q)"),
+        parse("A G (p | q)"),
+        parse("(p | q) & E X p"),
+    ]
+    results = checker.check_batch(family)
+    fresh = BitsetCTLModelChecker(branching_structure)
+    assert results == {formula: fresh.check(formula) for formula in family}
+    assert computed.count(shared) == 1
+    assert computed.count(parse("p")) == 1
+    assert computed.count(parse("q")) == 1
+    # Every distinct sub-formula landed in the shared bitmask table.
+    assert shared in checker._cache
+    for formula in family:
+        assert formula in checker._cache
+
+
+def test_label_batch_matches_individual_checks(ring3):
+    from repro.logic.transform import instantiate_quantifiers
+    from repro.systems import token_ring
+
+    family = [
+        instantiate_quantifiers(formula, ring3.index_values)
+        for formula in token_ring.ring_properties().values()
+    ]
+    batch = BitsetCTLModelChecker(ring3).check_batch(family)
+    fresh = BitsetCTLModelChecker(ring3)
+    for formula in family:
+        assert batch[formula] == fresh.check(formula)
+
+
 def test_bitset_rejects_index_quantifiers(branching_structure):
     checker = BitsetCTLModelChecker(branching_structure)
     with pytest.raises(FragmentError):
