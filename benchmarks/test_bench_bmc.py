@@ -1,0 +1,151 @@
+"""Head-to-head: SAT-based bounded model checking vs. the symbolic BDD engine.
+
+Two workloads over the direct token-ring encodings at ``r ∈ {8, 12, 16}``:
+
+* **time-to-counterexample** on the seeded-bug ring (the token-duplication
+  rule, which breaks ``AG Θ_i t_i`` two transitions from the initial state)
+  — the BDD engine pays for reachable-set construction before its ``EF``
+  fixpoint can refute, while the BMC engine unrolls the same clustered
+  relation parts into an incremental CDCL solver and stops at depth 2;
+* **k-induction proof time** for the true one-token invariant on the
+  correct ring, on the *free* domain (no reachability fixpoint anywhere) —
+  the invariant is 1-inductive, so this measures one unrolling plus two SAT
+  calls per size.
+
+Every benchmark publishes the verdict provenance, counterexample depth and
+SAT statistics (conflicts/decisions/propagations) through ``extra_info``
+into the ``BENCH_*.json`` artifact flow, so future PRs can diff the BMC
+engine's trajectory exactly like the symbolic core's.  The ``r = 8`` points
+are in the CI ``bench_smoke`` subset.
+
+``test_bmc_counterexample_matches_bitset_oracle`` is the correctness guard:
+the decoded SAT counterexample must be a genuine path of the explicit buggy
+ring, end in a violating state, and have the same (minimal) depth as the
+bitset engine's BFS counterexample.
+"""
+
+import pytest
+
+from repro.kripke.paths import is_path
+from repro.logic.builders import exactly_one
+from repro.mc import BoundedModelChecker, SymbolicCTLModelChecker, counterexample_ag
+from repro.systems import mutex, token_ring
+
+_SIZES = [
+    pytest.param(8, marks=pytest.mark.bench_smoke),
+    12,
+    16,
+]
+
+#: Falsification depth cap — the seeded bugs sit at depth 2 (ring) / 4
+#: (mutex), so this is generous headroom, not a tuning knob.
+_BOUND = 8
+
+
+def _bdd_falsify(size):
+    structure = token_ring.symbolic_token_ring(size, buggy=True)
+    verdict = SymbolicCTLModelChecker(structure).check(token_ring.invariant_one_token())
+    return structure, verdict
+
+
+def _bmc_falsify(size):
+    structure = token_ring.symbolic_token_ring(size, buggy=True, domain="free")
+    checker = BoundedModelChecker(structure, bound=_BOUND)
+    verdict = checker.check(token_ring.invariant_one_token())
+    return checker, verdict
+
+
+def _bmc_prove(size):
+    structure = token_ring.symbolic_token_ring(size, domain="free")
+    checker = BoundedModelChecker(structure, bound=_BOUND)
+    verdict = checker.check(token_ring.invariant_one_token())
+    return checker, verdict
+
+
+@pytest.mark.parametrize("size", _SIZES)
+def test_bdd_falsification_buggy_ring(benchmark, size):
+    """BDD end-to-end time-to-counterexample (build + reachability + EF fixpoint)."""
+    benchmark.group = "falsify-buggy-ring-r%d" % size
+    benchmark.extra_info["n"] = size
+    benchmark.extra_info["engine"] = "bdd"
+    structure, verdict = benchmark.pedantic(_bdd_falsify, args=(size,), rounds=1, iterations=1)
+    benchmark.extra_info["states"] = structure.num_states
+    benchmark.extra_info["peak_live_nodes"] = structure.manager.stats().peak_live_nodes
+    assert not verdict
+
+
+@pytest.mark.parametrize("size", _SIZES)
+def test_bmc_falsification_buggy_ring(benchmark, size):
+    """BMC end-to-end time-to-counterexample (build, no fixpoint + SAT per depth)."""
+    benchmark.group = "falsify-buggy-ring-r%d" % size
+    benchmark.extra_info["n"] = size
+    benchmark.extra_info["engine"] = "bmc"
+    checker, verdict = benchmark.pedantic(_bmc_falsify, args=(size,), rounds=1, iterations=1)
+    assert not verdict
+    assert checker.last_counterexample is not None
+    depth = len(checker.last_counterexample) - 1
+    stats = checker.stats()
+    benchmark.extra_info["counterexample_depth"] = depth
+    benchmark.extra_info["sat_conflicts"] = stats["conflicts"]
+    benchmark.extra_info["sat_decisions"] = stats["decisions"]
+    benchmark.extra_info["sat_propagations"] = stats["propagations"]
+    assert depth == 2  # delay one process, let it jump the token queue
+
+
+@pytest.mark.parametrize("size", _SIZES)
+def test_kinduction_proof_one_token(benchmark, size):
+    """k-induction proves ``AG Θ_i t_i`` on the free domain — no bound ceiling, no fixpoint."""
+    benchmark.group = "kinduction-one-token"
+    benchmark.extra_info["n"] = size
+    benchmark.extra_info["engine"] = "bmc"
+    checker, verdict = benchmark.pedantic(_bmc_prove, args=(size,), rounds=1, iterations=1)
+    assert verdict
+    assert checker.last_detail == "proved by 1-induction"
+    stats = checker.stats()
+    benchmark.extra_info["detail"] = checker.last_detail
+    benchmark.extra_info["sat_conflicts"] = stats["conflicts"]
+    benchmark.extra_info["sat_propagations"] = stats["propagations"]
+
+
+@pytest.mark.bench_smoke
+def test_bmc_falsification_buggy_mutex(benchmark):
+    """The seeded test-and-set race in mutex(10): found at depth 4 by BMC."""
+    size = 10
+    benchmark.group = "falsify-buggy-mutex"
+    benchmark.extra_info["n"] = size
+    benchmark.extra_info["engine"] = "bmc"
+
+    def falsify():
+        structure = mutex.symbolic_mutex(size, buggy=True, domain="free")
+        checker = BoundedModelChecker(structure, bound=_BOUND)
+        return checker, checker.check(mutex.mutex_safety(size))
+
+    checker, verdict = benchmark.pedantic(falsify, rounds=1, iterations=1)
+    assert not verdict
+    depth = len(checker.last_counterexample) - 1
+    benchmark.extra_info["counterexample_depth"] = depth
+    assert depth == 4  # request, acquire, request, buggy acquire
+
+
+@pytest.mark.bench_smoke
+def test_bmc_counterexample_matches_bitset_oracle(benchmark):
+    """Correctness guard at r=6: decoded SAT path == a real minimal counterexample."""
+    size = 6
+    benchmark.group = "bmc-oracle-crosscheck"
+    benchmark.extra_info["n"] = size
+    explicit = token_ring.build_token_ring(size, buggy=True)
+
+    def bmc_path():
+        structure = token_ring.symbolic_token_ring(size, buggy=True, domain="free")
+        checker = BoundedModelChecker(structure, bound=_BOUND)
+        return checker.invariant_counterexample(exactly_one("t"))
+
+    path = benchmark.pedantic(bmc_path, rounds=1, iterations=1)
+    assert path is not None
+    assert path[0] == explicit.initial_state
+    assert is_path(explicit, path)
+    assert not explicit.atom_holds(path[-1], exactly_one("t"))
+    oracle = counterexample_ag(explicit, exactly_one("t"), engine="bitset")
+    assert oracle is not None
+    assert len(path) == len(oracle)
+    benchmark.extra_info["depth"] = len(path) - 1

@@ -18,6 +18,7 @@ E8     Section 1/5 — state explosion vs. correspondence-based verification
 E9     Section 6 — the k-nesting conjecture on free products
 E10    Section 3 — scaling of the correspondence decision algorithm
 E11    Section 5 — liveness under fairness (``AF t_i`` on fair vs. unfair rings)
+E12    BMC vs. BDD — falsification race on seeded-bug rings (SAT engine)
 =====  ======================================================================
 """
 
@@ -64,6 +65,7 @@ __all__ = [
     "run_e9_conjecture",
     "run_e10_scaling",
     "run_e11_fairness",
+    "run_e12_bmc",
     "run_all",
 ]
 
@@ -498,6 +500,97 @@ def run_e11_fairness(
 
 
 # ---------------------------------------------------------------------------
+# E12 — SAT-based bounded model checking vs. the BDD engine
+# ---------------------------------------------------------------------------
+
+
+def run_e12_bmc(
+    sizes: Sequence[int] = (6, 8),
+    oracle_size: int = 6,
+    bound: int = 10,
+) -> Dict:
+    """E12 — BMC-vs-BDD falsification race on seeded-bug token rings.
+
+    Each ring carries the seeded token-duplication bug
+    (:func:`~repro.systems.token_ring.ring_successors` with ``buggy=True``),
+    which breaks the one-token invariant ``AG Θ_i t_i`` two transitions from
+    the initial state.  Per size, both engines falsify the invariant end to
+    end — the BDD engine builds the reachable-domain encoding (paying the
+    symbolic reachability fixpoint) and runs the ``EF`` fixpoint; the BMC
+    engine builds the free-domain encoding (no fixpoint) and asks an
+    incremental SAT solver one question per depth.  The point reproduced is
+    the classic division of labour: BMC cost tracks the *bound* while BDD
+    cost tracks the *reachable set*, so the shallow bug is exactly the
+    BMC-shaped workload.
+
+    At ``oracle_size`` the SAT counterexample is decoded into ring states
+    and validated against the explicit buggy ring — it must be a genuine
+    path from the initial state whose final state violates the invariant,
+    of exactly the depth the bitset engine's BFS counterexample has (both
+    are depth-minimal).
+    """
+    from repro.kripke.paths import is_path
+    from repro.logic.builders import exactly_one
+    from repro.mc import BoundedModelChecker, counterexample_ag
+
+    formula = token_ring.invariant_one_token()
+    rows = []
+    for size in sizes:
+        bdd_build = timed_call(token_ring.symbolic_token_ring, size, buggy=True)
+        bdd_check = timed_call(
+            SymbolicCTLModelChecker(bdd_build.value).check, formula
+        )
+        bmc_build = timed_call(
+            token_ring.symbolic_token_ring, size, buggy=True, domain="free"
+        )
+        checker = BoundedModelChecker(bmc_build.value, bound=bound)
+        bmc_check = timed_call(checker.check, formula)
+        depth = (
+            len(checker.last_counterexample) - 1
+            if checker.last_counterexample is not None
+            else None
+        )
+        rows.append(
+            {
+                "size": size,
+                "bdd_verdict": bdd_check.value,
+                "bdd_seconds": bdd_build.seconds + bdd_check.seconds,
+                "bmc_verdict": bmc_check.value,
+                "bmc_seconds": bmc_build.seconds + bmc_check.seconds,
+                "counterexample_depth": depth,
+                "sat": checker.stats(),
+            }
+        )
+
+    # Decode-and-validate against the explicit buggy ring + the bitset oracle.
+    explicit = token_ring.build_token_ring(oracle_size, buggy=True)
+    free = token_ring.symbolic_token_ring(oracle_size, buggy=True, domain="free")
+    oracle_checker = BoundedModelChecker(free, bound=bound)
+    bmc_path = oracle_checker.invariant_counterexample(exactly_one("t"))
+    bitset_path = counterexample_ag(explicit, exactly_one("t"), engine="bitset")
+    path_valid = (
+        bmc_path is not None
+        and bmc_path[0] == explicit.initial_state
+        and is_path(explicit, bmc_path)
+        and not explicit.atom_holds(bmc_path[-1], exactly_one("t"))
+    )
+    return {
+        "rows": rows,
+        "bound": bound,
+        "oracle_size": oracle_size,
+        "bmc_found_everywhere": all(not row["bmc_verdict"] for row in rows),
+        "bdd_agrees_everywhere": all(not row["bdd_verdict"] for row in rows),
+        "counterexample_valid": path_valid,
+        "bmc_depth_matches_bitset_oracle": (
+            bmc_path is not None
+            and bitset_path is not None
+            and len(bmc_path) == len(bitset_path)
+        ),
+        "bmc_counterexample": [repr(state) for state in (bmc_path or [])],
+    }
+
+
+# ---------------------------------------------------------------------------
 # Everything at once
 # ---------------------------------------------------------------------------
 
@@ -528,5 +621,9 @@ def run_all(quick: bool = True, engine: str = "bitset") -> Dict[str, Dict]:
             sizes=(2, 3) if quick else (2, 4, 8),
             symbolic_sizes=(6,) if quick else (10, 20),
             engine=engine,
+        ),
+        "E12_bmc": run_e12_bmc(
+            sizes=(4, 6) if quick else (6, 8, 12),
+            oracle_size=4 if quick else 6,
         ),
     }

@@ -10,14 +10,19 @@ requested engine, printing a small results table::
       transitions : 61430
       ...
 
-With ``--engine bdd`` the ring is encoded *directly* as binary decision
-diagrams (the explicit global state graph is never built), so sizes well
-beyond the explicit engines' range remain tractable; with ``naive``/``bitset``
-the explicit graph is built first, exactly like the library's programmatic
-path.  ``--fairness`` switches every check to the fairness-constrained
-semantics (per-process scheduler fairness) and adds the fairness-dependent
-``AF t_i`` liveness family.  ``--experiments`` instead replays the full
-E1–E11 experiment suite and prints one summary line per experiment.
+The engine choices come from :data:`repro.mc.bitset.ENGINE_NAMES`.  With
+``--engine bdd`` the ring is encoded *directly* as binary decision diagrams
+(the explicit global state graph is never built), so sizes well beyond the
+explicit engines' range remain tractable; with the explicit engines the
+global graph is built first, exactly like the library's programmatic path.
+``--engine bmc`` unrolls the same direct encoding into an incremental SAT
+solver: the Section 5 invariants are proved by k-induction (or refuted with
+a depth-minimal counterexample within ``--bound``), and the properties
+outside the BMC invariant fragment are reported as skipped.  ``--fairness``
+switches every check to the fairness-constrained semantics (per-process
+scheduler fairness) and adds the fairness-dependent ``AF t_i`` liveness
+family.  ``--experiments`` instead replays the full E1–E12 experiment suite
+and prints one summary line per experiment.
 
 The process exits non-zero when a checked property is violated (or an
 experiment's headline claim fails to reproduce), so the command doubles as a
@@ -31,7 +36,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.timing import timed_call
-from repro.mc.bitset import CTL_ENGINES
+from repro.mc.bitset import ENGINE_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -41,14 +46,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-mc",
         description=(
             "Model check the Clarke-Grumberg-Browne token ring (PODC '86) "
-            "with the naive, bitset, or symbolic BDD engine."
+            "with one of the engines: %s." % ", ".join(ENGINE_NAMES)
         ),
     )
     parser.add_argument(
         "--engine",
-        choices=CTL_ENGINES,
+        choices=ENGINE_NAMES,
         default="bitset",
-        help="CTL engine to use (default: bitset; bdd never builds the explicit graph)",
+        help=(
+            "engine to use (default: bitset; bdd and bmc never build the "
+            "explicit graph)"
+        ),
     )
     parser.add_argument(
         "--ring-size",
@@ -56,6 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         metavar="N",
         help="number of processes r of the token ring M_r (default: 4)",
+    )
+    parser.add_argument(
+        "--bound",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "with --engine bmc: falsification/induction depth ceiling "
+            "(default: %d)" % _default_bound()
+        ),
     )
     parser.add_argument(
         "--fairness",
@@ -69,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--experiments",
         action="store_true",
-        help="run the full E1-E11 experiment suite instead of a single ring check",
+        help="run the full E1-E12 experiment suite instead of a single ring check",
     )
     parser.add_argument(
         "--profile",
@@ -77,7 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "emit a JSON profile to stderr: per-phase wall times (build, each "
             "check) plus, for the bdd engine, live/peak node counts, cache "
-            "hit/miss/evict statistics, and GC/reorder activity"
+            "hit/miss/evict statistics, and GC/reorder activity, and, for the "
+            "bmc engine, SAT statistics (conflicts, decisions, propagations, "
+            "learned clauses)"
         ),
     )
     parser.add_argument(
@@ -88,7 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_ring_check(engine: str, size: int, fairness: bool, out, profile: bool = False) -> bool:
+def _default_bound() -> int:
+    from repro.mc.bmc import DEFAULT_BOUND
+
+    return DEFAULT_BOUND
+
+
+def _run_ring_check(
+    engine: str,
+    size: int,
+    fairness: bool,
+    out,
+    profile: bool = False,
+    bound: Optional[int] = None,
+) -> bool:
+    from repro.errors import FragmentError
     from repro.systems import token_ring
 
     family = {}
@@ -110,6 +144,17 @@ def _run_ring_check(engine: str, size: int, fairness: bool, out, profile: bool =
         structure = built.value
         checker = SymbolicCTLModelChecker(structure, fairness=constraint)
         descriptor = "direct symbolic encoding"
+    elif engine == "bmc":
+        from repro.mc.bmc import BoundedModelChecker
+
+        # The free domain skips the symbolic reachability fixpoint — the
+        # whole point of BMC is that the bound, not the reachable set, pays.
+        built = timed_call(token_ring.symbolic_token_ring, size, domain="free")
+        structure = built.value
+        checker = BoundedModelChecker(
+            structure, bound=_default_bound() if bound is None else bound
+        )
+        descriptor = "SAT unrolling of the direct encoding, bound=%d" % checker.bound
     else:
         from repro.mc.indexed import ICTLStarModelChecker
 
@@ -121,21 +166,38 @@ def _run_ring_check(engine: str, size: int, fairness: bool, out, profile: bool =
     print("M_%d via engine=%s (%s)" % (size, engine, descriptor), file=out)
     if constraint is not None:
         print("  fairness    : %d conditions (d_i | t_i per process)" % len(constraint), file=out)
-    print("  states      : %d" % structure.num_states, file=out)
-    print("  transitions : %d" % structure.num_transitions, file=out)
+    if engine == "bmc":
+        # No reachability fixpoint ran, so state counts are not available.
+        print("  state bits  : %d" % structure.num_bits, file=out)
+    else:
+        print("  states      : %d" % structure.num_states, file=out)
+        print("  transitions : %d" % structure.num_transitions, file=out)
     print("  build       : %.4fs" % built.seconds, file=out)
     print("", file=out)
     print("  %-34s %-8s %s" % ("check", "verdict", "seconds"), file=out)
     all_hold = True
+    skipped = []
     phases = [{"name": "build", "seconds": built.seconds}]
     for name, formula in family.items():
-        checked = timed_call(checker.check, formula)
+        try:
+            checked = timed_call(checker.check, formula)
+        except FragmentError:
+            skipped.append(name)
+            continue
         all_hold = all_hold and checked.value
         phases.append({"name": "check %s" % name, "seconds": checked.seconds})
-        print("  %-34s %-8s %.4f" % (name, checked.value, checked.seconds), file=out)
+        verdict = str(checked.value)
+        if engine == "bmc" and checker.last_detail:
+            verdict = "%s (%s)" % (checked.value, checker.last_detail)
+        print("  %-34s %-8s %.4f" % (name, verdict, checked.seconds), file=out)
+    for name in skipped:
+        print("  %-34s %-8s" % (name, "skipped (outside the BMC invariant fragment)"), file=out)
     print("", file=out)
+    checked_what = "checked Section 5 properties and invariants" if skipped else (
+        "all Section 5 properties and invariants"
+    )
     if all_hold:
-        print("  all Section 5 properties and invariants hold on M_%d" % size, file=out)
+        print("  %s hold on M_%d" % (checked_what, size), file=out)
     else:
         print("  FAILURE: some property/invariant is violated on M_%d" % size, file=out)
     if profile:
@@ -150,6 +212,10 @@ def _run_ring_check(engine: str, size: int, fairness: bool, out, profile: bool =
         }
         if engine == "bdd":
             payload["bdd"] = structure.manager.stats().as_dict()
+        if engine == "bmc":
+            payload["bdd"] = structure.manager.stats().as_dict()
+            payload["sat"] = checker.stats()
+            payload["bound"] = checker.bound
         print(json.dumps(payload, indent=2, sort_keys=True), file=sys.stderr)
     return all_hold
 
@@ -180,13 +246,19 @@ _EXPERIMENT_HEADLINES = {
         and r["engines_agree"]
         and r["counterexample_valid"]
     ),
+    "E12_bmc": lambda r: (
+        r["bmc_found_everywhere"]
+        and r["bdd_agrees_everywhere"]
+        and r["counterexample_valid"]
+        and r["bmc_depth_matches_bitset_oracle"]
+    ),
 }
 
 
 def _run_experiments(engine: str, quick: bool, out) -> bool:
     from repro.analysis import experiments
 
-    print("running E1-E11 (engine=%s, quick=%s)" % (engine, quick), file=out)
+    print("running E1-E12 (engine=%s, quick=%s)" % (engine, quick), file=out)
     ran = timed_call(experiments.run_all, quick=quick, engine=engine)
     print("  %-20s %s" % ("experiment", "reproduced"), file=out)
     ok = True
@@ -205,7 +277,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.ring_size < 1:
         print("error: --ring-size must be at least 1", file=sys.stderr)
         return 2
+    if args.bound is not None and args.engine != "bmc":
+        print("error: --bound only applies to --engine bmc", file=sys.stderr)
+        return 2
+    if args.bound is not None and args.bound < 0:
+        print("error: --bound must be non-negative", file=sys.stderr)
+        return 2
+    if args.engine == "bmc" and args.fairness:
+        print(
+            "error: the bmc engine does not implement fairness-constrained "
+            "semantics; use bitset, naive, or bdd",
+            file=sys.stderr,
+        )
+        return 2
     if args.experiments:
+        if args.engine == "bmc":
+            print(
+                "error: the experiment suite sweeps the full-CTL engines; the "
+                "BMC story is replayed as E12 under any of them",
+                file=sys.stderr,
+            )
+            return 2
         if args.fairness:
             print(
                 "error: --fairness applies to single ring checks; the experiment "
@@ -222,7 +314,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         ok = _run_experiments(args.engine, args.quick, out)
     else:
         ok = _run_ring_check(
-            args.engine, args.ring_size, args.fairness, out, profile=args.profile
+            args.engine,
+            args.ring_size,
+            args.fairness,
+            out,
+            profile=args.profile,
+            bound=args.bound,
         )
     return 0 if ok else 1
 

@@ -16,6 +16,7 @@ __all__ = [
     "StructureError",
     "ValidationError",
     "ModelCheckingError",
+    "InconclusiveError",
     "CorrespondenceError",
     "CompositionError",
     "BDDError",
@@ -74,6 +75,16 @@ class ValidationError(StructureError):
 
 class ModelCheckingError(ReproError):
     """A model-checking run could not be carried out."""
+
+
+class InconclusiveError(ModelCheckingError):
+    """A bounded method exhausted its bound without deciding the property.
+
+    Raised by the SAT-based bounded model checker when neither a
+    counterexample (within the falsification bound) nor a k-induction proof
+    (within the induction bound) was found — the property may still hold or
+    fail at greater depths.
+    """
 
 
 class CorrespondenceError(ReproError):

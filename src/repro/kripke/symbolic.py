@@ -498,6 +498,31 @@ class SymbolicKripkeStructure:
             raise BDDError("this symbolic structure has no state encoder")
         return self._encode_assignment(state)
 
+    def decode_state(self, model: Mapping[int, bool]) -> State:
+        """Decode a current-variable truth assignment into one source state.
+
+        Family encodings use their ``decode_assignment`` callback; explicit
+        encodings invert the binary state numbering of
+        :meth:`from_explicit`.  This is how the SAT-based bounded model
+        checker (:mod:`repro.mc.bmc`) turns solver models back into genuine
+        counterexample states.
+        """
+        if self._decode_assignment is not None:
+            return self._decode_assignment(model)
+        if self._source is not None:
+            compiled = compile_structure(self._source)
+            index = 0
+            for bit in range(self._num_bits):
+                if model.get(2 * bit, False):
+                    index |= 1 << bit
+            if index >= compiled.num_states:
+                raise BDDError(
+                    "assignment decodes to state index %d, outside the %d-state "
+                    "source structure" % (index, compiled.num_states)
+                )
+            return compiled.states[index]
+        raise BDDError("this symbolic structure has no state decoder")
+
     def holds_at(self, node: int, state: State) -> bool:
         """Decide whether ``state`` belongs to the set encoded by ``node``."""
         return self.manager.evaluate(node, self.encode_state(state))

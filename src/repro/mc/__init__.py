@@ -1,6 +1,9 @@
-"""Model checkers: CTL (naive, bitset, and symbolic BDD engines, each with optional
-fairness-constrained semantics), existential LTL, CTL*, and indexed CTL*."""
+"""Model checkers: CTL (the :data:`~repro.mc.bitset.ENGINE_NAMES` registry — naive,
+bitset, and symbolic BDD fixpoint engines with optional fairness-constrained
+semantics, plus the SAT-based bounded model checker), existential LTL, CTL*,
+and indexed CTL*."""
 
+from repro.mc.bmc import BoundedModelChecker
 from repro.mc.counterexample import (
     counterexample_af,
     counterexample_ag,
@@ -11,7 +14,12 @@ from repro.mc.counterexample import (
 )
 from repro.mc.fairness import FairnessConstraint, normalize_fairness
 from repro.mc.scc import strongly_connected_components
-from repro.mc.bitset import CTL_ENGINES, BitsetCTLModelChecker, make_ctl_checker
+from repro.mc.bitset import (
+    CTL_ENGINES,
+    ENGINE_NAMES,
+    BitsetCTLModelChecker,
+    make_ctl_checker,
+)
 from repro.mc.bitset import check as check_ctl_bitset
 from repro.mc.bitset import satisfaction_set as bitset_satisfaction_set
 from repro.mc.ctl import CTLModelChecker
@@ -37,7 +45,9 @@ from repro.mc.oracle import (
 
 __all__ = [
     "BitsetCTLModelChecker",
+    "BoundedModelChecker",
     "CTL_ENGINES",
+    "ENGINE_NAMES",
     "CTLModelChecker",
     "FairnessConstraint",
     "normalize_fairness",

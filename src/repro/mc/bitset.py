@@ -66,6 +66,7 @@ from repro.logic.ast import (
 __all__ = [
     "BitsetCTLModelChecker",
     "CTL_ENGINES",
+    "ENGINE_NAMES",
     "make_ctl_checker",
     "satisfaction_set",
     "check",
@@ -73,9 +74,18 @@ __all__ = [
 
 _ATOMIC = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
 
-#: The recognised CTL engines: the two explicit-state engines plus the
-#: symbolic BDD engine of :mod:`repro.mc.symbolic`.
-CTL_ENGINES = ("bitset", "naive", "bdd")
+#: Every registered model-checking engine, in registry order — the single
+#: source of truth for engine names everywhere (the CLI, the docstrings, the
+#: parametrised tests).  ``"bitset"``, ``"naive"`` and ``"bdd"`` decide full
+#: CTL by fixpoint computation; ``"bmc"`` is the SAT-based bounded model
+#: checker of :mod:`repro.mc.bmc`, which decides the invariant fragment
+#: (falsification + k-induction proofs) only.
+ENGINE_NAMES = ("bitset", "naive", "bdd", "bmc")
+
+#: The engines computing full CTL *satisfaction sets* — the differential-
+#: testing set replayed by :func:`repro.mc.oracle.crosscheck_ctl_engines`.
+#: ``"bmc"`` is deliberately excluded: it produces single verdicts, not sets.
+CTL_ENGINES = tuple(name for name in ENGINE_NAMES if name != "bmc")
 
 
 class BitsetCTLModelChecker:
@@ -434,20 +444,25 @@ def make_ctl_checker(
     engine: str = "bitset",
     validate_structure: bool = True,
     fairness: Optional[FairnessConstraint] = None,
+    bound: Optional[int] = None,
 ):
-    """Construct a CTL checker for ``structure`` using the named engine.
+    """Construct a model checker for ``structure`` using the named engine.
 
-    ``engine="bitset"`` returns a :class:`BitsetCTLModelChecker`;
-    ``engine="naive"`` returns the frozenset-based
+    The engines (see :data:`ENGINE_NAMES`): ``"bitset"`` returns a
+    :class:`BitsetCTLModelChecker`; ``"naive"`` returns the frozenset-based
     :class:`repro.mc.ctl.CTLModelChecker` (the differential-testing oracle);
-    ``engine="bdd"`` returns the symbolic
+    ``"bdd"`` returns the symbolic
     :class:`repro.mc.symbolic.SymbolicCTLModelChecker`, which runs the CTL
-    fixpoints on binary decision diagrams instead of enumerated state sets.
+    fixpoints on binary decision diagrams instead of enumerated state sets;
+    ``"bmc"`` returns the SAT-based
+    :class:`repro.mc.bmc.BoundedModelChecker`, which decides the invariant
+    fragment by bounded falsification and k-induction (``bound`` caps its
+    unrolling depth and is ignored by the other engines).
 
     With ``fairness`` (a :class:`repro.mc.fairness.FairnessConstraint`) the
     returned checker decides the fairness-constrained CTL semantics: path
     quantifiers range over the paths visiting every fairness set infinitely
-    often.
+    often (rejected by ``"bmc"``).
     """
     if engine == "bitset":
         return BitsetCTLModelChecker(
@@ -469,8 +484,19 @@ def make_ctl_checker(
         return SymbolicCTLModelChecker(
             structure, validate_structure=validate_structure, fairness=fairness
         )
+    if engine == "bmc":
+        from repro.mc.bmc import DEFAULT_BOUND, BoundedModelChecker
+
+        if isinstance(structure, CompiledKripkeStructure):
+            structure = structure.source
+        return BoundedModelChecker(
+            structure,
+            bound=DEFAULT_BOUND if bound is None else bound,
+            validate_structure=validate_structure,
+            fairness=fairness,
+        )
     raise ModelCheckingError(
-        "unknown CTL engine %r; expected one of %s" % (engine, ", ".join(CTL_ENGINES))
+        "unknown engine %r; expected one of %s" % (engine, ", ".join(ENGINE_NAMES))
     )
 
 

@@ -15,9 +15,11 @@ The extraction is **engine-generic**: every function accepts either a Kripke
 structure (a checker for the requested ``engine`` is built through
 :func:`repro.mc.bitset.make_ctl_checker` and memoised on the structure, so
 repeated extractions share one compilation *and* one satisfaction-set memo)
-or an already-constructed CTL checker (naive, bitset, or symbolic — whatever
-produced the failed verdict also guides the search, so witness extraction is
-no slower than the check itself).
+or an already-constructed CTL checker (any of
+:data:`repro.mc.bitset.CTL_ENGINES` — whatever produced the failed verdict
+also guides the search, so witness extraction is no slower than the check
+itself; the SAT-based ``"bmc"`` engine extracts its own counterexamples as
+part of solving).
 
 Under a :class:`~repro.mc.fairness.FairnessConstraint` the witnesses are
 *fair*: a finite ``EF``/``EU`` witness ends in a state starting a fair path,

@@ -18,13 +18,17 @@ small instance says nothing about larger ones.  Pass
 experiment does exactly this to demonstrate the problem).
 
 Formulas whose instantiation lands in plain CTL — every property the paper
-actually checks — are dispatched to a CTL engine selected by the ``engine``
-parameter: ``"bitset"`` (default) compiles the structure once and runs
+actually checks — are dispatched to an engine selected by the ``engine``
+parameter, one of :data:`repro.mc.bitset.ENGINE_NAMES`: ``"bitset"``
+(default) compiles the structure once and runs
 :class:`repro.mc.bitset.BitsetCTLModelChecker` on int bitmasks; ``"naive"``
 keeps the original frozenset-based labelling checker, retained as the
 differential-testing oracle; ``"bdd"`` encodes the structure into binary
 decision diagrams and runs the symbolic fixpoint checker
-:class:`repro.mc.symbolic.SymbolicCTLModelChecker`.
+:class:`repro.mc.symbolic.SymbolicCTLModelChecker`; ``"bmc"`` runs the
+SAT-based :class:`repro.mc.bmc.BoundedModelChecker`, which decides only the
+invariant fragment, answers :meth:`~ICTLStarModelChecker.check` (never
+satisfaction *sets*), and honours the ``bound`` parameter.
 
 A :class:`repro.mc.fairness.FairnessConstraint` passed as ``fairness=`` is
 forwarded to the CTL engine, so restricted ICTL* formulas are decided under
@@ -64,6 +68,7 @@ class ICTLStarModelChecker:
         validate_structure: bool = True,
         engine: str = "bitset",
         fairness: Optional[FairnessConstraint] = None,
+        bound: Optional[int] = None,
     ) -> None:
         if validate_structure:
             assert_total(structure)
@@ -72,7 +77,11 @@ class ICTLStarModelChecker:
         self._engine = engine
         self._fairness = normalize_fairness(fairness)
         self._ctl = make_ctl_checker(
-            structure, engine=engine, validate_structure=False, fairness=self._fairness
+            structure,
+            engine=engine,
+            validate_structure=False,
+            fairness=self._fairness,
+            bound=bound,
         )
         self._ctlstar = CTLStarModelChecker(structure, validate_structure=False)
         self._cache: Dict[Formula, FrozenSet[State]] = {}
@@ -84,7 +93,7 @@ class ICTLStarModelChecker:
 
     @property
     def engine(self) -> str:
-        """The CTL engine in use (``"bitset"``, ``"naive"``, or ``"bdd"``)."""
+        """The engine in use (one of :data:`repro.mc.bitset.ENGINE_NAMES`)."""
         return self._engine
 
     @property
@@ -99,6 +108,11 @@ class ICTLStarModelChecker:
         cached = self._cache.get(formula)
         if cached is not None:
             return cached
+        if not getattr(self._ctl, "supports_satisfaction_sets", True):
+            raise FragmentError(
+                "engine %r decides single verdicts, not satisfaction sets; "
+                "use check() or a fixpoint engine" % self._engine
+            )
         self._validate_formula(formula)
         instantiated = instantiate_quantifiers(formula, self._structure.index_values)
         if self._is_plain_ctl(instantiated):
@@ -114,7 +128,16 @@ class ICTLStarModelChecker:
         return result
 
     def check(self, formula: Formula, state: Optional[State] = None) -> bool:
-        """Decide ``M, state ⊨ formula`` (default state: the initial state)."""
+        """Decide ``M, state ⊨ formula`` (default state: the initial state).
+
+        Verdict-only engines (``supports_satisfaction_sets = False``, i.e.
+        ``"bmc"``) are dispatched directly — the instantiated formula must
+        then fall inside the engine's fragment.
+        """
+        if not getattr(self._ctl, "supports_satisfaction_sets", True):
+            self._validate_formula(formula)
+            instantiated = instantiate_quantifiers(formula, self._structure.index_values)
+            return self._ctl.check(instantiated, state)
         target = self._structure.initial_state if state is None else state
         return target in self.satisfaction_set(formula)
 
@@ -178,10 +201,15 @@ def check(
     enforce_restrictions: bool = True,
     engine: str = "bitset",
     fairness: Optional[FairnessConstraint] = None,
+    bound: Optional[int] = None,
 ) -> bool:
     """One-shot helper: decide an ICTL* formula at ``state`` (default: initial state)."""
     checker = ICTLStarModelChecker(
-        structure, enforce_restrictions=enforce_restrictions, engine=engine, fairness=fairness
+        structure,
+        enforce_restrictions=enforce_restrictions,
+        engine=engine,
+        fairness=fairness,
+        bound=bound,
     )
     return checker.check(formula, state)
 

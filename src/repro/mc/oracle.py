@@ -15,8 +15,9 @@ off the compiled per-proposition bitmasks; ``engine="naive"`` keeps the
 original per-state label-set lookups; ``engine="bdd"`` reads them off the
 symbolic encoding's per-proposition BDDs.  The module also hosts
 :func:`crosscheck_ctl_engines`, the differential-testing entry point that
-replays a CTL formula through every registered engine (bitset, naive, and
-the symbolic BDD engine) and insists on identical satisfaction sets.
+replays a CTL formula through every satisfaction-set engine
+(:data:`repro.mc.bitset.CTL_ENGINES`) and insists on identical satisfaction
+sets.
 """
 
 from __future__ import annotations

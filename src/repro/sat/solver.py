@@ -1,0 +1,641 @@
+"""A CDCL SAT solver in pure Python (MiniSat lineage).
+
+The solver implements the standard modern architecture:
+
+* **two-watched-literal propagation** — each clause watches two of its
+  literals; only clauses watching a literal that just became false are ever
+  visited, so unit propagation touches a small fraction of the database;
+* **first-UIP conflict analysis** — every conflict is resolved backwards
+  along the implication graph to the first unique implication point, the
+  learned clause is minimized by self-subsumption against the reason graph,
+  and the solver backjumps (not backtracks) to the second-highest decision
+  level in the clause;
+* **clause learning with database reduction** — learned clauses carry an
+  activity (bumped when they participate in conflict analysis, decayed
+  geometrically); when the learnt database outgrows its budget the
+  least-active half is deleted (binary and reason ("locked") clauses are
+  kept) and the budget grows;
+* **VSIDS branching with phase saving** — variable activities are bumped
+  during analysis and decayed per conflict; decisions pick the most active
+  unassigned variable from an indexed max-heap and re-use the polarity the
+  variable last had (phase saving), which preserves progress across
+  restarts;
+* **Luby restarts** — search is abandoned and restarted from decision level
+  zero on the reluctant-doubling schedule, keeping all learned clauses;
+* **incremental solving under assumptions** — :meth:`solve` takes a list of
+  assumption literals decided before any free decision; clauses may be added
+  between calls and everything learned in one call speeds up the next.  This
+  is the interface the bounded model checker drives: one solver per
+  unrolling, one ``solve([¬P@k])`` per bound.
+
+Literals use the DIMACS convention of :mod:`repro.sat.cnf` (positive ints
+are variables, negation is arithmetic negation), and the solver exposes the
+same ``new_var`` / ``add_clause`` sink protocol as :class:`repro.sat.cnf.CNF`
+so Tseitin encodings can stream straight into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import ClauseSink, SatError
+
+__all__ = ["Solver", "SolverStats", "luby"]
+
+
+def luby(index: int, base: int = 1) -> int:
+    """The reluctant-doubling (Luby) sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+
+    ``index`` is zero-based; the result is multiplied by ``base``.
+    """
+    # Find the finite subsequence containing `index` and its position in it.
+    size, sequence = 1, 0
+    while size < index + 1:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) >> 1
+        sequence -= 1
+        index = index % size
+    return base * (1 << sequence)
+
+
+@dataclass
+class SolverStats:
+    """Cumulative search counters (exposed via ``repro-mc --profile``)."""
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    solve_calls: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flatten into a JSON-serialisable dictionary."""
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "solve_calls": self.solve_calls,
+        }
+
+    def accumulate(self, other: "SolverStats") -> None:
+        """Add another stats record into this one (for multi-solver aggregation)."""
+        self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.restarts += other.restarts
+        self.learned_clauses += other.learned_clauses
+        self.deleted_clauses += other.deleted_clauses
+        self.solve_calls += other.solve_calls
+
+
+class _Clause:
+    """A clause of the database; ``lits[0]`` and ``lits[1]`` are watched."""
+
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+class _VarOrder:
+    """Indexed max-heap over variable activities (the VSIDS decision order)."""
+
+    __slots__ = ("_heap", "_position", "_activity")
+
+    def __init__(self, activity: List[float]) -> None:
+        self._heap: List[int] = []
+        self._position: Dict[int, int] = {}
+        self._activity = activity
+
+    def __contains__(self, var: int) -> bool:
+        return var in self._position
+
+    def insert(self, var: int) -> None:
+        if var in self._position:
+            return
+        self._heap.append(var)
+        self._position[var] = len(self._heap) - 1
+        self._up(len(self._heap) - 1)
+
+    def bump(self, var: int) -> None:
+        position = self._position.get(var)
+        if position is not None:
+            self._up(position)
+
+    def pop(self) -> Optional[int]:
+        if not self._heap:
+            return None
+        top = self._heap[0]
+        last = self._heap.pop()
+        del self._position[top]
+        if self._heap:
+            self._heap[0] = last
+            self._position[last] = 0
+            self._down(0)
+        return top
+
+    def _up(self, index: int) -> None:
+        heap, position, activity = self._heap, self._position, self._activity
+        var = heap[index]
+        score = activity[var]
+        while index > 0:
+            parent = (index - 1) >> 1
+            if activity[heap[parent]] >= score:
+                break
+            heap[index] = heap[parent]
+            position[heap[index]] = index
+            index = parent
+        heap[index] = var
+        position[var] = index
+
+    def _down(self, index: int) -> None:
+        heap, position, activity = self._heap, self._position, self._activity
+        size = len(heap)
+        var = heap[index]
+        score = activity[var]
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            if child + 1 < size and activity[heap[child + 1]] > activity[heap[child]]:
+                child += 1
+            if activity[heap[child]] <= score:
+                break
+            heap[index] = heap[child]
+            position[heap[index]] = index
+            index = child
+        heap[index] = var
+        position[var] = index
+
+
+class Solver(ClauseSink):
+    """An incremental CDCL SAT solver.
+
+    Usage::
+
+        solver = Solver()
+        x, y = solver.new_var(), solver.new_var()
+        solver.add_clause([x, y])
+        solver.add_clause([-x, y])
+        assert solver.solve()
+        assert solver.model_value(y)
+        assert not solver.solve(assumptions=[-y])
+
+    Clauses may be added between :meth:`solve` calls; learned clauses,
+    activities and saved phases persist, which is what makes the
+    bound-by-bound BMC loop cheap.
+    """
+
+    _RESTART_BASE = 100
+    _RESCALE_LIMIT = 1e100
+
+    def __init__(self, var_decay: float = 0.95, clause_decay: float = 0.999) -> None:
+        self.stats = SolverStats()
+        self._ok = True
+        self._num_vars = 0
+        # Per-variable state, 1-indexed (slot 0 unused).
+        self._assign: List[int] = [0]  # 0 unassigned, +1 true, -1 false
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._phase: List[bool] = [False]
+        self._activity: List[float] = [0.0]
+        self._seen: List[bool] = [False]
+        # Watches indexed by literal: 2*var for the positive literal, 2*var+1
+        # for the negative one.
+        self._watches: List[List[_Clause]] = [[], []]
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._order = _VarOrder(self._activity)
+        self._var_inc = 1.0
+        self._var_decay = var_decay
+        self._cla_inc = 1.0
+        self._cla_decay = clause_decay
+        self._max_learnts = 1000.0
+        self._model: Dict[int, bool] = {}
+        self._true_literal = None
+
+    # -- the clause-sink protocol (shared with repro.sat.cnf.CNF) -------------
+
+    @property
+    def num_vars(self) -> int:
+        """The number of allocated variables."""
+        return self._num_vars
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return it (a positive integer)."""
+        self._num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._phase.append(False)
+        self._activity.append(0.0)
+        self._seen.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        self._order.insert(self._num_vars)
+        return self._num_vars
+
+    def _ensure_var(self, var: int) -> None:
+        while self._num_vars < var:
+            self.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns ``False`` when the database became unsatisfiable.
+
+        The clause is simplified against the top-level assignment: satisfied
+        clauses are dropped, false literals removed, duplicate literals
+        merged, and tautologies ignored.  Adding a clause cancels any
+        in-progress assignment back to decision level zero (the incremental
+        contract: clauses arrive between :meth:`solve` calls).
+        """
+        self._cancel_until(0)
+        if not self._ok:
+            return False
+        seen_here: Dict[int, int] = {}
+        simplified: List[int] = []
+        for literal in literals:
+            if literal == 0:
+                raise SatError("0 is not a literal (it terminates DIMACS clauses)")
+            var = abs(literal)
+            self._ensure_var(var)
+            value = self._value(literal)
+            if value == 1:
+                return True  # satisfied at level 0
+            if value == -1:
+                continue  # false at level 0; drop the literal
+            previous = seen_here.get(var)
+            if previous is None:
+                seen_here[var] = literal
+                simplified.append(literal)
+            elif previous != literal:
+                return True  # p ∨ ¬p: tautology
+        if not simplified:
+            self._ok = False
+            return False
+        if len(simplified) == 1:
+            self._enqueue(simplified[0], None)
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(simplified, learnt=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    # -- assignments -----------------------------------------------------------
+
+    @staticmethod
+    def _watch_index(literal: int) -> int:
+        return 2 * literal if literal > 0 else -2 * literal + 1
+
+    def _value(self, literal: int) -> int:
+        """+1 when ``literal`` is true, -1 when false, 0 when unassigned."""
+        value = self._assign[abs(literal)]
+        return -value if literal < 0 else value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, literal: int, reason: Optional[_Clause]) -> None:
+        var = abs(literal)
+        self._assign[var] = 1 if literal > 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._phase[var] = literal > 0
+        self._trail.append(literal)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        order = self._order
+        for index in range(len(self._trail) - 1, bound - 1, -1):
+            var = abs(self._trail[index])
+            self._assign[var] = 0
+            self._reason[var] = None
+            order.insert(var)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[self._watch_index(clause.lits[0])].append(clause)
+        self._watches[self._watch_index(clause.lits[1])].append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        self._watches[self._watch_index(clause.lits[0])].remove(clause)
+        self._watches[self._watch_index(clause.lits[1])].remove(clause)
+
+    # -- propagation -----------------------------------------------------------
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns the conflicting clause, if any."""
+        stats = self.stats
+        while self._qhead < len(self._trail):
+            literal = self._trail[self._qhead]
+            self._qhead += 1
+            stats.propagations += 1
+            false_literal = -literal
+            watchers = self._watches[self._watch_index(false_literal)]
+            index = 0
+            kept = 0
+            size = len(watchers)
+            while index < size:
+                clause = watchers[index]
+                index += 1
+                lits = clause.lits
+                # Normalise: the false literal sits at position 1.
+                if lits[0] == false_literal:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    watchers[kept] = clause
+                    kept += 1
+                    continue
+                for position in range(2, len(lits)):
+                    if self._value(lits[position]) != -1:
+                        lits[1], lits[position] = lits[position], lits[1]
+                        self._watches[self._watch_index(lits[1])].append(clause)
+                        break
+                else:
+                    watchers[kept] = clause
+                    kept += 1
+                    if self._value(first) == -1:
+                        # Conflict: keep the unvisited suffix watched, too.
+                        while index < size:
+                            watchers[kept] = watchers[index]
+                            kept += 1
+                            index += 1
+                        del watchers[kept:]
+                        self._qhead = len(self._trail)
+                        return clause
+                    self._enqueue(first, clause)
+            del watchers[kept:]
+        return None
+
+    # -- activities ---------------------------------------------------------------
+
+    def _var_bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > self._RESCALE_LIMIT:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+        self._order.bump(var)
+
+    def _var_decay_tick(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _cla_bump(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for learnt in self._learnts:
+                learnt.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _cla_decay_tick(self) -> None:
+        self._cla_inc /= self._cla_decay
+
+    # -- conflict analysis --------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        """First-UIP learning; returns ``(learnt_clause, backjump_level)``.
+
+        ``learnt_clause[0]`` is the asserting literal.  The clause is
+        minimized by removing every literal whose reason clause is subsumed
+        by the remaining literals (self-subsumption against the implication
+        graph).
+        """
+        seen = self._seen
+        level = self._level
+        trail = self._trail
+        current_level = self._decision_level()
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        to_clear: List[int] = []
+        path_count = 0
+        literal = 0  # 0 = conflict clause itself (take every literal)
+        index = len(trail)
+        clause: Optional[_Clause] = conflict
+        while True:
+            assert clause is not None
+            self._cla_bump(clause)
+            start = 0 if literal == 0 else 1
+            for position in range(start, len(clause.lits)):
+                other = clause.lits[position]
+                var = abs(other)
+                if not seen[var] and level[var] > 0:
+                    seen[var] = True
+                    to_clear.append(var)
+                    self._var_bump(var)
+                    if level[var] >= current_level:
+                        path_count += 1
+                    else:
+                        learnt.append(other)
+            while True:
+                index -= 1
+                if seen[abs(trail[index])]:
+                    break
+            literal = trail[index]
+            var = abs(literal)
+            clause = self._reason[var]
+            seen[var] = False
+            path_count -= 1
+            if path_count == 0:
+                break
+        learnt[0] = -literal
+        # Self-subsumption minimization: a non-asserting literal is redundant
+        # when its reason exists and every reason literal is already seen (or
+        # fixed at level 0).
+        kept = [learnt[0]]
+        for other in learnt[1:]:
+            reason = self._reason[abs(other)]
+            if reason is None:
+                kept.append(other)
+                continue
+            for reason_literal in reason.lits:
+                var = abs(reason_literal)
+                if reason_literal != -other and not seen[var] and level[var] > 0:
+                    kept.append(other)
+                    break
+        learnt = kept
+        for var in to_clear:
+            seen[var] = False
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest level; put that literal at watch 1.
+        best = 1
+        for position in range(2, len(learnt)):
+            if level[abs(learnt[position])] > level[abs(learnt[best])]:
+                best = position
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return learnt, level[abs(learnt[1])]
+
+    # -- learnt-database reduction ------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Delete the least-active half of the learnt clauses.
+
+        Binary clauses and clauses currently acting as a reason ("locked")
+        survive; the rest go in activity order.
+        """
+        locked = {id(reason) for reason in self._reason if reason is not None}
+        self._learnts.sort(key=lambda clause: clause.activity)
+        keep: List[_Clause] = []
+        removable = len(self._learnts) // 2
+        removed = 0
+        for clause in self._learnts:
+            if removed < removable and len(clause.lits) > 2 and id(clause) not in locked:
+                self._detach(clause)
+                removed += 1
+            else:
+                keep.append(clause)
+        self._learnts = keep
+        self.stats.deleted_clauses += removed
+
+    # -- search --------------------------------------------------------------------
+
+    def _pick_branch_literal(self) -> Optional[int]:
+        order = self._order
+        while True:
+            var = order.pop()
+            if var is None:
+                return None
+            if self._assign[var] == 0:
+                return var if self._phase[var] else -var
+
+    def _record_learnt(self, learnt: List[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        clause = _Clause(learnt, learnt=True)
+        self._learnts.append(clause)
+        self._attach(clause)
+        self._cla_bump(clause)
+        self.stats.learned_clauses += 1
+        self._enqueue(learnt[0], clause)
+
+    def _search(self, budget: int, assumptions: Sequence[int]) -> Optional[bool]:
+        """Search until SAT/UNSAT or ``budget`` conflicts (``None`` = restart)."""
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return False
+                learnt, backjump_level = self._analyze(conflict)
+                self._cancel_until(backjump_level)
+                self._record_learnt(learnt)
+                self._var_decay_tick()
+                self._cla_decay_tick()
+                continue
+            if conflicts_here >= budget:
+                self._cancel_until(0)
+                self.stats.restarts += 1
+                return None
+            if len(self._learnts) >= self._max_learnts + len(self._trail):
+                self._reduce_db()
+            literal: Optional[int] = None
+            while self._decision_level() < len(assumptions):
+                assumption = assumptions[self._decision_level()]
+                value = self._value(assumption)
+                if value == 1:
+                    self._trail_lim.append(len(self._trail))  # dummy level
+                elif value == -1:
+                    return False  # UNSAT under the assumptions
+                else:
+                    literal = assumption
+                    break
+            if literal is None:
+                literal = self._pick_branch_literal()
+                if literal is None:
+                    self._model = {
+                        var: self._assign[var] > 0 for var in range(1, self._num_vars + 1)
+                    }
+                    return True
+                self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(literal, None)
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability of the database under ``assumptions``.
+
+        Returns ``True`` and stores a model (see :meth:`model_value`) when
+        satisfiable; ``False`` when the clauses are unsatisfiable under the
+        assumptions (or outright).  The solver state persists across calls.
+        """
+        assumptions = [int(literal) for literal in assumptions]
+        for literal in assumptions:
+            if literal == 0:
+                raise SatError("0 is not a literal")
+            self._ensure_var(abs(literal))
+        self.stats.solve_calls += 1
+        self._model = {}  # a stale model must not survive an UNSAT answer
+        self._cancel_until(0)
+        if not self._ok:
+            return False
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+        restarts = 0
+        while True:
+            budget = luby(restarts, self._RESTART_BASE)
+            status = self._search(budget, assumptions)
+            if status is not None:
+                self._cancel_until(0)
+                return status
+            restarts += 1
+            self._max_learnts *= 1.05
+
+    # -- models ---------------------------------------------------------------------
+
+    def model_value(self, literal: int) -> bool:
+        """The last model's value of ``literal`` (only valid after a SAT answer)."""
+        if not self._model:
+            raise SatError("no model available; the last solve() did not return SAT")
+        value = self._model.get(abs(literal))
+        if value is None:
+            raise SatError("variable %d was not part of the last model" % abs(literal))
+        return (not value) if literal < 0 else value
+
+    def model(self) -> Dict[int, bool]:
+        """The last model as a ``{variable: truth value}`` dictionary."""
+        if not self._model:
+            raise SatError("no model available; the last solve() did not return SAT")
+        return dict(self._model)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def num_clauses(self) -> int:
+        """The number of problem (non-learnt) clauses currently attached."""
+        return len(self._clauses)
+
+    @property
+    def num_learnts(self) -> int:
+        """The number of learnt clauses currently attached."""
+        return len(self._learnts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<Solver: %d vars, %d clauses, %d learnts, %d conflicts>" % (
+            self._num_vars,
+            len(self._clauses),
+            len(self._learnts),
+            self.stats.conflicts,
+        )

@@ -167,9 +167,32 @@ def cln(state: RingState, holder: int, size: int) -> Optional[int]:
     return None
 
 
-def ring_successors(state: RingState, size: int) -> List[RingState]:
-    """The successors of a global state under the four transition rules of ``R_r``."""
+def ring_successors(state: RingState, size: int, buggy: bool = False) -> List[RingState]:
+    """The successors of a global state under the four transition rules of ``R_r``.
+
+    With ``buggy=True`` a fifth, *seeded-bug* rule is added: a delayed
+    process may enter its critical region directly, without receiving the
+    token — which silently duplicates the token (the labelling derives
+    ``t_i`` from ``T ∪ C`` membership) and breaks the ``AG Θ_i t_i``
+    invariant two transitions from the initial state.  The buggy family is
+    the falsification target of the bounded model checker (experiment E12
+    and ``benchmarks/test_bench_bmc.py``).
+    """
     successors: List[RingState] = []
+
+    # Seeded bug: a delayed process jumps into its critical region on its
+    # own, conjuring a second token out of nothing.
+    if buggy:
+        for process in sorted(state.delayed):
+            successors.append(
+                RingState(
+                    delayed=state.delayed - {process},
+                    neutral=state.neutral,
+                    token_neutral=state.token_neutral,
+                    critical=state.critical | {process},
+                    other=state.other,
+                )
+            )
 
     # Rule 1: a neutral process becomes delayed.
     for process in sorted(state.neutral):
@@ -243,7 +266,9 @@ def state_label(state: RingState) -> FrozenSet[IndexedProp]:
     return frozenset(label)
 
 
-def build_token_ring(size: int, max_states: Optional[int] = None) -> IndexedKripkeStructure:
+def build_token_ring(
+    size: int, max_states: Optional[int] = None, buggy: bool = False
+) -> IndexedKripkeStructure:
     """Build ``M_r``: the token ring's global state graph restricted to reachable states.
 
     Parameters
@@ -253,6 +278,9 @@ def build_token_ring(size: int, max_states: Optional[int] = None) -> IndexedKrip
     max_states:
         Optional safety bound on the exploration (the reachable state space
         grows exponentially with ``r``).
+    buggy:
+        Include the seeded token-duplication bug of :func:`ring_successors`
+        (the BMC falsification target; the one-token invariant fails).
     """
     start = initial_state(size)
     states = {start}
@@ -260,7 +288,7 @@ def build_token_ring(size: int, max_states: Optional[int] = None) -> IndexedKrip
     frontier = [start]
     while frontier:
         current = frontier.pop()
-        successors = ring_successors(current, size)
+        successors = ring_successors(current, size, buggy=buggy)
         transitions[current] = successors
         for successor in successors:
             if successor not in states:
@@ -278,7 +306,7 @@ def build_token_ring(size: int, max_states: Optional[int] = None) -> IndexedKrip
         start,
         index_values=range(1, size + 1),
         indexed_prop_names={"d", "n", "t", "c"},
-        name="M_%d" % size,
+        name="M_%d%s" % (size, " (buggy)" if buggy else ""),
     )
 
 
@@ -290,7 +318,7 @@ def build_token_ring(size: int, max_states: Optional[int] = None) -> IndexedKrip
 _SYMBOLIC_PARTS = ("N", "D", "T", "C")
 
 
-def symbolic_token_ring(size: int):
+def symbolic_token_ring(size: int, buggy: bool = False, domain: str = "reachable"):
     """Encode ``M_r`` directly as binary decision diagrams.
 
     Each process gets two state bits recording which part (``N``, ``D``,
@@ -316,9 +344,21 @@ def symbolic_token_ring(size: int):
     symbolically), so it represents exactly the structure
     :func:`build_token_ring` builds explicitly — the test-suite decodes and
     compares the two at small sizes.
+
+    ``buggy=True`` seeds the same token-duplication bug as
+    :func:`ring_successors` (a delayed process may enter its critical region
+    directly).  ``domain="free"`` skips the symbolic reachability fixpoint
+    and takes every bit pattern as a state: exactly what the SAT-based
+    bounded model checker wants, since its unrolling only ever visits states
+    reachable from the (still exact) initial state — the falsification cost
+    then really is proportional to the bound rather than to reachable-set
+    construction.  Fixpoint engines should keep the default
+    ``domain="reachable"``.
     """
     if size < 1:
         raise StructureError("the ring needs at least one process")
+    if domain not in ("reachable", "free"):
+        raise StructureError("domain must be 'reachable' or 'free', got %r" % (domain,))
     from repro.bdd import BDDManager
     from repro.kripke.symbolic import ProcessFamilyEncoding, SymbolicKripkeStructure
 
@@ -378,6 +418,20 @@ def symbolic_token_ring(size: int):
         )
     parts.append(rule3)
 
+    # Seeded bug (buggy=True): a delayed process enters its critical region
+    # directly, duplicating the token — cf. ring_successors(buggy=True).
+    if buggy:
+        bug_rule = 0
+        for process in indices:
+            bug_rule = lor(
+                bug_rule,
+                land(
+                    land(encoding.current(process, "D"), encoding.next(process, "C")),
+                    encoding.frame([process]),
+                ),
+            )
+        parts.append(bug_rule)
+
     # Rule 4: the process in C returns to T, but only when nobody is delayed;
     # the global side condition is a separate conjunct.
     nobody_delayed = 1
@@ -428,12 +482,18 @@ def symbolic_token_ring(size: int):
         encoding.num_bits,
         parts,
         initial,
-        None,  # domain = reachable states, computed symbolically
+        # domain=None: reachable states, computed symbolically at build time;
+        # domain=1 (the true function): every bit pattern, no fixpoint.
+        None if domain == "reachable" else 1,
         prop_nodes,
         index_values=frozenset(indices),
         encode_assignment=encode_assignment,
         decode_assignment=decode_assignment,
-        name="M_%d (symbolic)" % size,
+        name="M_%d (symbolic%s%s)" % (
+            size,
+            ", buggy" if buggy else "",
+            ", free domain" if domain == "free" else "",
+        ),
     )
 
 

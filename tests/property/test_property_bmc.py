@@ -1,0 +1,120 @@
+"""Differential property tests: the BMC engine against explicit bounded reachability.
+
+Three properties over random total Kripke structures:
+
+* **bounded agreement** — BMC falsification of ``AG p`` at bound ``k`` finds
+  a counterexample iff breadth-first search from the initial state reaches a
+  ``¬p`` state within ``k`` steps (the bitset engine's compiled adjacency is
+  the oracle's transition source);
+* **path validity** — every SAT counterexample decodes to a genuine path of
+  the source structure, starting at the initial state, ending in a ``¬p``
+  state, of exactly the BFS distance (BMC scans depths in order, so its
+  counterexamples are depth-minimal);
+* **verdict agreement** — on the decidable fragment (``AG``/``EF`` over
+  propositional bodies, where bound ≥ structure diameter makes BMC
+  complete-for-falsification and k-induction complete via simple paths) the
+  BMC verdict equals the bitset engine's.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import ATOMS, kripke_structures
+
+from repro.errors import InconclusiveError
+from repro.kripke.compiled import compile_structure
+from repro.kripke.paths import is_path
+from repro.logic.ast import And, Atom, Implies, Not, Or
+from repro.logic.builders import AG, EF
+from repro.mc.bitset import BitsetCTLModelChecker
+from repro.mc.bmc import BoundedModelChecker
+
+
+@st.composite
+def propositional_formulas(draw, max_depth: int = 2):
+    """A random propositional formula over ``ATOMS``."""
+    if max_depth <= 0:
+        return draw(st.sampled_from([Atom(name) for name in ATOMS]))
+    choice = draw(st.integers(min_value=0, max_value=4))
+    if choice == 0:
+        return draw(st.sampled_from([Atom(name) for name in ATOMS]))
+    sub = lambda: draw(propositional_formulas(max_depth=max_depth - 1))  # noqa: E731
+    if choice == 1:
+        return Not(sub())
+    if choice == 2:
+        return And(sub(), sub())
+    if choice == 3:
+        return Or(sub(), sub())
+    return Implies(sub(), sub())
+
+
+def _bad_distance(structure, body, limit):
+    """BFS depth of the nearest ``¬body`` state from the initial state, or None."""
+    compiled = compile_structure(structure)
+    checker = BitsetCTLModelChecker(compiled, validate_structure=False)
+    good = checker.satisfaction_mask(body)
+    frontier = {compiled.initial_index}
+    seen = set(frontier)
+    for depth in range(limit + 1):
+        if any(not good >> index & 1 for index in frontier):
+            return depth
+        fresh = set()
+        for index in frontier:
+            for target in compiled.successors_of(index):
+                if target not in seen:
+                    seen.add(target)
+                    fresh.add(target)
+        if not fresh:
+            return None
+        frontier = fresh
+    return None
+
+
+@given(
+    structure=kripke_structures(max_states=5),
+    body=propositional_formulas(),
+    bound=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_bmc_at_bound_k_agrees_with_bounded_reachability(structure, body, bound):
+    checker = BoundedModelChecker(structure, bound=bound, validate_structure=False)
+    path = checker.invariant_counterexample(body)
+    distance = _bad_distance(structure, body, bound)
+    if distance is None:
+        assert path is None
+    else:
+        assert path is not None
+        assert len(path) - 1 == distance  # depth-minimal, like the BFS oracle
+
+
+@given(
+    structure=kripke_structures(max_states=5),
+    body=propositional_formulas(),
+)
+@settings(max_examples=60, deadline=None)
+def test_bmc_counterexamples_decode_to_valid_paths(structure, body):
+    checker = BoundedModelChecker(structure, bound=6, validate_structure=False)
+    path = checker.invariant_counterexample(body)
+    if path is None:
+        return
+    assert path[0] == structure.initial_state
+    assert is_path(structure, path)
+    oracle = BitsetCTLModelChecker(structure)
+    assert not oracle.check(body, state=path[-1])
+
+
+@given(
+    structure=kripke_structures(max_states=4),
+    body=propositional_formulas(max_depth=1),
+)
+@settings(max_examples=60, deadline=None)
+def test_bmc_verdicts_agree_with_bitset_when_conclusive(structure, body):
+    """With bound ≥ |S| both the base scan and simple-path induction saturate."""
+    bitset = BitsetCTLModelChecker(structure)
+    bmc = BoundedModelChecker(structure, bound=structure.num_states + 1)
+    for formula in (AG(body), EF(body)):
+        try:
+            verdict = bmc.check(formula)
+        except InconclusiveError:
+            continue  # the bound can still be exhausted on AG proofs; never wrong
+        assert verdict == bitset.check(formula), formula

@@ -116,3 +116,47 @@ def test_profile_on_explicit_engine_has_no_bdd_section(capsys):
 def test_profile_with_experiments_rejected(capsys):
     assert main(["--experiments", "--profile"]) == 2
     assert "--profile" in capsys.readouterr().err
+
+
+def test_bmc_ring_check(capsys):
+    exit_code = main(["--engine", "bmc", "--ring-size", "6", "--bound", "5"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "M_6 via engine=bmc" in out
+    assert "state bits  : 12" in out
+    assert "proved by 1-induction" in out
+    assert "skipped (outside the BMC invariant fragment)" in out
+    assert "checked Section 5 properties and invariants hold" in out
+
+
+def test_bmc_profile_reports_sat_statistics(capsys):
+    import json
+
+    exit_code = main(["--engine", "bmc", "--ring-size", "5", "--bound", "5", "--profile"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.err)
+    assert payload["engine"] == "bmc"
+    assert payload["bound"] == 5
+    sat = payload["sat"]
+    assert sat["solve_calls"] > 0
+    assert set(sat) >= {"conflicts", "decisions", "propagations", "learned_clauses"}
+    # The BDD manager that owns the unrolled encoding is reported alongside.
+    assert payload["bdd"]["live_nodes"] > 0
+
+
+def test_bound_requires_bmc_engine(capsys):
+    assert main(["--engine", "bitset", "--bound", "5"]) == 2
+    assert "--bound" in capsys.readouterr().err
+    assert main(["--engine", "bmc", "--bound", "-1"]) == 2
+    assert "--bound" in capsys.readouterr().err
+
+
+def test_bmc_with_fairness_rejected(capsys):
+    assert main(["--engine", "bmc", "--fairness"]) == 2
+    assert "fairness" in capsys.readouterr().err
+
+
+def test_bmc_with_experiments_rejected(capsys):
+    assert main(["--engine", "bmc", "--experiments"]) == 2
+    assert "E12" in capsys.readouterr().err
