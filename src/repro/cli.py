@@ -1,28 +1,35 @@
 """Command-line interface: run the paper's experiments from a shell.
 
-``python -m repro`` (or the ``repro-mc`` console script) checks the Section 5
-token-ring properties and invariants on a ring of the requested size with the
-requested engine, printing a small results table::
+``python -m repro`` (or the ``repro-mc`` console script) checks a property
+family on a system of the requested size with the requested engine, printing
+a small results table::
 
-    $ python -m repro --engine bdd --ring-size 10
+    $ python -m repro --engine bdd --size 10
     M_10 via engine=bdd (direct symbolic encoding)
       states      : 10240
       transitions : 61430
       ...
 
-The engine choices come from :data:`repro.mc.bitset.ENGINE_NAMES`.  With
-``--engine bdd`` the ring is encoded *directly* as binary decision diagrams
-(the explicit global state graph is never built), so sizes well beyond the
-explicit engines' range remain tractable; with the explicit engines the
-global graph is built first, exactly like the library's programmatic path.
-``--engine bmc`` unrolls the same direct encoding into an incremental SAT
-solver: the Section 5 invariants are proved by k-induction (or refuted with
-a depth-minimal counterexample within ``--bound``), and the properties
-outside the BMC invariant fragment are reported as skipped.  ``--fairness``
-switches every check to the fairness-constrained semantics (per-process
-scheduler fairness) and adds the fairness-dependent ``AF t_i`` liveness
-family.  ``--experiments`` instead replays the full E1–E12 experiment suite
-and prints one summary line per experiment.
+``--system`` picks the process family: the Section 5 token ``ring`` (the
+default, checked against the paper's properties and invariants), the
+lock-based ``mutex`` protocol, or the saturating ripple ``counter``.  The
+engine choices come from :data:`repro.mc.bitset.ENGINE_NAMES`
+(``docs/ENGINES.md`` is the when-to-use-which guide).  With ``--engine bdd``
+the system is encoded *directly* as binary decision diagrams (the explicit
+global state graph is never built), so sizes well beyond the explicit
+engines' range remain tractable; with the explicit engines the global graph
+is built first, exactly like the library's programmatic path.  The SAT
+engines also start from the direct encoding but never run a reachability
+fixpoint: ``--engine bmc`` unrolls it into an incremental solver and proves
+invariants by k-induction (or refutes them with a depth-minimal
+counterexample within ``--bound``), while ``--engine ic3`` proves them
+*unboundedly* by property-directed reachability, reporting a re-verified
+inductive-invariant certificate (``--bound`` then caps the frame count, a
+divergence safety net rather than a proof parameter).  Properties outside a
+SAT engine's fragment are reported as skipped.  ``--fairness`` switches
+every check to the fairness-constrained semantics and adds the
+fairness-dependent liveness family.  ``--experiments`` instead replays the
+full E1–E13 experiment suite and prints one summary line per experiment.
 
 The process exits non-zero when a checked property is violated (or an
 experiment's headline claim fails to reproduce), so the command doubles as a
@@ -40,13 +47,20 @@ from repro.mc.bitset import ENGINE_NAMES
 
 __all__ = ["main", "build_parser"]
 
+#: The system families the CLI can check, in presentation order.
+SYSTEM_NAMES = ("ring", "mutex", "counter")
+
+#: The engines that reject fairness-constrained semantics (SAT-based).
+_SAT_ENGINES = ("bmc", "ic3")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mc",
         description=(
-            "Model check the Clarke-Grumberg-Browne token ring (PODC '86) "
-            "with one of the engines: %s." % ", ".join(ENGINE_NAMES)
+            "Model check a process family from the Clarke-Grumberg-Browne "
+            "PODC '86 reproduction (systems: %s) with one of the engines: "
+            "%s." % (", ".join(SYSTEM_NAMES), ", ".join(ENGINE_NAMES))
         ),
     )
     parser.add_argument(
@@ -54,16 +68,30 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINE_NAMES,
         default="bitset",
         help=(
-            "engine to use (default: bitset; bdd and bmc never build the "
-            "explicit graph)"
+            "engine to use (default: bitset; bdd, bmc and ic3 never build "
+            "the explicit graph — see docs/ENGINES.md)"
         ),
     )
     parser.add_argument(
+        "--system",
+        choices=SYSTEM_NAMES,
+        default="ring",
+        help=(
+            "process family to check (default: ring — the paper's Section 5 "
+            "token ring)"
+        ),
+    )
+    parser.add_argument(
+        "--size",
         "--ring-size",
+        dest="size",
         type=int,
         default=4,
         metavar="N",
-        help="number of processes r of the token ring M_r (default: 4)",
+        help=(
+            "number of processes of the family (default: 4); --ring-size is "
+            "the backward-compatible alias"
+        ),
     )
     parser.add_argument(
         "--bound",
@@ -72,22 +100,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help=(
             "with --engine bmc: falsification/induction depth ceiling "
-            "(default: %d)" % _default_bound()
+            "(default: %d); with --engine ic3: frame-count ceiling "
+            "(default: %d)" % (_default_bound(), _default_frames())
         ),
     )
     parser.add_argument(
         "--fairness",
         action="store_true",
         help=(
-            "check under per-process scheduler fairness (every process is "
-            "infinitely often delayed or holding the token) and include the "
-            "fairness-dependent liveness family AF t_i"
+            "check under per-process scheduler fairness and include the "
+            "fairness-dependent liveness family (ring and mutex only)"
         ),
     )
     parser.add_argument(
         "--experiments",
         action="store_true",
-        help="run the full E1-E12 experiment suite instead of a single ring check",
+        help="run the full E1-E13 experiment suite instead of a single check",
     )
     parser.add_argument(
         "--profile",
@@ -95,9 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "emit a JSON profile to stderr: per-phase wall times (build, each "
             "check) plus, for the bdd engine, live/peak node counts, cache "
-            "hit/miss/evict statistics, and GC/reorder activity, and, for the "
-            "bmc engine, SAT statistics (conflicts, decisions, propagations, "
-            "learned clauses)"
+            "hit/miss/evict statistics, and GC/reorder activity; for the "
+            "SAT engines, solver statistics (conflicts, decisions, "
+            "propagations, learned/subsumed clauses) and, for ic3, the "
+            "frame/obligation/generalization counters"
         ),
     )
     parser.add_argument(
@@ -114,15 +143,13 @@ def _default_bound() -> int:
     return DEFAULT_BOUND
 
 
-def _run_ring_check(
-    engine: str,
-    size: int,
-    fairness: bool,
-    out,
-    profile: bool = False,
-    bound: Optional[int] = None,
-) -> bool:
-    from repro.errors import FragmentError
+def _default_frames() -> int:
+    from repro.mc.ic3 import DEFAULT_MAX_FRAMES
+
+    return DEFAULT_MAX_FRAMES
+
+
+def _ring_family(size: int, fairness: bool):
     from repro.systems import token_ring
 
     family = {}
@@ -130,43 +157,120 @@ def _run_ring_check(
         family["property " + name] = formula
     for name, formula in token_ring.ring_invariants().items():
         family["invariant " + name] = formula
+    family["invariant mutual_exclusion"] = token_ring.ring_mutual_exclusion(size)
     constraint = None
     if fairness:
         constraint = token_ring.ring_scheduler_fairness(size)
         # The AF t_i family is only true under fairness — see E11.
         for name, formula in token_ring.fair_ring_properties().items():
             family["fair liveness " + name] = formula
+    return family, constraint
+
+
+def _mutex_family(size: int, fairness: bool):
+    from repro.systems import mutex
+
+    family = {"invariant mutual_exclusion": mutex.mutex_safety(size)}
+    constraint = None
+    if fairness:
+        constraint = mutex.mutex_scheduler_fairness(size)
+        # Eventual entry is only true under fairness (an all-idle loop
+        # never goes critical).
+        family["fair liveness eventual_entry"] = mutex.mutex_liveness()
+    return family, constraint
+
+
+def _counter_family(size: int, fairness: bool):
+    from repro.systems import counter
+
+    return {"invariant nonzero": counter.counter_nonzero(size)}, None
+
+
+#: Per-system builders: (family+fairness factory, explicit builder,
+#: symbolic builder, display name).
+_SYSTEMS = {
+    "ring": (_ring_family, "build_token_ring", "symbolic_token_ring", "M_%d"),
+    "mutex": (_mutex_family, "build_mutex", "symbolic_mutex", "mutex(%d)"),
+    "counter": (_counter_family, "build_counter", "symbolic_counter", "counter(%d)"),
+}
+
+_SYSTEM_MODULES = {"ring": "token_ring", "mutex": "mutex", "counter": "counter"}
+
+
+def _run_check(
+    system: str,
+    engine: str,
+    size: int,
+    fairness: bool,
+    out,
+    profile: bool = False,
+    bound: Optional[int] = None,
+) -> bool:
+    import importlib
+
+    from repro.errors import FragmentError, InconclusiveError
+
+    family_factory, explicit_name, symbolic_name, display = _SYSTEMS[system]
+    module = importlib.import_module(
+        "repro.systems." + _SYSTEM_MODULES[system]
+    )
+    build_explicit = getattr(module, explicit_name)
+    build_symbolic = getattr(module, symbolic_name)
+    family, constraint = family_factory(size, fairness)
+    label = display % size
 
     if engine == "bdd":
         from repro.mc.symbolic import SymbolicCTLModelChecker
 
-        built = timed_call(token_ring.symbolic_token_ring, size)
+        built = timed_call(build_symbolic, size)
         structure = built.value
         checker = SymbolicCTLModelChecker(structure, fairness=constraint)
         descriptor = "direct symbolic encoding"
-    elif engine == "bmc":
-        from repro.mc.bmc import BoundedModelChecker
-
+    elif engine in _SAT_ENGINES:
         # The free domain skips the symbolic reachability fixpoint — the
-        # whole point of BMC is that the bound, not the reachable set, pays.
-        built = timed_call(token_ring.symbolic_token_ring, size, domain="free")
+        # whole point of the SAT engines is that the bound (bmc) or the
+        # discovered invariant (ic3), not the reachable set, pays.
+        built = timed_call(build_symbolic, size, domain="free")
         structure = built.value
-        checker = BoundedModelChecker(
-            structure, bound=_default_bound() if bound is None else bound
-        )
-        descriptor = "SAT unrolling of the direct encoding, bound=%d" % checker.bound
+        if engine == "bmc":
+            from repro.mc.bmc import BoundedModelChecker
+
+            checker = BoundedModelChecker(
+                structure, bound=_default_bound() if bound is None else bound
+            )
+            descriptor = (
+                "SAT unrolling of the direct encoding, bound=%d" % checker.bound
+            )
+        else:
+            from repro.mc.ic3 import IC3ModelChecker
+
+            checker = IC3ModelChecker(
+                structure,
+                max_frames=_default_frames() if bound is None else bound,
+            )
+            descriptor = (
+                "IC3 over the direct encoding, max %d frames" % checker.max_frames
+            )
     else:
         from repro.mc.indexed import ICTLStarModelChecker
 
-        built = timed_call(token_ring.build_token_ring, size)
+        built = timed_call(build_explicit, size)
         structure = built.value
-        checker = ICTLStarModelChecker(structure, engine=engine, fairness=constraint)
+        # Concrete-index property families (pairwise mutual exclusion) are
+        # already instantiated, which the Section 4 closedness restriction
+        # would reject — so the explicit engines skip enforcement here.
+        checker = ICTLStarModelChecker(
+            structure,
+            engine=engine,
+            fairness=constraint,
+            enforce_restrictions=False,
+        )
         descriptor = "explicit state graph"
 
-    print("M_%d via engine=%s (%s)" % (size, engine, descriptor), file=out)
+    print("%s via engine=%s (%s)" % (label, engine, descriptor), file=out)
     if constraint is not None:
-        print("  fairness    : %d conditions (d_i | t_i per process)" % len(constraint), file=out)
-    if engine == "bmc":
+        print("  fairness    : %d conditions" % len(constraint), file=out)
+    if engine in _SAT_ENGINES:
         # No reachability fixpoint ran, so state counts are not available.
         print("  state bits  : %d" % structure.num_bits, file=out)
     else:
@@ -177,6 +281,7 @@ def _run_ring_check(
     print("  %-34s %-8s %s" % ("check", "verdict", "seconds"), file=out)
     all_hold = True
     skipped = []
+    inconclusive = []
     phases = [{"name": "build", "seconds": built.seconds}]
     for name, formula in family.items():
         try:
@@ -184,38 +289,58 @@ def _run_ring_check(
         except FragmentError:
             skipped.append(name)
             continue
+        except InconclusiveError:
+            # Like a fragment skip: the engine could not decide, which is
+            # not a violation — the exit code only reflects what was decided.
+            inconclusive.append(name)
+            continue
         all_hold = all_hold and checked.value
         phases.append({"name": "check %s" % name, "seconds": checked.seconds})
         verdict = str(checked.value)
-        if engine == "bmc" and checker.last_detail:
+        if engine in _SAT_ENGINES and checker.last_detail:
             verdict = "%s (%s)" % (checked.value, checker.last_detail)
         print("  %-34s %-8s %.4f" % (name, verdict, checked.seconds), file=out)
     for name in skipped:
-        print("  %-34s %-8s" % (name, "skipped (outside the BMC invariant fragment)"), file=out)
+        print(
+            "  %-34s %-8s" % (name, "skipped (outside the %s fragment)" % engine),
+            file=out,
+        )
+    for name in inconclusive:
+        print("  %-34s %-8s" % (name, "INCONCLUSIVE (raise --bound)"), file=out)
     print("", file=out)
-    checked_what = "checked Section 5 properties and invariants" if skipped else (
-        "all Section 5 properties and invariants"
+    checked_what = (
+        "checked properties and invariants"
+        if skipped or inconclusive
+        else "all properties and invariants"
     )
     if all_hold:
-        print("  %s hold on M_%d" % (checked_what, size), file=out)
+        print("  %s hold on %s" % (checked_what, label), file=out)
     else:
-        print("  FAILURE: some property/invariant is violated on M_%d" % size, file=out)
+        print("  FAILURE: some property/invariant is violated on %s" % label, file=out)
     if profile:
         import json
 
         payload = {
             "engine": engine,
-            "ring_size": size,
+            "system": system,
+            "size": size,
             "fairness": fairness,
             "phases": phases,
             "total_seconds": sum(phase["seconds"] for phase in phases),
         }
         if engine == "bdd":
             payload["bdd"] = structure.manager.stats().as_dict()
-        if engine == "bmc":
+        if engine in _SAT_ENGINES:
             payload["bdd"] = structure.manager.stats().as_dict()
             payload["sat"] = checker.stats()
-            payload["bound"] = checker.bound
+            if engine == "bmc":
+                payload["bound"] = checker.bound
+            else:
+                payload["max_frames"] = checker.max_frames
+                if checker.certificate is not None:
+                    payload["certificate_clauses"] = (
+                        checker.certificate.num_clauses
+                    )
         print(json.dumps(payload, indent=2, sort_keys=True), file=sys.stderr)
     return all_hold
 
@@ -252,13 +377,21 @@ _EXPERIMENT_HEADLINES = {
         and r["counterexample_valid"]
         and r["bmc_depth_matches_bitset_oracle"]
     ),
+    "E13_ic3": lambda r: (
+        r["ic3_proved_everywhere"]
+        and r["bdd_agrees_everywhere"]
+        and r["kinduction_inconclusive_on_ring"]
+        and r["ic3_beats_bdd_on_counter"]
+        and r["oracle_agrees"]
+        and r["counterexample_valid"]
+    ),
 }
 
 
 def _run_experiments(engine: str, quick: bool, out) -> bool:
     from repro.analysis import experiments
 
-    print("running E1-E12 (engine=%s, quick=%s)" % (engine, quick), file=out)
+    print("running E1-E13 (engine=%s, quick=%s)" % (engine, quick), file=out)
     ran = timed_call(experiments.run_all, quick=quick, engine=engine)
     print("  %-20s %s" % ("experiment", "reproduced"), file=out)
     ok = True
@@ -274,48 +407,66 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro`` / the ``repro-mc`` console script."""
     args = build_parser().parse_args(argv)
     out = sys.stdout
-    if args.ring_size < 1:
-        print("error: --ring-size must be at least 1", file=sys.stderr)
+    if args.size < 1:
+        print("error: --size (--ring-size) must be at least 1", file=sys.stderr)
         return 2
-    if args.bound is not None and args.engine != "bmc":
-        print("error: --bound only applies to --engine bmc", file=sys.stderr)
+    if args.bound is not None and args.engine not in _SAT_ENGINES:
+        print("error: --bound only applies to --engine bmc or ic3", file=sys.stderr)
         return 2
     if args.bound is not None and args.bound < 0:
         print("error: --bound must be non-negative", file=sys.stderr)
         return 2
-    if args.engine == "bmc" and args.fairness:
+    if args.engine == "ic3" and args.bound is not None and args.bound < 1:
+        print("error: the ic3 frame ceiling must be positive", file=sys.stderr)
+        return 2
+    if args.engine in _SAT_ENGINES and args.fairness:
         print(
-            "error: the bmc engine does not implement fairness-constrained "
-            "semantics; use bitset, naive, or bdd",
+            "error: the SAT engines (bmc, ic3) do not implement fairness-"
+            "constrained semantics; use bitset, naive, or bdd",
+            file=sys.stderr,
+        )
+        return 2
+    if args.system == "counter" and args.fairness:
+        print(
+            "error: the counter family has no fairness story (it is "
+            "deterministic); use --system ring or mutex",
             file=sys.stderr,
         )
         return 2
     if args.experiments:
-        if args.engine == "bmc":
+        if args.engine in _SAT_ENGINES:
             print(
                 "error: the experiment suite sweeps the full-CTL engines; the "
-                "BMC story is replayed as E12 under any of them",
+                "SAT stories are replayed as E12/E13 under any of them",
+                file=sys.stderr,
+            )
+            return 2
+        if args.system != "ring":
+            print(
+                "error: --system applies to single checks; the experiment "
+                "suite already sweeps the mutex and counter families in E13",
                 file=sys.stderr,
             )
             return 2
         if args.fairness:
             print(
-                "error: --fairness applies to single ring checks; the experiment "
+                "error: --fairness applies to single checks; the experiment "
                 "suite already replays the fairness story as E11",
                 file=sys.stderr,
             )
             return 2
         if args.profile:
             print(
-                "error: --profile applies to single ring checks",
+                "error: --profile applies to single checks",
                 file=sys.stderr,
             )
             return 2
         ok = _run_experiments(args.engine, args.quick, out)
     else:
-        ok = _run_ring_check(
+        ok = _run_check(
+            args.system,
             args.engine,
-            args.ring_size,
+            args.size,
             args.fairness,
             out,
             profile=args.profile,

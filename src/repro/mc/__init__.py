@@ -1,9 +1,12 @@
-"""Model checkers: CTL (the :data:`~repro.mc.bitset.ENGINE_NAMES` registry — naive,
-bitset, and symbolic BDD fixpoint engines with optional fairness-constrained
-semantics, plus the SAT-based bounded model checker), existential LTL, CTL*,
-and indexed CTL*."""
+"""Model checkers: CTL (the :data:`~repro.mc.bitset.ENGINE_NAMES` registry —
+the naive/bitset/BDD fixpoint engines with optional fairness-constrained
+semantics, plus the two SAT-based engines: bounded model checking with
+k-induction and the unbounded IC3/PDR prover), existential LTL, CTL*, and
+indexed CTL*.  ``docs/ENGINES.md`` is the when-to-use-which guide;
+``docs/ARCHITECTURE.md`` maps how a system definition reaches each engine."""
 
 from repro.mc.bmc import BoundedModelChecker
+from repro.mc.ic3 import IC3ModelChecker, InvariantCertificate
 from repro.mc.counterexample import (
     counterexample_af,
     counterexample_ag,
@@ -46,6 +49,8 @@ from repro.mc.oracle import (
 __all__ = [
     "BitsetCTLModelChecker",
     "BoundedModelChecker",
+    "IC3ModelChecker",
+    "InvariantCertificate",
     "CTL_ENGINES",
     "ENGINE_NAMES",
     "CTLModelChecker",

@@ -76,16 +76,19 @@ _ATOMIC = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
 
 #: Every registered model-checking engine, in registry order — the single
 #: source of truth for engine names everywhere (the CLI, the docstrings, the
-#: parametrised tests).  ``"bitset"``, ``"naive"`` and ``"bdd"`` decide full
-#: CTL by fixpoint computation; ``"bmc"`` is the SAT-based bounded model
-#: checker of :mod:`repro.mc.bmc`, which decides the invariant fragment
-#: (falsification + k-induction proofs) only.
-ENGINE_NAMES = ("bitset", "naive", "bdd", "bmc")
+#: parametrised tests; ``docs/ENGINES.md`` documents each one).  ``"bitset"``,
+#: ``"naive"`` and ``"bdd"`` decide full CTL by fixpoint computation; the two
+#: SAT-based engines decide the invariant fragment only: ``"bmc"``
+#: (:mod:`repro.mc.bmc`) by bounded falsification + k-induction, ``"ic3"``
+#: (:mod:`repro.mc.ic3`) by unbounded property-directed reachability with
+#: re-verified invariant certificates.
+ENGINE_NAMES = ("bitset", "naive", "bdd", "bmc", "ic3")
 
 #: The engines computing full CTL *satisfaction sets* — the differential-
 #: testing set replayed by :func:`repro.mc.oracle.crosscheck_ctl_engines`.
-#: ``"bmc"`` is deliberately excluded: it produces single verdicts, not sets.
-CTL_ENGINES = tuple(name for name in ENGINE_NAMES if name != "bmc")
+#: ``"bmc"`` and ``"ic3"`` are deliberately excluded: they produce single
+#: verdicts, not sets.
+CTL_ENGINES = tuple(name for name in ENGINE_NAMES if name not in ("bmc", "ic3"))
 
 
 class BitsetCTLModelChecker:
@@ -457,12 +460,16 @@ def make_ctl_checker(
     ``"bmc"`` returns the SAT-based
     :class:`repro.mc.bmc.BoundedModelChecker`, which decides the invariant
     fragment by bounded falsification and k-induction (``bound`` caps its
-    unrolling depth and is ignored by the other engines).
+    unrolling depth); ``"ic3"`` returns the unbounded SAT-based prover
+    :class:`repro.mc.ic3.IC3ModelChecker` (``bound`` caps its *frame count*
+    — a divergence safety net, not a proof parameter).  ``bound`` is ignored
+    by the fixpoint engines.  See ``docs/ENGINES.md`` for a
+    when-to-use-which guide.
 
     With ``fairness`` (a :class:`repro.mc.fairness.FairnessConstraint`) the
     returned checker decides the fairness-constrained CTL semantics: path
     quantifiers range over the paths visiting every fairness set infinitely
-    often (rejected by ``"bmc"``).
+    often (rejected by the SAT engines).
     """
     if engine == "bitset":
         return BitsetCTLModelChecker(
@@ -492,6 +499,17 @@ def make_ctl_checker(
         return BoundedModelChecker(
             structure,
             bound=DEFAULT_BOUND if bound is None else bound,
+            validate_structure=validate_structure,
+            fairness=fairness,
+        )
+    if engine == "ic3":
+        from repro.mc.ic3 import DEFAULT_MAX_FRAMES, IC3ModelChecker
+
+        if isinstance(structure, CompiledKripkeStructure):
+            structure = structure.source
+        return IC3ModelChecker(
+            structure,
+            max_frames=DEFAULT_MAX_FRAMES if bound is None else bound,
             validate_structure=validate_structure,
             fairness=fairness,
         )

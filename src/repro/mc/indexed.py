@@ -19,16 +19,14 @@ experiment does exactly this to demonstrate the problem).
 
 Formulas whose instantiation lands in plain CTL — every property the paper
 actually checks — are dispatched to an engine selected by the ``engine``
-parameter, one of :data:`repro.mc.bitset.ENGINE_NAMES`: ``"bitset"``
-(default) compiles the structure once and runs
-:class:`repro.mc.bitset.BitsetCTLModelChecker` on int bitmasks; ``"naive"``
-keeps the original frozenset-based labelling checker, retained as the
-differential-testing oracle; ``"bdd"`` encodes the structure into binary
-decision diagrams and runs the symbolic fixpoint checker
-:class:`repro.mc.symbolic.SymbolicCTLModelChecker`; ``"bmc"`` runs the
-SAT-based :class:`repro.mc.bmc.BoundedModelChecker`, which decides only the
-invariant fragment, answers :meth:`~ICTLStarModelChecker.check` (never
-satisfaction *sets*), and honours the ``bound`` parameter.
+parameter, any name from :data:`repro.mc.bitset.ENGINE_NAMES` (the registry
+documented engine-by-engine in ``docs/ENGINES.md``).  The fixpoint engines
+(``"bitset"``, ``"naive"``, ``"bdd"``) compute satisfaction sets and decide
+full CTL; the SAT-based engines (``"bmc"``, ``"ic3"``) expose
+``supports_satisfaction_sets = False``, decide only the invariant fragment,
+answer :meth:`~ICTLStarModelChecker.check` (never satisfaction *sets*), and
+honour the ``bound`` parameter (unrolling depth for ``"bmc"``, frame
+ceiling for ``"ic3"``).
 
 A :class:`repro.mc.fairness.FairnessConstraint` passed as ``fairness=`` is
 forwarded to the CTL engine, so restricted ICTL* formulas are decided under
@@ -131,8 +129,8 @@ class ICTLStarModelChecker:
         """Decide ``M, state ⊨ formula`` (default state: the initial state).
 
         Verdict-only engines (``supports_satisfaction_sets = False``, i.e.
-        ``"bmc"``) are dispatched directly — the instantiated formula must
-        then fall inside the engine's fragment.
+        the SAT-based ``"bmc"`` and ``"ic3"``) are dispatched directly — the
+        instantiated formula must then fall inside the engine's fragment.
         """
         if not getattr(self._ctl, "supports_satisfaction_sets", True):
             self._validate_formula(formula)

@@ -17,7 +17,10 @@ symbolic encoding's per-proposition BDDs.  The module also hosts
 :func:`crosscheck_ctl_engines`, the differential-testing entry point that
 replays a CTL formula through every satisfaction-set engine
 (:data:`repro.mc.bitset.CTL_ENGINES`) and insists on identical satisfaction
-sets.
+sets.  The verdict-only SAT engines (``"bmc"``, ``"ic3"``) are outside
+``CTL_ENGINES`` and get their own differential suites
+(``tests/property/test_property_bmc.py`` / ``test_property_ic3.py``); see
+``docs/ENGINES.md`` for the full registry.
 """
 
 from __future__ import annotations

@@ -7,7 +7,14 @@ solves each with :class:`repro.sat.solver.Solver`, and checks the verdict:
 * an UNSAT answer is re-checked against the brute-force enumerator of
   :mod:`repro.sat.cnf` (which is why the variable count is kept small);
 * each instance is additionally round-tripped through DIMACS before solving,
-  so the serialiser and parser are fuzzed along the way.
+  so the serialiser and parser are fuzzed along the way;
+* a second solver for the same instance runs :meth:`Solver.inprocess`
+  (subsumption, strengthening, vivification) before solving and must reach
+  the same verdict — the differential check for the inprocessing passes;
+* each instance is re-queried under random assumptions; an UNSAT answer
+  there must come with an :meth:`Solver.unsat_core` that is a subset of the
+  assumptions and is itself sufficient (the formula conjoined with just the
+  core stays unsatisfiable under the enumerator).
 
 The exit status is non-zero on any mismatch, which lets CI run the module
 directly as a smoke step.  Deterministic under ``--seed``.
@@ -60,11 +67,16 @@ def run_fuzz(
         ratio = rng.uniform(2.0, 6.0)
         num_clauses = max(1, int(round(ratio * num_vars)))
         cnf = parse_dimacs(to_dimacs(random_3cnf(rng, num_vars, num_clauses)))
-        solver = Solver()
-        for _ in range(cnf.num_vars):
-            solver.new_var()
-        for clause in cnf.clauses:
-            solver.add_clause(clause)
+
+        def fresh() -> Solver:
+            solver = Solver()
+            for _ in range(cnf.num_vars):
+                solver.new_var()
+            for clause in cnf.clauses:
+                solver.add_clause(clause)
+            return solver
+
+        solver = fresh()
         verdict = solver.solve()
         if verdict:
             sat_count += 1
@@ -82,6 +94,53 @@ def run_fuzz(
                 % round_number,
                 file=out,
             )
+
+        # Differential inprocessing: simplify first, the verdict must agree.
+        simplified = fresh()
+        simplified.inprocess()
+        if simplified.solve() != verdict:
+            failures += 1
+            print(
+                "FAIL round %d: inprocessing changed the verdict" % round_number,
+                file=out,
+            )
+
+        # Assumption/core check on the already-solved incremental solver.
+        assumptions = [
+            var if rng.random() < 0.5 else -var
+            for var in rng.sample(range(1, cnf.num_vars + 1), k=min(3, cnf.num_vars))
+        ]
+        if solver.solve(assumptions):
+            model = solver.model()
+            if not evaluate_clauses(cnf.clauses, model) or not all(
+                model[abs(lit)] == (lit > 0) for lit in assumptions
+            ):
+                failures += 1
+                print(
+                    "FAIL round %d: assumption model is invalid" % round_number,
+                    file=out,
+                )
+        else:
+            core = solver.unsat_core()
+            hardened = CNF(cnf.num_vars)
+            for clause in cnf.clauses:
+                hardened.add_clause(clause)
+            for literal in core:
+                hardened.add_clause([literal])
+            if not core <= set(assumptions):
+                failures += 1
+                print(
+                    "FAIL round %d: unsat core is not a subset of the assumptions"
+                    % round_number,
+                    file=out,
+                )
+            elif naive_satisfiable(hardened):
+                failures += 1
+                print(
+                    "FAIL round %d: unsat core is not sufficient for UNSAT"
+                    % round_number,
+                    file=out,
+                )
     print(
         "fuzz: %d instances (%d SAT / %d UNSAT), %d failures"
         % (count, sat_count, count - sat_count, failures),

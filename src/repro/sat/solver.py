@@ -2,19 +2,32 @@
 
 The solver implements the standard modern architecture:
 
-* **two-watched-literal propagation** — each clause watches two of its
-  literals; only clauses watching a literal that just became false are ever
-  visited, so unit propagation touches a small fraction of the database;
+* **two-watched-literal propagation with blockers** — each clause watches two
+  of its literals; the watch lists are flat interleaved arrays of
+  ``blocker, clause`` pairs, so a clause whose cached blocker literal is
+  already true is skipped without ever dereferencing the clause body, and
+  only clauses watching a literal that just became false are visited at all;
 * **first-UIP conflict analysis** — every conflict is resolved backwards
   along the implication graph to the first unique implication point, the
   learned clause is minimized by self-subsumption against the reason graph,
   and the solver backjumps (not backtracks) to the second-highest decision
   level in the clause;
-* **clause learning with database reduction** — learned clauses carry an
-  activity (bumped when they participate in conflict analysis, decayed
-  geometrically); when the learnt database outgrows its budget the
-  least-active half is deleted (binary and reason ("locked") clauses are
-  kept) and the budget grows;
+* **LBD-aware clause learning with database reduction** — every learned
+  clause is tagged with its literal-block distance (LBD, the number of
+  distinct decision levels it spans — "glue"); when the learnt database
+  outgrows its budget, binary, reason-locked and low-LBD ("glue") clauses
+  are kept and the worst half of the rest (high LBD, low activity) is
+  deleted.  A clause revisited during conflict analysis has its LBD
+  re-measured and keeps the minimum;
+* **on-the-fly subsumption** — when a freshly minimized learnt clause
+  subsumes the conflicting clause it was derived from, the conflict clause
+  is dropped from the database (and the learnt clause promoted to a problem
+  clause when the subsumed clause was one);
+* **inprocessing** (:meth:`Solver.inprocess`, also auto-triggered every few
+  thousand conflicts) — top-level simplification, signature-filtered
+  backward subsumption and self-subsumption strengthening, and bounded
+  vivification (probing each clause's literals under unit propagation to
+  shorten it);
 * **VSIDS branching with phase saving** — variable activities are bumped
   during analysis and decayed per conflict; decisions pick the most active
   unassigned variable from an indexed max-heap and re-use the polarity the
@@ -24,9 +37,13 @@ The solver implements the standard modern architecture:
   zero on the reluctant-doubling schedule, keeping all learned clauses;
 * **incremental solving under assumptions** — :meth:`solve` takes a list of
   assumption literals decided before any free decision; clauses may be added
-  between calls and everything learned in one call speeds up the next.  This
-  is the interface the bounded model checker drives: one solver per
-  unrolling, one ``solve([¬P@k])`` per bound.
+  between calls and everything learned in one call speeds up the next.
+  After an UNSAT answer under assumptions, :meth:`unsat_core` names the
+  subset of the assumptions that the refutation actually used (the
+  ``analyze_final`` walk of MiniSat).  This is the interface the SAT-based
+  model checkers drive: the bounded model checker issues one
+  ``solve([¬P@k])`` per bound, and the IC3 engine issues relative-induction
+  queries whose cores seed cube generalization.
 
 Literals use the DIMACS convention of :mod:`repro.sat.cnf` (positive ints
 are variables, negation is arithmetic negation), and the solver exposes the
@@ -37,7 +54,7 @@ so Tseitin encodings can stream straight into it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sat.cnf import ClauseSink, SatError
 
@@ -72,6 +89,9 @@ class SolverStats:
     learned_clauses: int = 0
     deleted_clauses: int = 0
     solve_calls: int = 0
+    subsumed_clauses: int = 0
+    strengthened_clauses: int = 0
+    inprocessings: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Flatten into a JSON-serialisable dictionary."""
@@ -83,6 +103,9 @@ class SolverStats:
             "learned_clauses": self.learned_clauses,
             "deleted_clauses": self.deleted_clauses,
             "solve_calls": self.solve_calls,
+            "subsumed_clauses": self.subsumed_clauses,
+            "strengthened_clauses": self.strengthened_clauses,
+            "inprocessings": self.inprocessings,
         }
 
     def accumulate(self, other: "SolverStats") -> None:
@@ -94,17 +117,28 @@ class SolverStats:
         self.learned_clauses += other.learned_clauses
         self.deleted_clauses += other.deleted_clauses
         self.solve_calls += other.solve_calls
+        self.subsumed_clauses += other.subsumed_clauses
+        self.strengthened_clauses += other.strengthened_clauses
+        self.inprocessings += other.inprocessings
 
 
 class _Clause:
-    """A clause of the database; ``lits[0]`` and ``lits[1]`` are watched."""
+    """A clause of the database; ``lits[0]`` and ``lits[1]`` are watched.
 
-    __slots__ = ("lits", "learnt", "activity")
+    ``lbd`` is the literal-block distance measured when the clause was
+    learned (lowered whenever a re-measure during conflict analysis comes
+    out smaller); ``removed`` marks the clause as logically deleted — watch
+    lists purge such entries lazily during propagation.
+    """
 
-    def __init__(self, lits: List[int], learnt: bool) -> None:
+    __slots__ = ("lits", "learnt", "activity", "lbd", "removed")
+
+    def __init__(self, lits: List[int], learnt: bool, lbd: int = 0) -> None:
         self.lits = lits
         self.learnt = learnt
         self.activity = 0.0
+        self.lbd = lbd
+        self.removed = False
 
 
 class _VarOrder:
@@ -190,14 +224,18 @@ class Solver(ClauseSink):
         assert solver.solve()
         assert solver.model_value(y)
         assert not solver.solve(assumptions=[-y])
+        assert solver.unsat_core() == frozenset({-y})
 
     Clauses may be added between :meth:`solve` calls; learned clauses,
     activities and saved phases persist, which is what makes the
-    bound-by-bound BMC loop cheap.
+    bound-by-bound BMC loop and the frame-by-frame IC3 loop cheap.
     """
 
     _RESTART_BASE = 100
     _RESCALE_LIMIT = 1e100
+    _INPROCESS_INTERVAL = 4000
+    _VIVIFY_CLAUSE_LIMIT = 300
+    _VIVIFY_LENGTH_LIMIT = 16
 
     def __init__(self, var_decay: float = 0.95, clause_decay: float = 0.999) -> None:
         self.stats = SolverStats()
@@ -210,9 +248,10 @@ class Solver(ClauseSink):
         self._phase: List[bool] = [False]
         self._activity: List[float] = [0.0]
         self._seen: List[bool] = [False]
-        # Watches indexed by literal: 2*var for the positive literal, 2*var+1
-        # for the negative one.
-        self._watches: List[List[_Clause]] = [[], []]
+        # Watches indexed by literal (2*var for positive, 2*var+1 for
+        # negative); each entry is a flat interleaved array
+        # ``[blocker, clause, blocker, clause, …]``.
+        self._watches: List[List[object]] = [[], []]
         self._clauses: List[_Clause] = []
         self._learnts: List[_Clause] = []
         self._trail: List[int] = []
@@ -225,6 +264,8 @@ class Solver(ClauseSink):
         self._cla_decay = clause_decay
         self._max_learnts = 1000.0
         self._model: Dict[int, bool] = {}
+        self._conflict_core: Optional[FrozenSet[int]] = None
+        self._next_inprocess = self._INPROCESS_INTERVAL
         self._true_literal = None
 
     # -- the clause-sink protocol (shared with repro.sat.cnf.CNF) -------------
@@ -333,17 +374,31 @@ class Solver(ClauseSink):
         self._qhead = len(self._trail)
 
     def _attach(self, clause: _Clause) -> None:
-        self._watches[self._watch_index(clause.lits[0])].append(clause)
-        self._watches[self._watch_index(clause.lits[1])].append(clause)
+        lits = clause.lits
+        watchers = self._watches[self._watch_index(lits[0])]
+        watchers.append(lits[1])
+        watchers.append(clause)
+        watchers = self._watches[self._watch_index(lits[1])]
+        watchers.append(lits[0])
+        watchers.append(clause)
 
     def _detach(self, clause: _Clause) -> None:
-        self._watches[self._watch_index(clause.lits[0])].remove(clause)
-        self._watches[self._watch_index(clause.lits[1])].remove(clause)
+        for literal in clause.lits[:2]:
+            watchers = self._watches[self._watch_index(literal)]
+            for index in range(1, len(watchers), 2):
+                if watchers[index] is clause:
+                    del watchers[index - 1 : index + 1]
+                    break
 
     # -- propagation -----------------------------------------------------------
 
     def _propagate(self) -> Optional[_Clause]:
-        """Unit propagation; returns the conflicting clause, if any."""
+        """Unit propagation; returns the conflicting clause, if any.
+
+        Watch lists are flat interleaved ``blocker, clause`` arrays: a true
+        blocker satisfies the clause without touching it, and entries whose
+        clause was logically deleted (``removed``) are purged in passing.
+        """
         stats = self.stats
         while self._qhead < len(self._trail):
             literal = self._trail[self._qhead]
@@ -355,31 +410,44 @@ class Solver(ClauseSink):
             kept = 0
             size = len(watchers)
             while index < size:
-                clause = watchers[index]
-                index += 1
+                blocker = watchers[index]
+                clause = watchers[index + 1]
+                index += 2
+                if self._value(blocker) == 1:
+                    watchers[kept] = blocker
+                    watchers[kept + 1] = clause
+                    kept += 2
+                    continue
+                if clause.removed:
+                    continue  # lazy purge of deleted clauses
                 lits = clause.lits
                 # Normalise: the false literal sits at position 1.
                 if lits[0] == false_literal:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                if self._value(first) == 1:
-                    watchers[kept] = clause
-                    kept += 1
+                if first != blocker and self._value(first) == 1:
+                    watchers[kept] = first
+                    watchers[kept + 1] = clause
+                    kept += 2
                     continue
                 for position in range(2, len(lits)):
                     if self._value(lits[position]) != -1:
                         lits[1], lits[position] = lits[position], lits[1]
-                        self._watches[self._watch_index(lits[1])].append(clause)
+                        moved = self._watches[self._watch_index(lits[1])]
+                        moved.append(first)
+                        moved.append(clause)
                         break
                 else:
-                    watchers[kept] = clause
-                    kept += 1
+                    watchers[kept] = first
+                    watchers[kept + 1] = clause
+                    kept += 2
                     if self._value(first) == -1:
                         # Conflict: keep the unvisited suffix watched, too.
                         while index < size:
                             watchers[kept] = watchers[index]
-                            kept += 1
-                            index += 1
+                            watchers[kept + 1] = watchers[index + 1]
+                            kept += 2
+                            index += 2
                         del watchers[kept:]
                         self._qhead = len(self._trail)
                         return clause
@@ -412,13 +480,20 @@ class Solver(ClauseSink):
 
     # -- conflict analysis --------------------------------------------------------
 
-    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
-        """First-UIP learning; returns ``(learnt_clause, backjump_level)``.
+    def _clause_lbd(self, lits: Sequence[int]) -> int:
+        """The literal-block distance: distinct decision levels spanned."""
+        level = self._level
+        return len({level[abs(literal)] for literal in lits if level[abs(literal)] > 0})
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int, int]:
+        """First-UIP learning; returns ``(learnt_clause, backjump_level, lbd)``.
 
         ``learnt_clause[0]`` is the asserting literal.  The clause is
         minimized by removing every literal whose reason clause is subsumed
         by the remaining literals (self-subsumption against the implication
-        graph).
+        graph), and its LBD is measured before backjumping while the levels
+        are still live.  Learnt clauses revisited on the resolution path get
+        their stored LBD lowered when the re-measure comes out smaller.
         """
         seen = self._seen
         level = self._level
@@ -432,7 +507,11 @@ class Solver(ClauseSink):
         clause: Optional[_Clause] = conflict
         while True:
             assert clause is not None
-            self._cla_bump(clause)
+            if clause.learnt:
+                self._cla_bump(clause)
+                fresh_lbd = self._clause_lbd(clause.lits)
+                if 0 < fresh_lbd < clause.lbd:
+                    clause.lbd = fresh_lbd
             start = 0 if literal == 0 else 1
             for position in range(start, len(clause.lits)):
                 other = clause.lits[position]
@@ -474,37 +553,77 @@ class Solver(ClauseSink):
         learnt = kept
         for var in to_clear:
             seen[var] = False
+        lbd = self._clause_lbd(learnt)
         if len(learnt) == 1:
-            return learnt, 0
+            return learnt, 0, lbd
         # Backjump to the second-highest level; put that literal at watch 1.
         best = 1
         for position in range(2, len(learnt)):
             if level[abs(learnt[position])] > level[abs(learnt[best])]:
                 best = position
         learnt[1], learnt[best] = learnt[best], learnt[1]
-        return learnt, level[abs(learnt[1])]
+        return learnt, level[abs(learnt[1])], lbd
+
+    def _analyze_final(self, failing: int) -> FrozenSet[int]:
+        """The subset of the assumptions that forced ``¬failing`` (MiniSat's
+        ``analyzeFinal``): walk the trail from the top, expanding reasons,
+        and collect every assumption decision reached.  Together with
+        ``failing`` itself the result is an unsatisfiable core over the
+        assumption literals."""
+        core = {failing}
+        if self._decision_level() == 0:
+            return frozenset(core)
+        seen = self._seen
+        level = self._level
+        to_clear: List[int] = []
+        var = abs(failing)
+        if level[var] > 0:
+            seen[var] = True
+            to_clear.append(var)
+        bottom = self._trail_lim[0]
+        for index in range(len(self._trail) - 1, bottom - 1, -1):
+            literal = self._trail[index]
+            var = abs(literal)
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                core.add(literal)  # an assumption decision
+            else:
+                for other in reason.lits:
+                    other_var = abs(other)
+                    if not seen[other_var] and level[other_var] > 0:
+                        seen[other_var] = True
+                        to_clear.append(other_var)
+        for var in to_clear:
+            seen[var] = False
+        return frozenset(core)
 
     # -- learnt-database reduction ------------------------------------------------
 
     def _reduce_db(self) -> None:
-        """Delete the least-active half of the learnt clauses.
+        """Delete the worst half of the reducible learnt clauses.
 
-        Binary clauses and clauses currently acting as a reason ("locked")
-        survive; the rest go in activity order.
+        Binary clauses, clauses currently acting as a reason ("locked") and
+        glue clauses (LBD ≤ 2) survive; the rest go in (high LBD, low
+        activity) order — the glue-aware policy of Glucose-style solvers.
         """
         locked = {id(reason) for reason in self._reason if reason is not None}
-        self._learnts.sort(key=lambda clause: clause.activity)
-        keep: List[_Clause] = []
-        removable = len(self._learnts) // 2
-        removed = 0
+        protected: List[_Clause] = []
+        reducible: List[_Clause] = []
         for clause in self._learnts:
-            if removed < removable and len(clause.lits) > 2 and id(clause) not in locked:
-                self._detach(clause)
-                removed += 1
+            if clause.removed:
+                continue
+            if len(clause.lits) <= 2 or clause.lbd <= 2 or id(clause) in locked:
+                protected.append(clause)
             else:
-                keep.append(clause)
-        self._learnts = keep
-        self.stats.deleted_clauses += removed
+                reducible.append(clause)
+        reducible.sort(key=lambda clause: (-clause.lbd, clause.activity))
+        removable = len(reducible) // 2
+        for clause in reducible[:removable]:
+            clause.removed = True
+        self._learnts = protected + reducible[removable:]
+        self.stats.deleted_clauses += removable
 
     # -- search --------------------------------------------------------------------
 
@@ -517,14 +636,17 @@ class Solver(ClauseSink):
             if self._assign[var] == 0:
                 return var if self._phase[var] else -var
 
-    def _record_learnt(self, learnt: List[int]) -> None:
+    def _record_learnt(self, learnt: List[int], lbd: int, promote: bool = False) -> None:
         if len(learnt) == 1:
             self._enqueue(learnt[0], None)
             return
-        clause = _Clause(learnt, learnt=True)
-        self._learnts.append(clause)
+        clause = _Clause(learnt, learnt=not promote, lbd=lbd)
+        if promote:
+            self._clauses.append(clause)
+        else:
+            self._learnts.append(clause)
+            self._cla_bump(clause)
         self._attach(clause)
-        self._cla_bump(clause)
         self.stats.learned_clauses += 1
         self._enqueue(learnt[0], clause)
 
@@ -538,10 +660,25 @@ class Solver(ClauseSink):
                 conflicts_here += 1
                 if self._decision_level() == 0:
                     self._ok = False
+                    self._conflict_core = frozenset()
                     return False
-                learnt, backjump_level = self._analyze(conflict)
+                learnt, backjump_level, lbd = self._analyze(conflict)
+                # On-the-fly subsumption: the minimized learnt clause may
+                # subsume the very clause that conflicted.  The conflict
+                # clause is falsified, hence never a reason, hence safe to
+                # drop; when it was a problem clause the learnt clause is
+                # promoted so the constraint cannot later be reduced away.
+                promote = False
+                if (
+                    not conflict.removed
+                    and 1 < len(learnt) < len(conflict.lits)
+                    and set(learnt) <= set(conflict.lits)
+                ):
+                    conflict.removed = True
+                    promote = not conflict.learnt
+                    self.stats.subsumed_clauses += 1
                 self._cancel_until(backjump_level)
-                self._record_learnt(learnt)
+                self._record_learnt(learnt, lbd, promote=promote)
                 self._var_decay_tick()
                 self._cla_decay_tick()
                 continue
@@ -558,6 +695,7 @@ class Solver(ClauseSink):
                 if value == 1:
                     self._trail_lim.append(len(self._trail))  # dummy level
                 elif value == -1:
+                    self._conflict_core = self._analyze_final(assumption)
                     return False  # UNSAT under the assumptions
                 else:
                     literal = assumption
@@ -578,7 +716,9 @@ class Solver(ClauseSink):
 
         Returns ``True`` and stores a model (see :meth:`model_value`) when
         satisfiable; ``False`` when the clauses are unsatisfiable under the
-        assumptions (or outright).  The solver state persists across calls.
+        assumptions (or outright) — in which case :meth:`unsat_core` exposes
+        the assumption subset the refutation used.  The solver state
+        persists across calls.
         """
         assumptions = [int(literal) for literal in assumptions]
         for literal in assumptions:
@@ -587,11 +727,20 @@ class Solver(ClauseSink):
             self._ensure_var(abs(literal))
         self.stats.solve_calls += 1
         self._model = {}  # a stale model must not survive an UNSAT answer
+        self._conflict_core = None
         self._cancel_until(0)
         if not self._ok:
+            self._conflict_core = frozenset()
             return False
+        if self.stats.conflicts >= self._next_inprocess:
+            self.inprocess()
+            self._next_inprocess = self.stats.conflicts + self._INPROCESS_INTERVAL
+            if not self._ok:
+                self._conflict_core = frozenset()
+                return False
         if self._propagate() is not None:
             self._ok = False
+            self._conflict_core = frozenset()
             return False
         restarts = 0
         while True:
@@ -602,6 +751,223 @@ class Solver(ClauseSink):
                 return status
             restarts += 1
             self._max_learnts *= 1.05
+
+    def unsat_core(self) -> FrozenSet[int]:
+        """The assumption literals the last UNSAT answer actually used.
+
+        Only valid straight after a :meth:`solve` call that returned
+        ``False``; the result is a subset ``core`` of the assumptions such
+        that the clause database conjoined with ``core`` is unsatisfiable
+        (empty when the database is unsatisfiable on its own).  This is what
+        the IC3 engine's cube generalization seeds from.
+        """
+        if self._conflict_core is None:
+            raise SatError("no unsat core available; the last solve() did not return UNSAT")
+        return self._conflict_core
+
+    # -- inprocessing ----------------------------------------------------------------
+
+    def inprocess(self) -> bool:
+        """Simplify the clause database at decision level zero.
+
+        Three passes, each sound with respect to the incremental contract
+        (no new variables, the database only gets logically stronger or
+        equivalent): top-level simplification against the fixed assignment,
+        signature-filtered backward subsumption with self-subsumption
+        strengthening, and bounded vivification.  Runs automatically every
+        few thousand conflicts; returns ``False`` when simplification
+        discovered the database to be unsatisfiable.
+        """
+        self._cancel_until(0)
+        if not self._ok:
+            return False
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+        # Level-0 reasons are never dereferenced (analysis guards on
+        # level > 0), but null them so removed clauses cannot linger as
+        # locked.
+        for index in range(len(self._trail)):
+            self._reason[abs(self._trail[index])] = None
+        self._simplify_top_level()
+        if self._ok:
+            self._backward_subsume()
+        if self._ok:
+            self._vivify()
+        self._clauses = [clause for clause in self._clauses if not clause.removed]
+        self._learnts = [clause for clause in self._learnts if not clause.removed]
+        self.stats.inprocessings += 1
+        return self._ok
+
+    def _simplify_top_level(self) -> None:
+        """Drop satisfied clauses and strip level-0-false literals in place.
+
+        After full propagation an unsatisfied clause never has a false
+        watched literal (the watch invariant), so stripping only touches
+        positions ≥ 2 and the watches stay valid.
+        """
+        for store in (self._clauses, self._learnts):
+            for clause in store:
+                if clause.removed:
+                    continue
+                lits = clause.lits
+                satisfied = False
+                has_false = False
+                for literal in lits:
+                    value = self._value(literal)
+                    if value == 1:
+                        satisfied = True
+                        break
+                    if value == -1:
+                        has_false = True
+                if satisfied:
+                    clause.removed = True
+                    continue
+                if has_false:
+                    lits[2:] = [
+                        literal for literal in lits[2:] if self._value(literal) != -1
+                    ]
+
+    @staticmethod
+    def _signature(lits: Sequence[int]) -> int:
+        """A 64-bit Bloom signature over the clause's variables."""
+        signature = 0
+        for literal in lits:
+            signature |= 1 << (abs(literal) & 63)
+        return signature
+
+    def _backward_subsume(self) -> None:
+        """Backward subsumption + self-subsumption over the whole database.
+
+        Each clause is checked against the occurrence list of its rarest
+        variable; a candidate whose variable signature is not a superset is
+        skipped without touching its literals.  ``C ⊆ D`` removes ``D``
+        (promoting ``C`` when ``D`` was a problem clause); ``C`` matching
+        ``D`` except for one negated literal strengthens ``D`` by removing
+        that literal.
+        """
+        clauses = [
+            clause
+            for store in (self._clauses, self._learnts)
+            for clause in store
+            if not clause.removed
+        ]
+        occurrences: Dict[int, List[_Clause]] = {}
+        signatures: Dict[int, int] = {}
+        for clause in clauses:
+            signatures[id(clause)] = self._signature(clause.lits)
+            for literal in clause.lits:
+                occurrences.setdefault(abs(literal), []).append(clause)
+        clauses.sort(key=lambda clause: len(clause.lits))
+        strengthened: List[Tuple[_Clause, List[int]]] = []
+        for clause in clauses:
+            if clause.removed:
+                continue
+            lits = clause.lits
+            rarest = min(lits, key=lambda literal: len(occurrences.get(abs(literal), ())))
+            own_signature = signatures[id(clause)]
+            own_set = set(lits)
+            for candidate in occurrences.get(abs(rarest), ()):
+                if candidate is clause or candidate.removed:
+                    continue
+                if len(candidate.lits) < len(lits):
+                    continue
+                if own_signature & ~signatures[id(candidate)]:
+                    continue
+                negated = 0  # the one literal of C occurring negated in D, if any
+                missing = False
+                candidate_set = set(candidate.lits)
+                for literal in own_set:
+                    if literal in candidate_set:
+                        continue
+                    if -literal in candidate_set and negated == 0:
+                        negated = -literal
+                        continue
+                    missing = True
+                    break
+                if missing:
+                    continue
+                if negated == 0:
+                    candidate.removed = True
+                    if clause.learnt and not candidate.learnt:
+                        clause.learnt = False  # promoted: now carries a problem constraint
+                        self._learnts = [c for c in self._learnts if c is not clause]
+                        self._clauses.append(clause)
+                    self.stats.subsumed_clauses += 1
+                elif len(candidate.lits) > 1:
+                    shrunk = [literal for literal in candidate.lits if literal != negated]
+                    strengthened.append((candidate, shrunk))
+                    candidate.removed = True
+                    self.stats.strengthened_clauses += 1
+        for original, shrunk in strengthened:
+            if not self._readd(shrunk, original.learnt, original.lbd):
+                return
+
+    def _readd(self, lits: List[int], learnt: bool, lbd: int) -> bool:
+        """Attach a rewritten clause (after strengthening or vivification)."""
+        lits = [literal for literal in lits if self._value(literal) != -1]
+        if any(self._value(literal) == 1 for literal in lits):
+            return True
+        if not lits:
+            self._ok = False
+            return False
+        if len(lits) == 1:
+            self._enqueue(lits[0], None)
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(lits, learnt=learnt, lbd=min(lbd, len(lits)) if lbd else 0)
+        (self._learnts if learnt else self._clauses).append(clause)
+        self._attach(clause)
+        return True
+
+    def _vivify(self) -> None:
+        """Bounded vivification: shorten clauses by unit-propagation probing.
+
+        For a clause ``l₁ ∨ … ∨ lₖ`` (detached first, so it cannot feed its
+        own probe), assert ``¬l₁, ¬l₂, …`` one decision level at a time.  A
+        propagation conflict after ``i`` literals proves the prefix
+        ``l₁ ∨ … ∨ lᵢ`` is itself implied; a probe literal found already
+        true ends the clause there; one found already false is redundant
+        and dropped.  The pass is bounded by clause count and length.
+        """
+        candidates = [
+            clause
+            for store in (self._clauses, self._learnts)
+            for clause in store
+            if not clause.removed and 3 <= len(clause.lits) <= self._VIVIFY_LENGTH_LIMIT
+        ]
+        for clause in candidates[: self._VIVIFY_CLAUSE_LIMIT]:
+            if clause.removed:
+                continue
+            if any(self._value(literal) == 1 for literal in clause.lits):
+                clause.removed = True
+                continue
+            lits = [literal for literal in clause.lits if self._value(literal) == 0]
+            clause.removed = True  # detached: the probe must not use the clause itself
+            shortened: List[int] = []
+            conflicted = False
+            for literal in lits:
+                value = self._value(literal)
+                if value == 1:
+                    # The negated prefix already implies this literal.
+                    shortened.append(literal)
+                    conflicted = True
+                    break
+                if value == -1:
+                    continue  # implied false under the prefix: redundant
+                shortened.append(literal)
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(-literal, None)
+                if self._propagate() is not None:
+                    conflicted = True
+                    break
+            self._cancel_until(0)
+            if len(shortened) < len(clause.lits):
+                self.stats.strengthened_clauses += 1
+            if not self._readd(shortened, clause.learnt, clause.lbd):
+                return
 
     # -- models ---------------------------------------------------------------------
 
@@ -625,17 +991,17 @@ class Solver(ClauseSink):
     @property
     def num_clauses(self) -> int:
         """The number of problem (non-learnt) clauses currently attached."""
-        return len(self._clauses)
+        return sum(1 for clause in self._clauses if not clause.removed)
 
     @property
     def num_learnts(self) -> int:
         """The number of learnt clauses currently attached."""
-        return len(self._learnts)
+        return sum(1 for clause in self._learnts if not clause.removed)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "<Solver: %d vars, %d clauses, %d learnts, %d conflicts>" % (
             self._num_vars,
-            len(self._clauses),
-            len(self._learnts),
+            self.num_clauses,
+            self.num_learnts,
             self.stats.conflicts,
         )

@@ -32,10 +32,11 @@ Three encodings are provided, mirroring the token ring:
   bitset engines;
 * :func:`symbolic_mutex` — the direct BDD encoding (two state bits per
   process plus the shared lock bit), for the symbolic engine and, with
-  ``domain="free"``, for the CNF unrolling of the bounded model checker;
-* the CNF form is *derived*: :mod:`repro.mc.bmc` Tseitin-encodes the
-  symbolic encoding's clustered relation parts, so the very same stable
-  variable ids feed all four engines.
+  ``domain="free"``, for both SAT engines (the CNF unrolling of the
+  bounded model checker and the IC3/PDR frames);
+* the CNF form is *derived*: :mod:`repro.mc.bmc` and :mod:`repro.mc.ic3`
+  Tseitin-encode the symbolic encoding's clustered relation parts, so the
+  very same stable variable ids feed all five engines.
 
 The safety and liveness formulas (:func:`mutex_safety`,
 :func:`mutex_liveness`) and the scheduler fairness constraint

@@ -82,6 +82,7 @@ __all__ = [
     "partition_invariant_holds",
     "invariant_request_persistence",
     "invariant_one_token",
+    "ring_mutual_exclusion",
     "property_token_only_on_request",
     "property_critical_implies_token",
     "property_request_until_token",
@@ -708,6 +709,33 @@ def invariant_request_persistence() -> Formula:
 def invariant_one_token() -> Formula:
     """Invariant 3: ``AG Θ_i t_i`` — exactly one process holds the token."""
     return AG(exactly_one("t"))
+
+
+def ring_mutual_exclusion(size: int) -> Formula:
+    """Pairwise mutual exclusion: ``AG ∧_{i<j} ¬(c_i ∧ c_j)``.
+
+    A consequence of :func:`invariant_one_token`, but a much harder *proof*
+    target: the one-token invariant is 1-inductive (every transition rule
+    preserves it on any state), whereas pairwise exclusion alone is not
+    inductive on the free bit-pattern domain — a state with one critical
+    process and a second token elsewhere violates nothing pairwise yet
+    reaches a violation in one rule-3 step.  k-induction must therefore
+    enumerate simple paths through the free state space (``4^size`` bit
+    patterns), while IC3 discovers the token-counting strengthening as
+    blocked cubes.  Written over concrete indices like
+    :func:`repro.systems.mutex.mutex_safety`, keeping the body
+    propositional — the SAT engines' invariant fragment.  With a single
+    process there is no pair to exclude, so the formula degenerates to
+    ``AG true``.
+    """
+    if size < 1:
+        raise StructureError("the ring needs at least one process")
+    pairs = [
+        lnot(land(iatom("c", left), iatom("c", right)))
+        for left in range(1, size + 1)
+        for right in range(left + 1, size + 1)
+    ]
+    return AG(land(*pairs))
 
 
 def property_token_only_on_request() -> Formula:

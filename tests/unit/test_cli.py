@@ -11,14 +11,25 @@ from repro.cli import build_parser, main
 def test_parser_defaults():
     args = build_parser().parse_args([])
     assert args.engine == "bitset"
-    assert args.ring_size == 4
+    assert args.system == "ring"
+    assert args.size == 4
     assert not args.experiments
     assert not args.fairness
+
+
+def test_ring_size_is_an_alias_for_size():
+    assert build_parser().parse_args(["--ring-size", "7"]).size == 7
+    assert build_parser().parse_args(["--size", "7"]).size == 7
 
 
 def test_parser_rejects_unknown_engine():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--engine", "zdd"])
+
+
+def test_parser_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--system", "philosophers"])
 
 
 @pytest.mark.parametrize("engine", ["naive", "bitset", "bdd"])
@@ -31,7 +42,25 @@ def test_ring_check_all_engines(engine, capsys):
     assert "transitions : 57" in out
     assert "property eventual_entry" in out
     assert "invariant one_token" in out
-    assert "all Section 5 properties and invariants hold" in out
+    assert "invariant mutual_exclusion" in out
+    assert "all properties and invariants hold" in out
+
+
+@pytest.mark.parametrize("system,label", [("mutex", "mutex(3)"), ("counter", "counter(3)")])
+def test_other_systems_explicit_engine(system, label, capsys):
+    exit_code = main(["--system", system, "--size", "3"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "%s via engine=bitset" % label in out
+    assert "all properties and invariants hold" in out
+
+
+def test_mutex_bdd_engine(capsys):
+    exit_code = main(["--system", "mutex", "--engine", "bdd", "--size", "3"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "mutex(3) via engine=bdd" in out
+    assert "invariant mutual_exclusion" in out
 
 
 def test_bdd_engine_reports_direct_encoding(capsys):
@@ -53,7 +82,19 @@ def test_fairness_flag_checks_fair_liveness(engine, capsys):
     assert exit_code == 0
     assert "fairness    : 3 conditions" in out
     assert "fair liveness eventual_token       True" in out
-    assert "all Section 5 properties and invariants hold" in out
+    assert "all properties and invariants hold" in out
+
+
+def test_mutex_fairness(capsys):
+    exit_code = main(["--system", "mutex", "--size", "3", "--fairness"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "fair liveness eventual_entry" in out
+
+
+def test_counter_fairness_rejected(capsys):
+    assert main(["--system", "counter", "--fairness"]) == 2
+    assert "fairness" in capsys.readouterr().err
 
 
 def test_without_fairness_no_liveness_family(capsys):
@@ -71,6 +112,11 @@ def test_invalid_ring_size_exits_2(capsys):
 def test_fairness_with_experiments_rejected(capsys):
     assert main(["--experiments", "--fairness"]) == 2
     assert "--fairness" in capsys.readouterr().err
+
+
+def test_system_with_experiments_rejected(capsys):
+    assert main(["--experiments", "--system", "mutex"]) == 2
+    assert "--system" in capsys.readouterr().err
 
 
 def test_python_dash_m_entry_point():
@@ -91,7 +137,8 @@ def test_profile_emits_json_with_phases_and_bdd_stats(capsys):
     assert exit_code == 0
     payload = json.loads(captured.err)
     assert payload["engine"] == "bdd"
-    assert payload["ring_size"] == 3
+    assert payload["system"] == "ring"
+    assert payload["size"] == 3
     phase_names = [phase["name"] for phase in payload["phases"]]
     assert phase_names[0] == "build"
     assert any(name.startswith("check property ") for name in phase_names)
@@ -125,8 +172,36 @@ def test_bmc_ring_check(capsys):
     assert "M_6 via engine=bmc" in out
     assert "state bits  : 12" in out
     assert "proved by 1-induction" in out
-    assert "skipped (outside the BMC invariant fragment)" in out
-    assert "checked Section 5 properties and invariants hold" in out
+    assert "skipped (outside the bmc fragment)" in out
+    assert "checked properties and invariants hold" in out
+
+
+def test_ic3_mutex_check(capsys):
+    exit_code = main(["--engine", "ic3", "--system", "mutex", "--size", "4"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "mutex(4) via engine=ic3" in out
+    assert "IC3 over the direct encoding" in out
+    assert "ic3-invariant" in out
+    assert "all properties and invariants hold" in out
+
+
+def test_ic3_ring_check_skips_liveness(capsys):
+    exit_code = main(["--engine", "ic3", "--ring-size", "3"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "M_3 via engine=ic3" in out
+    assert "invariant one_token" in out
+    assert "ic3-invariant" in out
+    assert "skipped (outside the ic3 fragment)" in out
+
+
+def test_ic3_counter_check(capsys):
+    exit_code = main(["--engine", "ic3", "--system", "counter", "--size", "8"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "counter(8) via engine=ic3" in out
+    assert "ic3-invariant" in out
 
 
 def test_bmc_profile_reports_sat_statistics(capsys):
@@ -145,18 +220,55 @@ def test_bmc_profile_reports_sat_statistics(capsys):
     assert payload["bdd"]["live_nodes"] > 0
 
 
-def test_bound_requires_bmc_engine(capsys):
+def test_ic3_profile_reports_frame_counters(capsys):
+    import json
+
+    exit_code = main(
+        ["--engine", "ic3", "--system", "mutex", "--size", "3", "--profile"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.err)
+    assert payload["engine"] == "ic3"
+    assert payload["max_frames"] >= 1
+    assert payload["certificate_clauses"] >= 1
+    sat = payload["sat"]
+    assert sat["solve_calls"] > 0
+    assert sat["frames"] >= 1
+    assert sat["relative_queries"] > 0
+    assert sat["obligations"] >= 0
+    assert sat["generalization_queries"] >= 0
+
+
+def test_bound_requires_sat_engine(capsys):
     assert main(["--engine", "bitset", "--bound", "5"]) == 2
     assert "--bound" in capsys.readouterr().err
     assert main(["--engine", "bmc", "--bound", "-1"]) == 2
     assert "--bound" in capsys.readouterr().err
+    assert main(["--engine", "ic3", "--bound", "0"]) == 2
+    assert "frame ceiling" in capsys.readouterr().err
 
 
-def test_bmc_with_fairness_rejected(capsys):
+def test_ic3_bound_caps_frames(capsys):
+    # A tiny frame ceiling makes the non-inductive pairwise-exclusion
+    # invariant inconclusive rather than wrong; inconclusive checks are
+    # reported but (like fragment skips) do not fail the run.
+    exit_code = main(["--engine", "ic3", "--ring-size", "4", "--bound", "1"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "INCONCLUSIVE" in out
+    assert "checked properties and invariants hold" in out
+
+
+def test_sat_engines_with_fairness_rejected(capsys):
     assert main(["--engine", "bmc", "--fairness"]) == 2
+    assert "fairness" in capsys.readouterr().err
+    assert main(["--engine", "ic3", "--fairness"]) == 2
     assert "fairness" in capsys.readouterr().err
 
 
-def test_bmc_with_experiments_rejected(capsys):
+def test_sat_engines_with_experiments_rejected(capsys):
     assert main(["--engine", "bmc", "--experiments"]) == 2
     assert "E12" in capsys.readouterr().err
+    assert main(["--engine", "ic3", "--experiments"]) == 2
+    assert "E13" in capsys.readouterr().err

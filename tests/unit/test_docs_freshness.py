@@ -1,0 +1,78 @@
+"""Docs-freshness guard: the engine registry and the docs must agree.
+
+Adding an engine to ``ENGINE_NAMES`` without documenting it (or renaming
+one and leaving stale prose behind) fails here, not in a reader's hands.
+Runs as part of tier-1 and as a dedicated CI step.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.mc.bitset import CTL_ENGINES, ENGINE_NAMES
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+_DOC_FILES = [
+    _REPO_ROOT / "README.md",
+    _REPO_ROOT / "docs" / "ENGINES.md",
+    _REPO_ROOT / "docs" / "ARCHITECTURE.md",
+]
+
+
+@pytest.fixture(scope="module", params=_DOC_FILES, ids=lambda p: p.name)
+def doc(request):
+    path = request.param
+    assert path.is_file(), "missing documentation file: %s" % path
+    return path.read_text(encoding="utf-8")
+
+
+def test_every_registered_engine_is_documented(doc):
+    for engine in ENGINE_NAMES:
+        assert re.search(r"\b%s\b" % re.escape(engine), doc), (
+            "engine %r from ENGINE_NAMES is not mentioned" % engine
+        )
+
+
+def test_engine_count_prose_matches_registry():
+    """The READMEs advertise the engine count in words; keep it honest."""
+    words = {
+        3: "three",
+        4: "four",
+        5: "five",
+        6: "six",
+        7: "seven",
+    }
+    expected = words[len(ENGINE_NAMES)]
+    readme = (_REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert ("%s engines" % expected) in readme
+    stale = [
+        "%s engines" % words[count]
+        for count in words
+        if count != len(ENGINE_NAMES)
+    ]
+    for phrase in stale:
+        # "all three engines" legitimately refers to the CTL_ENGINES
+        # subset; only flat engine-count claims go stale.
+        assert ("of **%s" % phrase.split()[0]) not in readme, (
+            "README still advertises %r" % phrase
+        )
+
+
+def test_docs_name_the_ctl_subset(doc):
+    """CTL_ENGINES is the satisfaction-set subset; docs must not promise
+    satisfaction sets for the verdict-only SAT engines."""
+    for engine in sorted(set(ENGINE_NAMES) - set(CTL_ENGINES)):
+        assert re.search(r"\b%s\b" % re.escape(engine), doc)
+
+
+def test_docs_cross_link_each_other():
+    readme = (_REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/ENGINES.md" in readme
+    assert "docs/ARCHITECTURE.md" in readme
+    engines = (_REPO_ROOT / "docs" / "ENGINES.md").read_text(encoding="utf-8")
+    assert "ARCHITECTURE.md" in engines
+    architecture = (_REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    assert "ENGINES.md" in architecture

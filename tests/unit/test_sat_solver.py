@@ -174,3 +174,97 @@ def test_gate_interface_on_solver():
 
 def test_fuzz_harness_clean():
     assert run_fuzz(count=25, max_vars=10, seed=123) == 0
+
+
+def test_unsat_core_names_the_assumptions_used():
+    solver = Solver()
+    x, y, z = (solver.new_var() for _ in range(3))
+    solver.add_clause([x])
+    solver.add_clause([-x, y])
+    assert not solver.solve(assumptions=[-y, z])
+    core = solver.unsat_core()
+    assert core <= {-y, z}
+    assert -y in core  # z is irrelevant to the conflict
+    # The core is sufficient: the database plus the core alone is UNSAT.
+    replay = Solver()
+    for _ in range(3):
+        replay.new_var()
+    replay.add_clause([x])
+    replay.add_clause([-x, y])
+    assert not replay.solve(assumptions=sorted(core))
+
+
+def test_unsat_core_empty_when_database_alone_is_unsat():
+    solver = Solver()
+    v = solver.new_var()
+    w = solver.new_var()
+    solver.add_clause([v])
+    solver.add_clause([-v])
+    assert not solver.solve(assumptions=[w])
+    assert solver.unsat_core() == frozenset()
+
+
+def test_unsat_core_unavailable_after_sat():
+    solver = Solver()
+    v = solver.new_var()
+    solver.add_clause([v])
+    assert solver.solve()
+    with pytest.raises(SatError):
+        solver.unsat_core()
+
+
+def test_inprocess_preserves_satisfiability():
+    """Explicit inprocessing must never change any verdict (differential)."""
+    rng = random.Random(11)
+    for _ in range(30):
+        num_vars = rng.randint(4, 10)
+        cnf = random_3cnf(rng, num_vars, int(4.0 * num_vars))
+        plain, simplified = _solver_for(cnf), _solver_for(cnf)
+        assert simplified.inprocess() or not naive_satisfiable(cnf)
+        verdict = simplified.solve()
+        assert verdict == plain.solve() == naive_satisfiable(cnf)
+        if verdict:
+            assert evaluate_clauses(cnf.clauses, simplified.model())
+
+
+def test_inprocess_subsumes_and_strengthens():
+    solver = Solver()
+    a, b, c = (solver.new_var() for _ in range(3))
+    solver.add_clause([a, b])
+    solver.add_clause([a, b, c])      # subsumed by [a, b]
+    solver.add_clause([-a, b, c])     # self-subsumption with [a, b] on a
+    assert solver.inprocess()
+    assert solver.stats.subsumed_clauses >= 1
+    assert solver.stats.inprocessings == 1
+    assert solver.solve()
+
+
+def test_inprocess_keeps_incremental_solving_correct():
+    """Assumptions asked after an inprocess() round still see all clauses."""
+    solver = Solver()
+    x, y = solver.new_var(), solver.new_var()
+    solver.add_clause([x, y])
+    solver.add_clause([x, -y])
+    assert solver.inprocess()
+    assert not solver.solve(assumptions=[-x])
+    assert solver.unsat_core() == frozenset({-x})
+    assert solver.solve(assumptions=[x])
+
+
+def test_glue_reduction_keeps_binary_clauses_sound():
+    """Aggressive DB reduction with glue-aware retention never loses answers."""
+    rng = random.Random(5)
+    cnf = random_3cnf(rng, 30, 126)
+    solver = _solver_for(cnf)
+    solver._max_learnts = 5.0  # force constant reduction pressure
+    verdict = solver.solve()
+    if verdict:
+        assert evaluate_clauses(cnf.clauses, solver.model())
+    # Re-query under assumptions: deleted learnts must not have taken
+    # original clauses with them.
+    for var in range(1, 6):
+        if solver.solve(assumptions=[var]):
+            assert solver.model_value(var)
+        if solver.solve(assumptions=[-var]):
+            assert not solver.model_value(var)
+    assert solver.stats.deleted_clauses > 0 or solver.stats.conflicts < 10

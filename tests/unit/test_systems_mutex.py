@@ -109,7 +109,7 @@ class TestSymbolicEncoding:
 
 
 class TestBMCTarget:
-    """The mutex family as the BMC falsification target (all four engines)."""
+    """The mutex family as the BMC falsification target (all five engines)."""
 
     def test_bmc_finds_the_race_with_validated_path(self):
         size = 4
