@@ -26,9 +26,28 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:  # pragma: no cover - environment dependent
     sys.path.insert(0, _SRC)
 
+from repro.obs.metrics import REGISTRY  # noqa: E402
 from repro.systems import token_ring  # noqa: E402
 
 _STAT_FIELDS = ("min", "max", "mean", "median", "stddev", "rounds", "iterations")
+
+
+@pytest.fixture(autouse=True)
+def _metrics_into_extra_info(request):
+    """Snapshot the metrics registry into each benchmark's ``extra_info``.
+
+    The registry is reset before every test so a benchmark's snapshot
+    reflects only its own engine activity (cache hits, fixpoint rounds,
+    SAT conflicts), then lands in ``BENCH_results.json`` next to the
+    wall-clock statistics.
+    """
+    REGISTRY.reset()
+    bench = None
+    if "benchmark" in request.fixturenames:
+        bench = request.getfixturevalue("benchmark")
+    yield
+    if bench is not None and len(REGISTRY):
+        bench.extra_info.setdefault("metrics", REGISTRY.snapshot())
 
 
 def _benchmark_record(bench) -> dict:

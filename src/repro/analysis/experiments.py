@@ -746,39 +746,50 @@ def run_e13_ic3(
 
 def run_all(quick: bool = True, engine: str = "bitset") -> Dict[str, Dict]:
     """Run every experiment; ``quick=True`` uses the smaller default parameters."""
+    from repro.obs import metrics as _metrics
+    from repro.obs.progress import heartbeat as _heartbeat
+    from repro.obs.trace import span as _obs_span
+
     large_size = 4 if quick else 5
-    return {
-        "E1_fig31": run_e1_fig31(),
-        "E2_fig41": run_e2_fig41(max_size=4 if quick else 5),
-        "E3_nexttime": run_e3_nexttime(),
-        "E4_fig51": run_e4_fig51(),
-        "E5_invariants": run_e5_invariants(
+    runners = {
+        "E1_fig31": lambda: run_e1_fig31(),
+        "E2_fig41": lambda: run_e2_fig41(max_size=4 if quick else 5),
+        "E3_nexttime": lambda: run_e3_nexttime(),
+        "E4_fig51": lambda: run_e4_fig51(),
+        "E5_invariants": lambda: run_e5_invariants(
             sizes=(2, 3, 4) if quick else (2, 3, 4, 5), engine=engine
         ),
-        "E6_properties": run_e6_properties(
+        "E6_properties": lambda: run_e6_properties(
             sizes=(2, 3, 4) if quick else (2, 3, 4, 5), engine=engine
         ),
-        "E7_correspondence": run_e7_correspondence(large_size=large_size),
-        "E8_explosion": run_e8_explosion(
+        "E7_correspondence": lambda: run_e7_correspondence(large_size=large_size),
+        "E8_explosion": lambda: run_e8_explosion(
             sizes=(2, 3, 4) if quick else (2, 3, 4, 5, 6),
             engine=engine,
             symbolic_sizes=(6, 8) if quick else (10, 14, 20),
         ),
-        "E9_conjecture": run_e9_conjecture(max_size=4 if quick else 5),
-        "E10_scaling": run_e10_scaling(sizes=(3, 4) if quick else (3, 4, 5)),
-        "E11_fairness": run_e11_fairness(
+        "E9_conjecture": lambda: run_e9_conjecture(max_size=4 if quick else 5),
+        "E10_scaling": lambda: run_e10_scaling(sizes=(3, 4) if quick else (3, 4, 5)),
+        "E11_fairness": lambda: run_e11_fairness(
             sizes=(2, 3) if quick else (2, 4, 8),
             symbolic_sizes=(6,) if quick else (10, 20),
             engine=engine,
         ),
-        "E12_bmc": run_e12_bmc(
+        "E12_bmc": lambda: run_e12_bmc(
             sizes=(4, 6) if quick else (6, 8, 12),
             oracle_size=4 if quick else 6,
         ),
-        "E13_ic3": run_e13_ic3(
+        "E13_ic3": lambda: run_e13_ic3(
             ring_size=4 if quick else 5,
             mutex_size=4 if quick else 6,
             counter_size=10 if quick else 14,
             kinduction_bound=8 if quick else 12,
         ),
     }
+    results: Dict[str, Dict] = {}
+    for name, runner in runners.items():
+        _heartbeat("experiments", force=True, experiment=name)
+        with _obs_span("experiment", experiment=name, quick=quick, engine=engine):
+            results[name] = runner()
+        _metrics.counter("experiments.completed").inc()
+    return results

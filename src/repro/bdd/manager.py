@@ -61,6 +61,9 @@ from itertools import islice as _islice
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import BDDError
+from repro.obs import metrics as _metrics
+from repro.obs.trace import event as _obs_event
+from repro.obs.trace import span as _obs_span
 
 __all__ = [
     "BDDManager",
@@ -1079,6 +1082,11 @@ class BDDManager:
         self._live -= freed
         self._gc_runs += 1
         self._gc_reclaimed += freed
+        # GC is rare by construction, so event-time telemetry is cheap here.
+        _metrics.counter("bdd.gc.runs").inc()
+        _metrics.counter("bdd.gc.reclaimed").inc(freed)
+        _metrics.gauge("bdd.nodes.peak").set_max(self._peak)
+        _obs_event("bdd.gc", reclaimed=freed, live=self._live)
         return freed
 
     def stats(self) -> ManagerStats:
@@ -1094,6 +1102,34 @@ class BDDManager:
             sift_swaps=self._sift_swaps,
             caches=tuple(cache.stats() for cache in self._caches),
         )
+
+    def publish_metrics(self, **labels) -> None:
+        """Snapshot :meth:`stats` into the process-global metrics registry.
+
+        Cumulative totals are published as *gauges* (idempotent to
+        re-publish at every phase boundary); event-time counters
+        (``bdd.gc.runs`` etc.) are incremented where the event happens.
+        ``labels`` tag the series (``engine=...``, ``system=...``).
+        """
+        stats = self.stats()
+        gauge = _metrics.gauge
+        gauge("bdd.live_nodes", **labels).set(stats.live_nodes)
+        gauge("bdd.peak_live_nodes", **labels).set(stats.peak_live_nodes)
+        gauge("bdd.num_vars", **labels).set(stats.num_vars)
+        gauge("bdd.gc_runs", **labels).set(stats.gc_runs)
+        gauge("bdd.gc_reclaimed", **labels).set(stats.gc_reclaimed)
+        gauge("bdd.reorder_runs", **labels).set(stats.reorder_runs)
+        gauge("bdd.sift_swaps", **labels).set(stats.sift_swaps)
+        for cache in stats.caches:
+            total = cache.hits + cache.misses
+            gauge("bdd.cache.hits", cache=cache.name, **labels).set(cache.hits)
+            gauge("bdd.cache.misses", cache=cache.name, **labels).set(cache.misses)
+            gauge("bdd.cache.evictions", cache=cache.name, **labels).set(
+                cache.evictions
+            )
+            gauge("bdd.cache.hit_rate", cache=cache.name, **labels).set(
+                round(cache.hits / total, 6) if total else 0.0
+            )
 
     #: Backwards-compatible aliases for the unified apply cache counters.
     @property
@@ -1198,20 +1234,28 @@ class BDDManager:
         reorder and are cleared.
         """
         self._reorder_runs += 1
-        self.collect()
-        blocks = self._blocks
-        if len(blocks) < 2:
-            return self._live
-        sizes = []
-        for index, block in enumerate(blocks):
-            sizes.append((-sum(len(self._subtables[var]) for var in block), index, block))
-        sizes.sort()
-        for _, _, block in sizes:
-            self._sift_block(block, max_growth)
-        self.clear_caches()
-        threshold = self.auto_reorder_threshold
-        if threshold is not None and self._live >= threshold:
-            self.auto_reorder_threshold = max(threshold * 2, self._live * 2)
+        with _obs_span("bdd.reorder") as sp:
+            live_before = self._live
+            swaps_before = self._sift_swaps
+            self.collect()
+            blocks = self._blocks
+            if len(blocks) >= 2:
+                sizes = []
+                for index, block in enumerate(blocks):
+                    sizes.append(
+                        (-sum(len(self._subtables[var]) for var in block), index, block)
+                    )
+                sizes.sort()
+                for _, _, block in sizes:
+                    self._sift_block(block, max_growth)
+                self.clear_caches()
+                threshold = self.auto_reorder_threshold
+                if threshold is not None and self._live >= threshold:
+                    self.auto_reorder_threshold = max(threshold * 2, self._live * 2)
+            swaps = self._sift_swaps - swaps_before
+            _metrics.counter("bdd.reorder.runs").inc()
+            _metrics.counter("bdd.reorder.swaps").inc(swaps)
+            sp.set(live_before=live_before, live_after=self._live, swaps=swaps)
         return self._live
 
     def _maybe_reorder(self) -> None:

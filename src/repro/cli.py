@@ -34,6 +34,14 @@ full E1–E13 experiment suite and prints one summary line per experiment.
 The process exits non-zero when a checked property is violated (or an
 experiment's headline claim fails to reproduce), so the command doubles as a
 CI smoke check.
+
+Observability (see ``docs/OBSERVABILITY.md``): ``--trace FILE`` records a
+Chrome/Perfetto trace-event JSON of the run's nested spans (load it at
+``ui.perfetto.dev``), ``--metrics FILE`` dumps the metrics registry as JSONL
+(one labeled series per line), ``--progress`` prints rate-limited heartbeat
+lines from the engines' outer loops, and ``--profile`` emits exactly one
+JSON document on stderr summarising phases, engine statistics, and the
+metrics snapshot.
 """
 
 from __future__ import annotations
@@ -133,6 +141,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="with --experiments: use the smaller quick parameters",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "record a Chrome/Perfetto trace-event JSON of the run's nested "
+            "spans to FILE (open it at ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the metrics registry to FILE as JSONL, one labeled "
+            "series per line"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print rate-limited [progress] heartbeat lines from the "
+            "engines' outer loops (fixpoint rounds, BMC depths, IC3 frames)"
+        ),
     )
     return parser
 
@@ -320,13 +354,18 @@ def _run_check(
     if profile:
         import json
 
+        from repro.obs.metrics import REGISTRY
+
         payload = {
+            "schema": "repro.profile/v2",
+            "mode": "check",
             "engine": engine,
             "system": system,
             "size": size,
             "fairness": fairness,
             "phases": phases,
             "total_seconds": sum(phase["seconds"] for phase in phases),
+            "metrics": REGISTRY.snapshot(),
         }
         if engine == "bdd":
             payload["bdd"] = structure.manager.stats().as_dict()
@@ -388,18 +427,35 @@ _EXPERIMENT_HEADLINES = {
 }
 
 
-def _run_experiments(engine: str, quick: bool, out) -> bool:
+def _run_experiments(engine: str, quick: bool, out, profile: bool = False) -> bool:
     from repro.analysis import experiments
 
     print("running E1-E13 (engine=%s, quick=%s)" % (engine, quick), file=out)
     ran = timed_call(experiments.run_all, quick=quick, engine=engine)
     print("  %-20s %s" % ("experiment", "reproduced"), file=out)
     ok = True
+    headlines = {}
     for name, result in ran.value.items():
         headline = _EXPERIMENT_HEADLINES[name](result)
+        headlines[name] = headline
         ok = ok and headline
         print("  %-20s %s" % (name, headline), file=out)
     print("  total: %.2fs" % ran.seconds, file=out)
+    if profile:
+        import json
+
+        from repro.obs.metrics import REGISTRY
+
+        payload = {
+            "schema": "repro.profile/v2",
+            "mode": "experiments",
+            "engine": engine,
+            "quick": quick,
+            "experiments": headlines,
+            "total_seconds": ran.seconds,
+            "metrics": REGISTRY.snapshot(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=sys.stderr)
     return ok
 
 
@@ -455,23 +511,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        if args.profile:
-            print(
-                "error: --profile applies to single checks",
-                file=sys.stderr,
+
+    from repro.obs import progress as obs_progress
+    from repro.obs import trace as obs_trace
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.sinks import ChromeTraceSink, write_metrics_jsonl
+
+    # One run, one registry: repeated in-process main() calls (tests) must
+    # not leak counts into each other's --profile/--metrics exports.
+    REGISTRY.reset()
+    sinks = []
+    if args.trace is not None:
+        sinks.append(ChromeTraceSink(args.trace))
+    if sinks:
+        obs_trace.enable(sinks, keep_records=False)
+    if args.progress:
+        # With --profile, stderr must stay exactly one JSON document, so
+        # heartbeats move to stdout alongside the results table.
+        obs_progress.enable_progress(stream=out if args.profile else None)
+    try:
+        if args.experiments:
+            ok = _run_experiments(args.engine, args.quick, out, profile=args.profile)
+        else:
+            ok = _run_check(
+                args.system,
+                args.engine,
+                args.size,
+                args.fairness,
+                out,
+                profile=args.profile,
+                bound=args.bound,
             )
-            return 2
-        ok = _run_experiments(args.engine, args.quick, out)
-    else:
-        ok = _run_check(
-            args.system,
-            args.engine,
-            args.size,
-            args.fairness,
-            out,
-            profile=args.profile,
-            bound=args.bound,
-        )
+    finally:
+        if sinks:
+            tracer = obs_trace.disable()
+            if tracer is not None:
+                tracer.close()
+        if args.progress:
+            obs_progress.disable_progress()
+        if args.metrics is not None:
+            write_metrics_jsonl(
+                REGISTRY,
+                args.metrics,
+                extra={
+                    "engine": args.engine,
+                    "system": args.system,
+                    "size": args.size,
+                },
+            )
     return 0 if ok else 1
 
 

@@ -280,6 +280,12 @@ def compile_structure(structure: KripkeStructure) -> CompiledKripkeStructure:
         return structure
     cached = getattr(structure, "_compiled_form", None)
     if cached is None:
-        cached = CompiledKripkeStructure(structure)
+        from repro.obs import metrics as _metrics
+        from repro.obs.trace import span as _span
+
+        with _span("build.compile", kind="bitset") as sp:
+            cached = CompiledKripkeStructure(structure)
+            sp.set(states=cached.num_states)
+        _metrics.gauge("build.states").set(cached.num_states)
         structure._compiled_form = cached
     return cached

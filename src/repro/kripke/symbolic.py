@@ -64,6 +64,9 @@ from repro.errors import BDDError, StructureError
 from repro.kripke.compiled import compile_structure
 from repro.kripke.indexed import IndexedKripkeStructure
 from repro.kripke.structure import IndexedProp, KripkeStructure, Label, State
+from repro.obs import metrics as _metrics
+from repro.obs.progress import heartbeat as _heartbeat
+from repro.obs.trace import span as _obs_span
 from repro.logic.ast import (
     Atom,
     ExactlyOne,
@@ -183,6 +186,43 @@ class SymbolicKripkeStructure:
     ) -> None:
         if num_bits < 1:
             raise StructureError("a symbolic structure needs at least one state bit")
+        # The whole encode (cluster build + reachable domain when needed)
+        # is one "build.encode" span, so traces show where setup time goes
+        # before any check starts.
+        with _obs_span("build.encode") as sp:
+            self._initialise(
+                manager,
+                num_bits,
+                transition_parts,
+                initial,
+                domain,
+                prop_nodes,
+                index_values,
+                source,
+                encode_assignment,
+                decode_assignment,
+                name,
+                cluster_node_cap,
+            )
+            sp.set(name=name, bits=num_bits, clusters=len(self._clusters))
+        _metrics.gauge("build.state_bits").set(num_bits)
+        _metrics.gauge("build.clusters").set(len(self._clusters))
+
+    def _initialise(
+        self,
+        manager,
+        num_bits,
+        transition_parts,
+        initial,
+        domain,
+        prop_nodes,
+        index_values,
+        source,
+        encode_assignment,
+        decode_assignment,
+        name,
+        cluster_node_cap,
+    ) -> None:
         self.manager = manager
         self._num_bits = num_bits
         self._current_vars = tuple(2 * bit for bit in range(num_bits))
@@ -422,15 +462,23 @@ class SymbolicKripkeStructure:
         return self.image_fn(self.function(node)).node
 
     def _reachable_fn(self) -> BDDFunction:
-        domain = self._domain
-        current = self._initial if domain is None else self._initial & domain
-        frontier = current
-        while not frontier.is_false:
-            fresh = self.image_fn(frontier)
-            if domain is not None:
-                fresh = fresh & domain
-            frontier = fresh & ~current
-            current = current | frontier
+        with _obs_span("bdd.reachable") as sp:
+            domain = self._domain
+            current = self._initial if domain is None else self._initial & domain
+            frontier = current
+            rounds = 0
+            while not frontier.is_false:
+                rounds += 1
+                _heartbeat(
+                    "bdd", fixpoint="reachable", round=rounds, live=self.manager._live
+                )
+                fresh = self.image_fn(frontier)
+                if domain is not None:
+                    fresh = fresh & domain
+                frontier = fresh & ~current
+                current = current | frontier
+            sp.set(rounds=rounds)
+        _metrics.counter("bdd.reachable.rounds").inc(rounds)
         return current
 
     def reachable(self) -> int:
@@ -567,9 +615,11 @@ class SymbolicKripkeStructure:
         :class:`~repro.kripke.compiled.CompiledKripkeStructure`, so the two
         compiled forms of one structure agree on which state is which.
         """
-        compiled = compile_structure(structure)
+        with _obs_span("build.compile", kind="explicit_to_symbolic") as sp:
+            compiled = compile_structure(structure)
+            n = compiled.num_states
+            sp.set(states=n)
         source = compiled.source
-        n = compiled.num_states
         bits = max(1, (n - 1).bit_length())
         manager = BDDManager()
 

@@ -39,6 +39,8 @@ from repro.kripke.structure import KripkeStructure, State
 from repro.kripke.validation import assert_total
 from repro.mc.fairness import FairnessConstraint, normalize_fairness
 from repro.mc.scc import fair_components
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _obs_span
 from repro.logic.ast import (
     And,
     Atom,
@@ -150,7 +152,10 @@ class BitsetCTLModelChecker:
             index = self._compiled.initial_index
         else:
             index = self._compiled.index_of(state)
-        return bool(self.satisfaction_mask(formula) >> index & 1)
+        with _obs_span("mc.check", engine="bitset"):
+            mask = self.satisfaction_mask(formula)
+        _metrics.counter("mc.checks", engine="bitset").inc()
+        return bool(mask >> index & 1)
 
     def check_batch(
         self,
@@ -326,15 +331,20 @@ class BitsetCTLModelChecker:
         """
         compiled = self._compiled
         predecessors_of = compiled.predecessors_of
-        satisfied = right
-        frontier = list(bits_of(right))
-        while frontier:
-            index = frontier.pop()
-            for pred in predecessors_of(index):
-                bit = 1 << pred
-                if not satisfied & bit and left & bit:
-                    satisfied |= bit
-                    frontier.append(pred)
+        with _obs_span("bitset.eu") as sp:
+            satisfied = right
+            frontier = list(bits_of(right))
+            pops = 0
+            while frontier:
+                index = frontier.pop()
+                pops += 1
+                for pred in predecessors_of(index):
+                    bit = 1 << pred
+                    if not satisfied & bit and left & bit:
+                        satisfied |= bit
+                        frontier.append(pred)
+            sp.set(pops=pops, satisfied=popcount(satisfied))
+        _metrics.counter("bitset.worklist.pops", op="eu").inc(pops)
         return satisfied
 
     def _eg(self, operand: int) -> int:
@@ -348,25 +358,30 @@ class BitsetCTLModelChecker:
         compiled = self._compiled
         successor_mask = compiled.successor_mask
         predecessors_of = compiled.predecessors_of
-        current = operand
-        counts: Dict[int, int] = {}
-        doomed: List[int] = []
-        for index in bits_of(operand):
-            alive = popcount(successor_mask(index) & operand)
-            counts[index] = alive
-            if not alive:
-                doomed.append(index)
-        while doomed:
-            index = doomed.pop()
-            current &= ~(1 << index)
-            for pred in predecessors_of(index):
-                remaining = counts.get(pred)
-                if remaining is None or not current >> pred & 1:
-                    continue
-                remaining -= 1
-                counts[pred] = remaining
-                if not remaining:
-                    doomed.append(pred)
+        with _obs_span("bitset.eg") as sp:
+            current = operand
+            counts: Dict[int, int] = {}
+            doomed: List[int] = []
+            for index in bits_of(operand):
+                alive = popcount(successor_mask(index) & operand)
+                counts[index] = alive
+                if not alive:
+                    doomed.append(index)
+            pops = 0
+            while doomed:
+                index = doomed.pop()
+                pops += 1
+                current &= ~(1 << index)
+                for pred in predecessors_of(index):
+                    remaining = counts.get(pred)
+                    if remaining is None or not current >> pred & 1:
+                        continue
+                    remaining -= 1
+                    counts[pred] = remaining
+                    if not remaining:
+                        doomed.append(pred)
+            sp.set(pops=pops, satisfied=popcount(current))
+        _metrics.counter("bitset.worklist.pops", op="eg").inc(pops)
         return current
 
     # -- fairness ----------------------------------------------------------------
@@ -424,21 +439,29 @@ class BitsetCTLModelChecker:
         """
         compiled = self._compiled
         successors_of = compiled.successors_of
-        indices = list(bits_of(operand))
-        restricted = {
-            index: [
-                target for target in successors_of(index) if operand >> target & 1
+        with _obs_span("bitset.fair_eg") as sp:
+            indices = list(bits_of(operand))
+            restricted = {
+                index: [
+                    target for target in successors_of(index) if operand >> target & 1
+                ]
+                for index in indices
+            }
+            condition_index_sets = [
+                frozenset(bits_of(mask & operand))
+                for mask in self.fairness_condition_masks()
             ]
-            for index in indices
-        }
-        condition_index_sets = [
-            frozenset(bits_of(mask & operand))
-            for mask in self.fairness_condition_masks()
-        ]
-        hub = 0
-        for component in fair_components(indices, restricted, condition_index_sets):
-            for index in component:
-                hub |= 1 << index
+            hub = 0
+            components = 0
+            for component in fair_components(indices, restricted, condition_index_sets):
+                components += 1
+                for index in component:
+                    hub |= 1 << index
+            sp.set(
+                candidates=len(indices),
+                fair_components=components,
+                hub=popcount(hub),
+            )
         return self._eu(operand, hub)
 
 

@@ -85,6 +85,9 @@ from repro.logic.ast import (
 )
 from repro.logic.transform import instantiate_quantifiers
 from repro.mc.fairness import FairnessConstraint, normalize_fairness
+from repro.obs import metrics as _metrics
+from repro.obs.progress import heartbeat as _heartbeat
+from repro.obs.trace import span as _obs_span
 from repro.sat.cnf import tseitin_bdd
 from repro.sat.solver import Solver, SolverStats
 
@@ -191,14 +194,19 @@ class _Unroller:
 
     def extend(self, steps: int) -> None:
         """Assert transition steps until ``steps`` of them constrain the unrolling."""
-        while self._steps < steps:
-            step = self._steps
-            cluster_literals = []
-            for conjuncts in self.symbolic.transition_parts:
-                conjunct_literals = [self.literal(edge, step) for edge in conjuncts]
-                cluster_literals.append(self.solver.gate_and(conjunct_literals))
-            self.solver.add_clause((self.solver.gate_or(cluster_literals),))
-            self._steps += 1
+        if self._steps >= steps:
+            return
+        start = self._steps
+        with _obs_span("bmc.unroll", from_step=start, to_step=steps):
+            while self._steps < steps:
+                step = self._steps
+                cluster_literals = []
+                for conjuncts in self.symbolic.transition_parts:
+                    conjunct_literals = [self.literal(edge, step) for edge in conjuncts]
+                    cluster_literals.append(self.solver.gate_and(conjunct_literals))
+                self.solver.add_clause((self.solver.gate_or(cluster_literals),))
+                self._steps += 1
+            _metrics.counter("bmc.unrolled_steps", engine="bmc").inc(steps - start)
 
     # -- frame comparisons ---------------------------------------------------
 
@@ -352,9 +360,18 @@ class BoundedModelChecker:
         if formula in self._verdicts:
             self.last_detail = "memoised verdict"
             return self._verdicts[formula]
-        verdict = self._decide(self._instantiate(formula))
+        with _obs_span("mc.check", engine="bmc"):
+            verdict = self._decide(self._instantiate(formula))
+        _metrics.counter("mc.checks", engine="bmc").inc()
         self._verdicts[formula] = verdict
+        self.publish_metrics()
         return verdict
+
+    def publish_metrics(self) -> None:
+        """Snapshot the aggregated solver statistics into the registry."""
+        for field, value in self.stats().items():
+            if isinstance(value, int):
+                _metrics.gauge("sat." + field, engine="bmc").set(value)
 
     def invariant_counterexample(
         self, invariant: Formula, bound: Optional[int] = None
@@ -489,15 +506,24 @@ class BoundedModelChecker:
         bad_fn = self._symbolic.function(bad)
         falsifier = self._falsifier_unroller()
         for depth in range(self._bound + 1):
-            falsifier.extend(depth)
-            assumption = falsifier.literal(bad_fn.node, depth)
-            if falsifier.solver.solve([assumption]):
-                self.last_counterexample = falsifier.decode_path(depth)
-                self.last_detail = "counterexample at depth %d" % depth
-                return False
-            if self._induction_step(node.node, depth + 1):
-                self.last_detail = "proved by %d-induction" % (depth + 1)
-                return True
+            with _obs_span("bmc.depth", k=depth) as sp:
+                _heartbeat(
+                    "bmc",
+                    k=depth,
+                    conflicts=falsifier.solver.stats.conflicts,
+                )
+                falsifier.extend(depth)
+                assumption = falsifier.literal(bad_fn.node, depth)
+                if falsifier.solver.solve([assumption]):
+                    self.last_counterexample = falsifier.decode_path(depth)
+                    self.last_detail = "counterexample at depth %d" % depth
+                    sp.set(outcome="counterexample")
+                    return False
+                if self._induction_step(node.node, depth + 1):
+                    self.last_detail = "proved by %d-induction" % (depth + 1)
+                    sp.set(outcome="induction")
+                    return True
+                sp.set(outcome="deepen")
         raise InconclusiveError(
             "invariant neither violated within depth %d nor provable by "
             "%d-induction; raise the bound" % (self._bound, self._bound + 1)
@@ -515,11 +541,13 @@ class BoundedModelChecker:
         bad_fn = self._symbolic.function(bad_node)
         falsifier = self._falsifier_unroller()
         for depth in range(bound + 1):
-            falsifier.extend(depth)
-            if falsifier.solver.solve([falsifier.literal(bad_fn.node, depth)]):
-                self.last_counterexample = falsifier.decode_path(depth)
-                self.last_detail = "counterexample at depth %d" % depth
-                return self.last_counterexample
+            with _obs_span("bmc.depth", k=depth, mode="falsify"):
+                _heartbeat("bmc", k=depth, mode="falsify")
+                falsifier.extend(depth)
+                if falsifier.solver.solve([falsifier.literal(bad_fn.node, depth)]):
+                    self.last_counterexample = falsifier.decode_path(depth)
+                    self.last_detail = "counterexample at depth %d" % depth
+                    return self.last_counterexample
         return None
 
     def _induction_step(self, property_node: int, length: int) -> bool:
@@ -535,17 +563,18 @@ class BoundedModelChecker:
             unroller = _Unroller(self._symbolic)
             self._inductors[property_node] = unroller
             self._inductor_handles.append(self._symbolic.function(property_node))
-        unroller.frame(0)
-        while unroller.num_steps < length:
-            step = unroller.num_steps
-            unroller.assert_property(property_node, step)
-            unroller.extend(step + 1)
-            for earlier in range(step + 1):
-                unroller.assert_distinct(earlier, step + 1)
-        bad = self._symbolic.complement(property_node)
-        bad_fn = self._symbolic.function(bad)
-        assumption = unroller.literal(bad_fn.node, length)
-        return not unroller.solver.solve([assumption])
+        with _obs_span("bmc.induction", length=length):
+            unroller.frame(0)
+            while unroller.num_steps < length:
+                step = unroller.num_steps
+                unroller.assert_property(property_node, step)
+                unroller.extend(step + 1)
+                for earlier in range(step + 1):
+                    unroller.assert_distinct(earlier, step + 1)
+            bad = self._symbolic.complement(property_node)
+            bad_fn = self._symbolic.function(bad)
+            assumption = unroller.literal(bad_fn.node, length)
+            return not unroller.solver.solve([assumption])
 
     def _find_lasso(self, constraint_node: int, bound: int) -> Optional[Lasso]:
         constraint_fn = self._symbolic.function(constraint_node)

@@ -28,6 +28,8 @@ from repro.kripke.structure import KripkeStructure, State
 from repro.kripke.validation import assert_total
 from repro.mc.fairness import FairnessConstraint, normalize_fairness
 from repro.mc.scc import fair_components
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _obs_span
 from repro.logic.ast import (
     And,
     Atom,
@@ -103,7 +105,10 @@ class CTLModelChecker:
     def check(self, formula: Formula, state: Optional[State] = None) -> bool:
         """Decide ``M, state ⊨ formula`` (default state: the initial state)."""
         target = self._structure.initial_state if state is None else state
-        return target in self.satisfaction_set(formula)
+        with _obs_span("mc.check", engine="naive"):
+            satisfied = self.satisfaction_set(formula)
+        _metrics.counter("mc.checks", engine="naive").inc()
+        return target in satisfied
 
     # -- recursive computation -------------------------------------------------
 

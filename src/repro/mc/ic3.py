@@ -78,6 +78,9 @@ from repro.logic.ast import (
 from repro.mc.bmc import _Unroller  # the shared CNF unrolling (counterexample decode)
 from repro.mc.bmc import BoundedModelChecker
 from repro.mc.fairness import FairnessConstraint, normalize_fairness
+from repro.obs import metrics as _metrics
+from repro.obs.progress import heartbeat as _heartbeat
+from repro.obs.trace import span as _obs_span
 from repro.sat.cnf import CNF, tseitin_bdd
 from repro.sat.solver import Solver, SolverStats
 
@@ -176,26 +179,29 @@ class _TransitionTemplate:
     """
 
     def __init__(self, symbolic: SymbolicKripkeStructure) -> None:
-        self.symbolic = symbolic
-        self.num_bits = symbolic.num_bits
-        self.cnf = CNF()
-        self.cnf.new_vars(2 * self.num_bits)
-        self.current_map = {2 * bit: bit + 1 for bit in range(self.num_bits)}
-        var_map = dict(self.current_map)
-        for bit in range(self.num_bits):
-            var_map[2 * bit + 1] = self.num_bits + bit + 1
-        self._pinned: List[BDDFunction] = []
-        cache: Dict[int, int] = {}
-        cluster_literals = []
-        for conjuncts in symbolic.transition_parts:
-            conjunct_literals = []
-            for edge in conjuncts:
-                self._pinned.append(symbolic.function(edge))
-                conjunct_literals.append(
-                    tseitin_bdd(symbolic.manager, edge, var_map, self.cnf, cache)
-                )
-            cluster_literals.append(self.cnf.gate_and(conjunct_literals))
-        self.cnf.add_clause((self.cnf.gate_or(cluster_literals),))
+        with _obs_span("ic3.compile") as sp:
+            self.symbolic = symbolic
+            self.num_bits = symbolic.num_bits
+            self.cnf = CNF()
+            self.cnf.new_vars(2 * self.num_bits)
+            self.current_map = {2 * bit: bit + 1 for bit in range(self.num_bits)}
+            var_map = dict(self.current_map)
+            for bit in range(self.num_bits):
+                var_map[2 * bit + 1] = self.num_bits + bit + 1
+            self._pinned: List[BDDFunction] = []
+            cache: Dict[int, int] = {}
+            cluster_literals = []
+            for conjuncts in symbolic.transition_parts:
+                conjunct_literals = []
+                for edge in conjuncts:
+                    self._pinned.append(symbolic.function(edge))
+                    conjunct_literals.append(
+                        tseitin_bdd(symbolic.manager, edge, var_map, self.cnf, cache)
+                    )
+                cluster_literals.append(self.cnf.gate_and(conjunct_literals))
+            self.cnf.add_clause((self.cnf.gate_or(cluster_literals),))
+            sp.set(bits=self.num_bits, cnf_vars=self.cnf.num_vars)
+        _metrics.gauge("ic3.template_cnf_vars").set(self.cnf.num_vars)
 
     def new_solver(self) -> Solver:
         """A fresh incremental solver pre-loaded with the transition relation."""
@@ -358,20 +364,22 @@ class _IC3Run:
 
     def _generalize(self, cube: Tuple[int, ...], level: int) -> Tuple[int, ...]:
         """Drop literals one at a time while the cube stays blocked at ``level``."""
-        current = cube
-        for literal in cube:
-            if len(current) <= 1:
-                break
-            if literal not in current:
-                continue  # already dropped by an earlier core reduction
-            candidate = tuple(other for other in current if other != literal)
-            if self._intersects_init(candidate):
-                continue
-            self.counters.generalization_queries += 1
-            blocked, core = self._try_block(candidate, level)
-            if blocked:
-                current = self._restore_initiation(core, candidate)
-        self.counters.literals_dropped += len(cube) - len(current)
+        with _obs_span("ic3.generalize", level=level, before=len(cube)) as sp:
+            current = cube
+            for literal in cube:
+                if len(current) <= 1:
+                    break
+                if literal not in current:
+                    continue  # already dropped by an earlier core reduction
+                candidate = tuple(other for other in current if other != literal)
+                if self._intersects_init(candidate):
+                    continue
+                self.counters.generalization_queries += 1
+                blocked, core = self._try_block(candidate, level)
+                if blocked:
+                    current = self._restore_initiation(core, candidate)
+            self.counters.literals_dropped += len(cube) - len(current)
+            sp.set(after=len(current))
         return current
 
     # -- frame bookkeeping ----------------------------------------------------
@@ -413,19 +421,28 @@ class _IC3Run:
 
         Returns the surviving cubes (the inductive invariant's clauses) on
         fixpoint, else ``None``."""
-        for level in range(1, self.top):
-            for cube in list(self.frames[level]):
-                if self._can_push(cube, level):
-                    self.frames[level].remove(cube)
-                    self.frames[level + 1].append(cube)
-                    self.solvers[level + 1].add_clause([-literal for literal in cube])
-                    self.counters.clauses_pushed += 1
-            if not self.frames[level]:
-                return [
-                    cube
-                    for frame in self.frames[level + 1 :]
-                    for cube in frame
-                ]
+        with _obs_span("ic3.push", frames=self.top) as sp:
+            pushed_before = self.counters.clauses_pushed
+            for level in range(1, self.top):
+                for cube in list(self.frames[level]):
+                    if self._can_push(cube, level):
+                        self.frames[level].remove(cube)
+                        self.frames[level + 1].append(cube)
+                        self.solvers[level + 1].add_clause(
+                            [-literal for literal in cube]
+                        )
+                        self.counters.clauses_pushed += 1
+                if not self.frames[level]:
+                    sp.set(
+                        pushed=self.counters.clauses_pushed - pushed_before,
+                        fixpoint_at=level,
+                    )
+                    return [
+                        cube
+                        for frame in self.frames[level + 1 :]
+                        for cube in frame
+                    ]
+            sp.set(pushed=self.counters.clauses_pushed - pushed_before)
         return None
 
     # -- the main loop --------------------------------------------------------
@@ -438,27 +455,38 @@ class _IC3Run:
         Raises :class:`~repro.errors.InconclusiveError` past ``max_frames``
         (a diverging IC3 run — the safety net, not a proof parameter).
         """
-        if self.solvers[0].solve([self._bad_literal(0)]):
-            state = self.symbolic.decode_state(
-                {
-                    2 * bit: self.solvers[0].model_value(bit + 1)
-                    for bit in range(self.num_bits)
-                }
-            )
-            return False, [state]
-        while True:
-            counterexample = self._strengthen_top()
-            if counterexample is not None:
-                return False, counterexample
-            if self.top >= max_frames:
-                raise InconclusiveError(
-                    "IC3 exceeded the frame ceiling (%d) without converging; "
-                    "raise max_frames" % max_frames
+        with _obs_span("ic3.run") as sp:
+            if self.solvers[0].solve([self._bad_literal(0)]):
+                state = self.symbolic.decode_state(
+                    {
+                        2 * bit: self.solvers[0].model_value(bit + 1)
+                        for bit in range(self.num_bits)
+                    }
                 )
-            self._open_frame()
-            invariant_cubes = self._propagate()
-            if invariant_cubes is not None:
-                return True, self._certify(invariant_cubes)
+                sp.set(outcome="initial-bad-state")
+                return False, [state]
+            while True:
+                counters = self.counters
+                _heartbeat(
+                    "ic3",
+                    frames=self.top,
+                    obligations=counters.obligations,
+                    blocked=counters.cubes_blocked,
+                )
+                counterexample = self._strengthen_top()
+                if counterexample is not None:
+                    sp.set(outcome="counterexample", frames=self.top)
+                    return False, counterexample
+                if self.top >= max_frames:
+                    raise InconclusiveError(
+                        "IC3 exceeded the frame ceiling (%d) without converging; "
+                        "raise max_frames" % max_frames
+                    )
+                self._open_frame()
+                invariant_cubes = self._propagate()
+                if invariant_cubes is not None:
+                    sp.set(outcome="invariant", frames=self.top)
+                    return True, self._certify(invariant_cubes)
 
     def _strengthen_top(self) -> Optional[List[State]]:
         """Block bad cubes of the top frame until none is left.
@@ -468,6 +496,12 @@ class _IC3Run:
         The query must be re-run after every successful block: blocking one
         bad cube says nothing about the other bad states of the frame.
         """
+        with _obs_span("ic3.frame", k=self.top) as sp:
+            counterexample = self._strengthen_frame()
+            sp.set(outcome="counterexample" if counterexample else "strengthened")
+        return counterexample
+
+    def _strengthen_frame(self) -> Optional[List[State]]:
         solver = self.solvers[self.top]
         while solver.solve([self._bad_literal(self.top)]):
             cube = self._shrink(self._cube_from_model(solver), self.bad_fn)
@@ -489,39 +523,46 @@ class _IC3Run:
         while queue:
             level, _, obligation = heapq.heappop(queue)
             cube = obligation.cube
-            if self._is_blocked(cube, level):
-                continue
-            blocked, core = self._try_block(cube, level)
-            if not blocked:
-                predecessor = self._shrink(
-                    core, self.symbolic.preimage_fn(self._cube_fn(cube))
-                )
-                if self._intersects_init(predecessor):
-                    return self._reconstruct(
-                        [predecessor] + self._chain_cubes(obligation)
+            with _obs_span(
+                "ic3.obligation", level=level, cube_size=len(cube)
+            ) as sp:
+                if self._is_blocked(cube, level):
+                    sp.set(outcome="subsumed")
+                    continue
+                blocked, core = self._try_block(cube, level)
+                if not blocked:
+                    predecessor = self._shrink(
+                        core, self.symbolic.preimage_fn(self._cube_fn(cube))
                     )
-                self._push_obligation(
-                    queue, _Obligation(level - 1, predecessor, obligation)
+                    if self._intersects_init(predecessor):
+                        sp.set(outcome="counterexample")
+                        return self._reconstruct(
+                            [predecessor] + self._chain_cubes(obligation)
+                        )
+                    self._push_obligation(
+                        queue, _Obligation(level - 1, predecessor, obligation)
+                    )
+                    self._push_obligation(queue, obligation)
+                    sp.set(outcome="predecessor")
+                    continue
+                generalized = self._generalize(
+                    self._restore_initiation(core, cube), level
                 )
-                self._push_obligation(queue, obligation)
-                continue
-            generalized = self._generalize(
-                self._restore_initiation(core, cube), level
-            )
-            frontier = level
-            while frontier < self.top:
-                self.counters.generalization_queries += 1
-                pushed, _ = self._try_block(generalized, frontier + 1)
-                if not pushed:
-                    break
-                frontier += 1
-            self._add_blocked(generalized, frontier)
-            if frontier < self.top:
-                # Chase the original cube at the next frame up: it is not yet
-                # blocked there and will resurface otherwise.
-                self._push_obligation(
-                    queue, _Obligation(frontier + 1, cube, obligation.parent)
-                )
+                frontier = level
+                while frontier < self.top:
+                    self.counters.generalization_queries += 1
+                    pushed, _ = self._try_block(generalized, frontier + 1)
+                    if not pushed:
+                        break
+                    frontier += 1
+                self._add_blocked(generalized, frontier)
+                sp.set(outcome="blocked", frontier=frontier)
+                if frontier < self.top:
+                    # Chase the original cube at the next frame up: it is not yet
+                    # blocked there and will resurface otherwise.
+                    self._push_obligation(
+                        queue, _Obligation(frontier + 1, cube, obligation.parent)
+                    )
         return None
 
     def _push_obligation(
@@ -697,6 +738,14 @@ class IC3ModelChecker:
         payload.update(self._counters.as_dict())
         return payload
 
+    def publish_metrics(self, **labels: object) -> None:
+        """Snapshot the accumulated SAT/IC3 counters into the metrics registry."""
+        labels.setdefault("engine", "ic3")
+        for field, value in self._solver_stats.as_dict().items():
+            _metrics.gauge("sat." + field, **labels).set(value)
+        for field, value in self._counters.as_dict().items():
+            _metrics.gauge("ic3." + field, **labels).set(value)
+
     # -- public API ----------------------------------------------------------
 
     def check(self, formula: Formula, state: Optional[State] = None) -> bool:
@@ -716,7 +765,11 @@ class IC3ModelChecker:
         if formula in self._verdicts:
             self.last_detail = "memoised verdict"
             return self._verdicts[formula]
-        verdict = self._decide(self._front._instantiate(formula))
+        with _obs_span("mc.check", engine="ic3") as sp:
+            verdict = self._decide(self._front._instantiate(formula))
+            sp.set(verdict=verdict)
+        _metrics.counter("mc.checks", engine="ic3").inc()
+        self.publish_metrics()
         self._verdicts[formula] = verdict
         return verdict
 

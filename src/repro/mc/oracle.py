@@ -211,8 +211,12 @@ def crosscheck_ctl_engines(
     SCC-restricted explicit fixpoints, one Emerson–Lei symbolic fixpoint)
     against each other.
     """
+    from repro.obs import metrics as _metrics
+    from repro.obs.trace import span as _obs_span
+
     reference = None
     reference_engine = None
+    _metrics.counter("oracle.crosschecks").inc()
     for engine in CTL_ENGINES:
         checker = make_ctl_checker(
             structure,
@@ -220,7 +224,8 @@ def crosscheck_ctl_engines(
             validate_structure=validate_structure,
             fairness=fairness,
         )
-        result = checker.satisfaction_set(formula)
+        with _obs_span("oracle.crosscheck", engine=engine):
+            result = checker.satisfaction_set(formula)
         if reference is None:
             reference, reference_engine = result, engine
         elif result != reference:

@@ -57,6 +57,10 @@ from repro.kripke.structure import KripkeStructure, State
 from repro.kripke.symbolic import SymbolicKripkeStructure, symbolic_structure
 from repro.kripke.validation import assert_total
 from repro.mc.fairness import FairnessConstraint, normalize_fairness
+from repro.obs import metrics as _metrics
+from repro.obs.progress import heartbeat as _heartbeat
+from repro.obs.trace import is_enabled as _tracing
+from repro.obs.trace import span as _span
 from repro.logic.ast import (
     And,
     Atom,
@@ -139,7 +143,10 @@ class SymbolicCTLModelChecker:
         cached = self._cache.get(formula)
         if cached is not None:
             return cached
-        result = self._compute(self._instantiate(formula))
+        with _span("bdd.satisfaction") as sp:
+            if _tracing():
+                sp.set(formula=str(formula)[:120])
+            result = self._compute(self._instantiate(formula))
         self._cache[formula] = result
         return result
 
@@ -165,11 +172,16 @@ class SymbolicCTLModelChecker:
 
     def check(self, formula: Formula, state: Optional[State] = None) -> bool:
         """Decide ``M, state ⊨ formula`` (default state: the initial state)."""
-        node = self.satisfaction_node(formula)
-        if state is None:
-            manager = self._symbolic.manager
-            return manager.apply_and(node, self._symbolic.initial) != 0
-        return self._symbolic.holds_at(node, state)
+        with _span("mc.check", engine="bdd"):
+            node = self.satisfaction_node(formula)
+            if state is None:
+                manager = self._symbolic.manager
+                verdict = manager.apply_and(node, self._symbolic.initial) != 0
+            else:
+                verdict = self._symbolic.holds_at(node, state)
+        _metrics.counter("mc.checks", engine="bdd").inc()
+        self._symbolic.manager.publish_metrics(engine="bdd")
+        return verdict
 
     def check_batch(
         self,
@@ -328,12 +340,27 @@ class SymbolicCTLModelChecker:
         *newly added* states instead of the whole accumulated set.
         """
         symbolic = self._symbolic
-        satisfied = right
-        frontier = right
-        while not frontier.is_false:
-            reached = left & symbolic.preimage_fn(frontier)
-            frontier = reached & ~satisfied
-            satisfied = satisfied | frontier
+        with _span("bdd.fixpoint.eu") as sp:
+            # Frontier node sizes are only sampled when tracing: counting
+            # BDD nodes walks the graph, which the disabled fast path
+            # must not pay.
+            trace_on = _tracing()
+            frontier_nodes = []
+            satisfied = right
+            frontier = right
+            rounds = 0
+            while not frontier.is_false:
+                rounds += 1
+                if trace_on:
+                    frontier_nodes.append(symbolic.manager.node_count(frontier.node))
+                reached = left & symbolic.preimage_fn(frontier)
+                frontier = reached & ~satisfied
+                satisfied = satisfied | frontier
+            sp.set(rounds=rounds, frontier_nodes=frontier_nodes)
+        _metrics.counter("mc.fixpoint.rounds", engine="bdd", op="eu").inc(rounds)
+        _metrics.histogram("mc.fixpoint.iterations", engine="bdd", op="eu").observe(
+            rounds
+        )
         return satisfied
 
     def _eg(self, operand: BDDFunction) -> BDDFunction:
@@ -348,12 +375,24 @@ class SymbolicCTLModelChecker:
         frontier targets are fresh BDDs that defeat exactly that reuse.
         """
         symbolic = self._symbolic
-        current = operand
-        while True:
-            refined = current & symbolic.preimage_fn(current)
-            if refined == current:
-                return current
-            current = refined
+        with _span("bdd.fixpoint.eg") as sp:
+            trace_on = _tracing()
+            current = operand
+            rounds = 0
+            while True:
+                rounds += 1
+                if trace_on:
+                    sp.set(rounds=rounds, nodes=symbolic.manager.node_count(current.node))
+                refined = current & symbolic.preimage_fn(current)
+                if refined == current:
+                    break
+                current = refined
+            sp.set(rounds=rounds)
+        _metrics.counter("mc.fixpoint.rounds", engine="bdd", op="eg").inc(rounds)
+        _metrics.histogram("mc.fixpoint.iterations", engine="bdd", op="eg").observe(
+            rounds
+        )
+        return current
 
     # -- fairness ----------------------------------------------------------------
 
@@ -424,18 +463,32 @@ class SymbolicCTLModelChecker:
         stay small).
         """
         symbolic = self._symbolic
-        condition_fns = self.fairness_condition_fns()
-        current = self._eg(operand)
-        while True:
-            refined = current
-            for condition in condition_fns:
-                target = current & condition
-                refined = refined & symbolic.preimage_fn(self._eu(current, target))
-                if refined.is_false:
-                    return refined
-            if refined == current:
-                return current
-            current = refined
+        with _span("bdd.fixpoint.fair_eg", conditions=len(self._fairness or ())) as sp:
+            condition_fns = self.fairness_condition_fns()
+            current = self._eg(operand)
+            rounds = 0
+            result = None
+            while result is None:
+                rounds += 1
+                _heartbeat("bdd", fixpoint="fair_eg", round=rounds)
+                refined = current
+                for condition in condition_fns:
+                    target = current & condition
+                    refined = refined & symbolic.preimage_fn(self._eu(current, target))
+                    if refined.is_false:
+                        result = refined
+                        break
+                if result is None:
+                    if refined == current:
+                        result = current
+                    else:
+                        current = refined
+            sp.set(rounds=rounds)
+        _metrics.counter("mc.fixpoint.rounds", engine="bdd", op="fair_eg").inc(rounds)
+        _metrics.histogram(
+            "mc.fixpoint.iterations", engine="bdd", op="fair_eg"
+        ).observe(rounds)
+        return result
 
 
 def satisfaction_set(

@@ -1,0 +1,107 @@
+"""Unified observability layer: span tracing, metrics, sinks, progress.
+
+The ``repro.obs`` package is the one instrumentation substrate shared by
+all five engines (``bitset``, ``naive``, ``bdd``, ``bmc``, ``ic3``), the
+kripke/bdd/sat cores, the CLI, and the benchmark suite:
+
+``repro.obs.trace``
+    Nested span tracing on the monotonic nanosecond clock
+    (:func:`time.perf_counter_ns`).  Disabled by default with a strict
+    no-op fast path, so instrumented hot paths pay one global load and
+    an ``is None`` test per span.
+
+``repro.obs.metrics``
+    A process-global :class:`~repro.obs.metrics.MetricsRegistry` of
+    counters, gauges, and log-bucketed histograms with labeled series.
+    Always on (updates happen at phase boundaries, never inside inner
+    loops).
+
+``repro.obs.sinks``
+    Pluggable span exporters: JSONL event streams, Chrome/Perfetto
+    trace-event JSON (loadable in ``chrome://tracing`` or
+    https://ui.perfetto.dev), human-readable stderr summary tables, and
+    an in-memory sink for tests.
+
+``repro.obs.progress``
+    A rate-limited heartbeat reporter for long-running checks
+    (IC3 frames reached, obligations pending, BMC depth k, BDD live
+    nodes).
+
+Naming conventions, sink formats, and a guided tour of an IC3 trace
+live in ``docs/OBSERVABILITY.md``.  The package is dependency-free
+(stdlib only) and must stay importable from every layer without
+creating cycles: nothing in ``repro.obs`` may import from the rest of
+``repro``.
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.progress import (
+    ProgressReporter,
+    disable_progress,
+    enable_progress,
+    heartbeat,
+)
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    Sink,
+    SummarySink,
+    write_metrics_jsonl,
+)
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    current_span,
+    disable,
+    enable,
+    event,
+    get_tracer,
+    is_enabled,
+    recording,
+    span,
+)
+
+__all__ = [
+    # trace
+    "SpanRecord",
+    "Tracer",
+    "current_span",
+    "disable",
+    "enable",
+    "event",
+    "get_tracer",
+    "is_enabled",
+    "recording",
+    "span",
+    # metrics
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    # sinks
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MemorySink",
+    "Sink",
+    "SummarySink",
+    "write_metrics_jsonl",
+    # progress
+    "ProgressReporter",
+    "disable_progress",
+    "enable_progress",
+    "heartbeat",
+]

@@ -1,0 +1,227 @@
+"""Process-global metrics: counters, gauges, log-bucketed histograms.
+
+Every engine publishes into the one :data:`REGISTRY`; ``--profile``,
+``--metrics``, and the benchmark suite's ``extra_info`` all read from
+it, replacing the five bespoke per-engine stat objects as the *export*
+path (the engines keep their cheap internal counters and snapshot them
+here at phase boundaries).
+
+Three instrument kinds, each keyed by name plus a frozen label set
+(``engine=...``, ``system=...``, ``size=...``):
+
+:class:`Counter`
+    Monotone event count, incremented *at event time* (a GC run, a
+    learnt-DB reduction).  Never published from a cumulative snapshot —
+    that would double-count on the second publish.
+
+:class:`Gauge`
+    Last-observed value.  The right kind for snapshotting an engine's
+    cumulative internal totals (``sat.conflicts``, ``bdd.nodes.peak``):
+    re-publishing is idempotent.
+
+:class:`Histogram`
+    Power-of-two log-bucketed distribution (bucket ``i`` counts
+    observations with ``2**(i-1) < v <= 2**i``), tracking count, sum,
+    min, and max.  Used for per-check latencies and fixpoint iteration
+    counts, where the spread matters more than the total.
+
+Updates are plain dict/attribute operations with no locking; the
+engines are single-threaded per check and the registry is only read at
+phase boundaries.  Naming conventions live in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+
+def _bucket_index(value: float) -> int:
+    """The log2 bucket of ``value``: smallest ``i >= 0`` with ``value <= 2**i``."""
+    if value <= 1:
+        return 0
+    index = 0
+    bound = 1
+    while bound < value:
+        bound *= 2
+        index += 1
+    return index
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for %r" % amount)
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-observed value (idempotent to re-publish)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: Any = 0
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+    def set_max(self, value: Any) -> None:
+        """Keep the running maximum (for peak-style gauges)."""
+        if value > self.value:
+            self.value = value
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Histogram:
+    """A power-of-two log-bucketed distribution."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            # Bucket keys are the inclusive upper bounds (2**i), emitted
+            # as strings so the snapshot is JSON-clean.
+            "buckets": {
+                str(2**index): self.buckets[index]
+                for index in sorted(self.buckets)
+            },
+        }
+
+
+def _series_key(name: str, labels: Dict[str, Any]) -> Tuple:
+    return (name,) + tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_series(name: str, labels: Tuple) -> str:
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % pair for pair in labels))
+
+
+class MetricsRegistry:
+    """All labeled series, addressable as ``registry.counter(name, **labels)``.
+
+    Instruments are created on first touch and live until
+    :meth:`reset`.  ``snapshot()`` returns a flat
+    ``{"name{label=value}": snapshot}`` dict ready for JSON export or
+    ``benchmark.extra_info``.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple, Any] = {}
+
+    def _get(self, factory, name: str, labels: Dict[str, Any]):
+        key = (factory.kind,) + _series_key(name, labels)
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._series[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def reset(self) -> None:
+        """Drop every series (tests and per-benchmark isolation)."""
+        self._series.clear()
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat ``{"name{k=v}": value-or-dict}`` view of every series."""
+        out: Dict[str, Any] = {}
+        for key in sorted(self._series, key=repr):
+            # key = (kind, name, *label_pairs); kind only disambiguates
+            # storage — the flat view is keyed by name + labels alone.
+            name, labels = key[1], key[2:]
+            out[_format_series(name, labels)] = self._series[key].snapshot()
+        return out
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        """One JSON-clean record per series (the ``--metrics`` JSONL rows)."""
+        records = []
+        for key in sorted(self._series, key=repr):
+            kind, name = key[0], key[1]
+            labels = dict(key[2:])
+            records.append(
+                {
+                    "kind": kind,
+                    "name": name,
+                    "labels": labels,
+                    "value": self._series[key].snapshot(),
+                }
+            )
+        return records
+
+
+#: The process-global registry every engine publishes into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    """``REGISTRY.counter`` shorthand for instrumentation sites."""
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    """``REGISTRY.gauge`` shorthand for instrumentation sites."""
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: Any) -> Histogram:
+    """``REGISTRY.histogram`` shorthand for instrumentation sites."""
+    return REGISTRY.histogram(name, **labels)

@@ -1,0 +1,241 @@
+"""Span/metric exporters: JSONL, Chrome/Perfetto trace JSON, summaries.
+
+Sinks attach to a :class:`repro.obs.trace.Tracer` and receive each span
+as it finishes (``on_span``) and each instant event as it fires
+(``on_event``); ``close()`` flushes whatever the format buffers.  All
+sinks accept either a filesystem path or an open file-like object —
+paths are opened lazily and closed by ``close()``, caller-owned streams
+are left open.
+
+Formats:
+
+:class:`JsonlSink`
+    One JSON object per line, in completion order — the append-friendly
+    event stream (``{"kind": "span", "name": ..., "dur_ns": ...}``).
+
+:class:`ChromeTraceSink`
+    The Chrome trace-event format (a ``{"traceEvents": [...]}`` JSON
+    document with complete ``"ph": "X"`` events in microseconds),
+    loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+    ``docs/OBSERVABILITY.md`` walks through reading an IC3 run's trace.
+
+:class:`SummarySink`
+    Human-readable per-span-name aggregate table (count, total, mean,
+    max), printed on ``close()`` — the ``--progress``-adjacent "where
+    did the time go" view on stderr.
+
+:class:`MemorySink`
+    Plain lists, for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "SummarySink",
+    "write_metrics_jsonl",
+]
+
+
+class Sink:
+    """Base class: a sink may implement any subset of the callbacks."""
+
+    def on_span(self, record) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_event(self, record) -> None:  # pragma: no cover - interface
+        pass
+
+    def close(self) -> None:  # pragma: no cover - interface
+        pass
+
+
+class MemorySink(Sink):
+    """Collects records in memory (tests and programmatic consumers)."""
+
+    def __init__(self) -> None:
+        self.spans: List[Any] = []
+        self.events: List[Dict[str, Any]] = []
+        self.closed = False
+
+    def on_span(self, record) -> None:
+        self.spans.append(record)
+
+    def on_event(self, record) -> None:
+        self.events.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class _FileBacked(Sink):
+    """Shared path-or-stream plumbing for the file-writing sinks."""
+
+    def __init__(self, target: Union[str, "os.PathLike", Any]):
+        self._target = target
+        self._handle = None
+        self._owns_handle = False
+
+    def _file(self):
+        if self._handle is None:
+            if hasattr(self._target, "write"):
+                self._handle = self._target
+            else:
+                self._handle = open(os.fspath(self._target), "w")
+                self._owns_handle = True
+        return self._handle
+
+    def close(self) -> None:
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+        self._handle = None
+
+
+class JsonlSink(_FileBacked):
+    """One JSON object per line: spans and events in completion order."""
+
+    def on_span(self, record) -> None:
+        self._file().write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+
+    def on_event(self, record) -> None:
+        self._file().write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class ChromeTraceSink(_FileBacked):
+    """Chrome/Perfetto trace-event JSON (written as one document on close).
+
+    Spans become complete events (``"ph": "X"``) with microsecond
+    ``ts``/``dur`` on one pid/tid, so the viewer renders the nesting as
+    a flame graph; instant events become ``"ph": "i"`` marks.
+    """
+
+    def __init__(self, target):
+        super().__init__(target)
+        self._trace_events: List[Dict[str, Any]] = []
+        self._pid = os.getpid()
+
+    def on_span(self, record) -> None:
+        self._trace_events.append(
+            {
+                "name": record.name,
+                "cat": record.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": record.start_ns / 1000.0,
+                "dur": record.duration_ns / 1000.0,
+                "pid": self._pid,
+                "tid": 1,
+                "args": _json_clean(record.attrs),
+            }
+        )
+
+    def on_event(self, record) -> None:
+        self._trace_events.append(
+            {
+                "name": record["name"],
+                "cat": record["name"].split(".", 1)[0],
+                "ph": "i",
+                "s": "t",
+                "ts": record["ts_ns"] / 1000.0,
+                "pid": self._pid,
+                "tid": 1,
+                "args": _json_clean(record["attrs"]),
+            }
+        )
+
+    def close(self) -> None:
+        # Viewers sort by ts, but emit in time order anyway for diffability.
+        self._trace_events.sort(key=lambda e: e["ts"])
+        document = {"traceEvents": self._trace_events, "displayTimeUnit": "ms"}
+        json.dump(document, self._file())
+        self._file().write("\n")
+        super().close()
+
+
+class SummarySink(Sink):
+    """Aggregates spans per name; prints a table on ``close()``."""
+
+    def __init__(self, stream=None):
+        self._stream = stream
+        self._rows: Dict[str, List[float]] = {}
+
+    def on_span(self, record) -> None:
+        row = self._rows.get(record.name)
+        if row is None:
+            # [count, total_ns, max_ns]
+            self._rows[record.name] = [1, record.duration_ns, record.duration_ns]
+        else:
+            row[0] += 1
+            row[1] += record.duration_ns
+            row[2] = max(row[2], record.duration_ns)
+
+    def format_table(self) -> str:
+        lines = [
+            "%-36s %8s %12s %12s %12s"
+            % ("span", "count", "total_ms", "mean_ms", "max_ms")
+        ]
+        for name in sorted(self._rows, key=lambda n: -self._rows[n][1]):
+            count, total_ns, max_ns = self._rows[name]
+            lines.append(
+                "%-36s %8d %12.3f %12.3f %12.3f"
+                % (
+                    name,
+                    count,
+                    total_ns / 1e6,
+                    total_ns / count / 1e6,
+                    max_ns / 1e6,
+                )
+            )
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        if not self._rows:
+            return
+        stream = self._stream
+        if stream is None:
+            import sys
+
+            stream = sys.stderr
+        print(self.format_table(), file=stream)
+
+
+def _json_clean(value):
+    """Best-effort conversion of span attrs to JSON-serialisable values."""
+    if isinstance(value, dict):
+        return {str(k): _json_clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_clean(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_metrics_jsonl(registry, target, extra: Optional[Dict[str, Any]] = None) -> int:
+    """Write one JSONL row per registry series (the ``--metrics`` file).
+
+    Each row is ``{"kind", "name", "labels", "value"}``; ``extra`` keys
+    are merged into every row (run identity: engine, system, size).
+    Returns the number of rows written.
+    """
+    records = registry.as_records()
+    if hasattr(target, "write"):
+        handle, owns = target, False
+    else:
+        handle, owns = open(os.fspath(target), "w"), True
+    try:
+        for record in records:
+            if extra:
+                merged = dict(extra)
+                merged.update(record)
+                record = merged
+            handle.write(json.dumps(_json_clean(record), sort_keys=True) + "\n")
+    finally:
+        if owns:
+            handle.close()
+    return len(records)

@@ -56,6 +56,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 from repro.sat.cnf import ClauseSink, SatError
 
 __all__ = ["Solver", "SolverStats", "luby"]
@@ -624,6 +626,9 @@ class Solver(ClauseSink):
             clause.removed = True
         self._learnts = protected + reducible[removable:]
         self.stats.deleted_clauses += removable
+        # Learnt-DB reductions are rare (one per _max_learnts overflow).
+        _metrics.counter("sat.reduce_db.runs").inc()
+        _metrics.counter("sat.reduce_db.deleted").inc(removable)
 
     # -- search --------------------------------------------------------------------
 
@@ -720,6 +725,20 @@ class Solver(ClauseSink):
         the assumption subset the refutation used.  The solver state
         persists across calls.
         """
+        stats = self.stats
+        with _span("sat.solve") as sp:
+            conflicts_before = stats.conflicts
+            propagations_before = stats.propagations
+            result = self._solve(assumptions)
+            sp.set(
+                result=result,
+                assumptions=len(assumptions),
+                conflicts=stats.conflicts - conflicts_before,
+                propagations=stats.propagations - propagations_before,
+            )
+        return result
+
+    def _solve(self, assumptions: Sequence[int]) -> bool:
         assumptions = [int(literal) for literal in assumptions]
         for literal in assumptions:
             if literal == 0:
@@ -778,26 +797,43 @@ class Solver(ClauseSink):
         few thousand conflicts; returns ``False`` when simplification
         discovered the database to be unsatisfiable.
         """
-        self._cancel_until(0)
-        if not self._ok:
-            return False
-        if self._propagate() is not None:
-            self._ok = False
-            return False
-        # Level-0 reasons are never dereferenced (analysis guards on
-        # level > 0), but null them so removed clauses cannot linger as
-        # locked.
-        for index in range(len(self._trail)):
-            self._reason[abs(self._trail[index])] = None
-        self._simplify_top_level()
-        if self._ok:
-            self._backward_subsume()
-        if self._ok:
-            self._vivify()
-        self._clauses = [clause for clause in self._clauses if not clause.removed]
-        self._learnts = [clause for clause in self._learnts if not clause.removed]
-        self.stats.inprocessings += 1
-        return self._ok
+        with _span("sat.inprocess") as sp:
+            subsumed_before = self.stats.subsumed_clauses
+            strengthened_before = self.stats.strengthened_clauses
+            self._cancel_until(0)
+            if not self._ok:
+                return False
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            # Level-0 reasons are never dereferenced (analysis guards on
+            # level > 0), but null them so removed clauses cannot linger as
+            # locked.
+            for index in range(len(self._trail)):
+                self._reason[abs(self._trail[index])] = None
+            self._simplify_top_level()
+            if self._ok:
+                self._backward_subsume()
+            if self._ok:
+                self._vivify()
+            self._clauses = [clause for clause in self._clauses if not clause.removed]
+            self._learnts = [clause for clause in self._learnts if not clause.removed]
+            self.stats.inprocessings += 1
+            _metrics.counter("sat.inprocess.runs").inc()
+            sp.set(
+                subsumed=self.stats.subsumed_clauses - subsumed_before,
+                strengthened=self.stats.strengthened_clauses - strengthened_before,
+            )
+            return self._ok
+
+    def publish_metrics(self, **labels) -> None:
+        """Snapshot the cumulative :class:`SolverStats` into the registry.
+
+        Published as gauges (idempotent at every phase boundary); see
+        ``docs/OBSERVABILITY.md`` for the counter-vs-gauge convention.
+        """
+        for field, value in self.stats.as_dict().items():
+            _metrics.gauge("sat." + field, **labels).set(value)
 
     def _simplify_top_level(self) -> None:
         """Drop satisfied clauses and strip level-0-false literals in place.

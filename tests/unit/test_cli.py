@@ -160,9 +160,34 @@ def test_profile_on_explicit_engine_has_no_bdd_section(capsys):
     assert payload["total_seconds"] >= 0
 
 
-def test_profile_with_experiments_rejected(capsys):
-    assert main(["--experiments", "--profile"]) == 2
-    assert "--profile" in capsys.readouterr().err
+def test_profile_with_experiments_emits_one_json_document(capsys):
+    import json
+
+    exit_code = main(["--experiments", "--quick", "--profile"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.err)  # exactly one valid JSON doc on stderr
+    assert payload["schema"] == "repro.profile/v2"
+    assert payload["mode"] == "experiments"
+    assert payload["engine"] == "bitset"
+    assert set(payload["experiments"]) == {
+        "E1_fig31",
+        "E2_fig41",
+        "E3_nexttime",
+        "E4_fig51",
+        "E5_invariants",
+        "E6_properties",
+        "E7_correspondence",
+        "E8_explosion",
+        "E9_conjecture",
+        "E10_scaling",
+        "E11_fairness",
+        "E12_bmc",
+        "E13_ic3",
+    }
+    assert all(payload["experiments"].values())
+    assert payload["total_seconds"] >= 0
+    assert payload["metrics"]  # the registry snapshot rides along
 
 
 def test_bmc_ring_check(capsys):
@@ -272,3 +297,118 @@ def test_sat_engines_with_experiments_rejected(capsys):
     assert "E12" in capsys.readouterr().err
     assert main(["--engine", "ic3", "--experiments"]) == 2
     assert "E13" in capsys.readouterr().err
+
+
+def test_trace_flag_writes_perfetto_document_with_nested_spans(tmp_path):
+    import json
+
+    trace_file = tmp_path / "trace.json"
+    exit_code = main(
+        [
+            "--engine",
+            "ic3",
+            "--system",
+            "mutex",
+            "--size",
+            "3",
+            "--trace",
+            str(trace_file),
+        ]
+    )
+    assert exit_code == 0
+    document = json.loads(trace_file.read_text())
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    names = {e["name"] for e in events}
+    # The acceptance shape: compile/encode/frame/generalize spans all show.
+    for expected in (
+        "build.encode",
+        "ic3.compile",
+        "ic3.run",
+        "ic3.frame",
+        "ic3.generalize",
+        "sat.solve",
+        "mc.check",
+    ):
+        assert expected in names, expected
+    for e in events:
+        assert e["ph"] in ("X", "i")
+        assert e["ts"] >= 0
+    # Nesting: some ic3.frame span lies inside the ic3.run span's interval.
+    [run] = [e for e in events if e["name"] == "ic3.run"]
+    frames = [e for e in events if e["name"] == "ic3.frame"]
+    assert frames
+    assert all(
+        run["ts"] <= f["ts"] and f["ts"] + f["dur"] <= run["ts"] + run["dur"]
+        for f in frames
+    )
+    # Tracing was torn down with the run.
+    from repro.obs.trace import is_enabled
+
+    assert not is_enabled()
+
+
+def test_metrics_flag_writes_jsonl_registry_dump(tmp_path):
+    import json
+
+    metrics_file = tmp_path / "metrics.jsonl"
+    exit_code = main(
+        ["--engine", "bdd", "--ring-size", "3", "--metrics", str(metrics_file)]
+    )
+    assert exit_code == 0
+    rows = [json.loads(line) for line in metrics_file.read_text().splitlines()]
+    assert rows
+    for row in rows:
+        assert set(row) >= {"kind", "name", "labels", "value", "engine", "system", "size"}
+        assert row["engine"] == "bdd"
+        assert row["system"] == "ring"
+        assert row["size"] == 3
+    names = {row["name"] for row in rows}
+    assert "mc.checks" in names
+    assert "bdd.live_nodes" in names
+    assert "mc.fixpoint.rounds" in names
+
+
+def test_progress_flag_prints_heartbeats_for_experiments(capsys):
+    exit_code = main(["--experiments", "--quick", "--progress"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    progress_lines = [
+        line for line in captured.err.splitlines() if line.startswith("[progress]")
+    ]
+    per_experiment = [
+        line for line in progress_lines if line.startswith("[progress] experiments ")
+    ]
+    assert len(per_experiment) == 13  # one forced heartbeat per experiment
+    assert any("experiment=E13_ic3" in line for line in per_experiment)
+    # The engines' own outer loops heartbeat through the same reporter.
+    assert len(progress_lines) >= 13
+    from repro.obs.progress import get_reporter
+
+    assert get_reporter() is None  # torn down with the run
+
+
+def test_progress_with_profile_keeps_stderr_pure_json(capsys):
+    import json
+
+    exit_code = main(
+        ["--engine", "bdd", "--ring-size", "3", "--progress", "--profile"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.err)  # heartbeats went to stdout instead
+    assert payload["schema"] == "repro.profile/v2"
+    assert payload["metrics"]
+
+
+def test_profile_metrics_snapshot_matches_engine(capsys):
+    import json
+
+    exit_code = main(["--engine", "bmc", "--ring-size", "4", "--profile"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.err)
+    assert payload["mode"] == "check"
+    metrics = payload["metrics"]
+    assert metrics["mc.checks{engine=bmc}"] >= 1
+    assert any(key.startswith("sat.") for key in metrics)

@@ -17,6 +17,7 @@ _DOC_FILES = [
     _REPO_ROOT / "README.md",
     _REPO_ROOT / "docs" / "ENGINES.md",
     _REPO_ROOT / "docs" / "ARCHITECTURE.md",
+    _REPO_ROOT / "docs" / "OBSERVABILITY.md",
 ]
 
 
@@ -70,9 +71,36 @@ def test_docs_cross_link_each_other():
     readme = (_REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert "docs/ENGINES.md" in readme
     assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/OBSERVABILITY.md" in readme
     engines = (_REPO_ROOT / "docs" / "ENGINES.md").read_text(encoding="utf-8")
     assert "ARCHITECTURE.md" in engines
     architecture = (_REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
         encoding="utf-8"
     )
     assert "ENGINES.md" in architecture
+    assert "OBSERVABILITY.md" in architecture
+    observability = (_REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(
+        encoding="utf-8"
+    )
+    assert "ARCHITECTURE.md" in observability
+    assert "ENGINES.md" in observability
+
+
+def test_observability_doc_names_the_cli_flags_and_span_vocabulary():
+    """The observability guide must document the CLI surface and the span
+    names the engines actually emit — the acceptance-trace vocabulary."""
+    text = (_REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    for flag in ("--trace", "--metrics", "--progress", "--profile"):
+        assert flag in text, "flag %s is undocumented" % flag
+    for span_name in (
+        "build.compile",
+        "build.encode",
+        "mc.check",
+        "sat.solve",
+        "bmc.depth",
+        "ic3.frame",
+        "ic3.generalize",
+        "bdd.fixpoint.eu",
+        "bitset.eu",
+    ):
+        assert span_name in text, "span %r is undocumented" % span_name

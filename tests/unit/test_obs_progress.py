@@ -1,0 +1,76 @@
+"""Unit tests for the rate-limited heartbeat reporter."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.progress import (
+    ProgressReporter,
+    disable_progress,
+    enable_progress,
+    get_reporter,
+    heartbeat,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_heartbeat_is_rate_limited_per_source():
+    clock = FakeClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(interval=0.5, stream=stream, clock=clock)
+    assert reporter.heartbeat("ic3", frames=1)
+    assert not reporter.heartbeat("ic3", frames=2)  # within the interval
+    assert reporter.heartbeat("bmc", k=3)  # other sources are independent
+    clock.advance(0.6)
+    assert reporter.heartbeat("ic3", frames=9)
+    assert reporter.emitted == 3
+    assert reporter.suppressed == 1
+    lines = stream.getvalue().splitlines()
+    assert lines[0].startswith("[progress] ic3 ")
+    assert "frames=1" in lines[0]
+    assert "k=3" in lines[1]
+    assert "frames=9" in lines[2]
+
+
+def test_force_bypasses_the_rate_limit():
+    clock = FakeClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(interval=10.0, stream=stream, clock=clock)
+    reporter.heartbeat("experiments", experiment="E1")
+    assert reporter.heartbeat("experiments", force=True, experiment="E2")
+    assert reporter.suppressed == 0
+
+
+def test_fields_render_sorted_with_elapsed_time():
+    clock = FakeClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(interval=0.5, stream=stream, clock=clock)
+    clock.advance(2.125)
+    reporter.heartbeat("bdd", rounds=4, live=100)
+    [line] = stream.getvalue().splitlines()
+    assert line == "[progress] bdd +2.1s live=100 rounds=4"
+
+
+def test_module_level_heartbeat_is_noop_until_enabled():
+    disable_progress()
+    assert get_reporter() is None
+    assert heartbeat("ic3", frames=1) is False  # no reporter: nothing printed
+    stream = io.StringIO()
+    reporter = enable_progress(interval=0.0, stream=stream)
+    try:
+        assert get_reporter() is reporter
+        assert heartbeat("ic3", frames=1)
+        assert "frames=1" in stream.getvalue()
+    finally:
+        assert disable_progress() is reporter
+    assert heartbeat("ic3", frames=2) is False

@@ -1,0 +1,153 @@
+"""Unit tests for the span/metric exporters.
+
+Round-trips each format through its consumer: JSONL lines must parse
+back to the span dicts, the Chrome trace document must satisfy the
+trace-event schema Perfetto loads (``traceEvents`` array of ``"ph": "X"``
+complete events with microsecond ``ts``/``dur`` and JSON-clean ``args``),
+and the summary table must aggregate per span name.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    SummarySink,
+    write_metrics_jsonl,
+)
+from repro.obs.trace import event, recording, span
+
+
+class FakeClock:
+    def __init__(self, step_ns: int = 1000):
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+def _trace_some_spans(*sinks):
+    with recording(sinks=list(sinks), clock_ns=FakeClock()):
+        with span("mc.check", engine="bdd"):
+            with span("bdd.fixpoint.eu") as sp:
+                sp.set(rounds=3)
+            event("bdd.gc", reclaimed=17)
+
+
+def test_jsonl_sink_round_trips_spans_and_events(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    _trace_some_spans(JsonlSink(path))
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [row["kind"] for row in rows] == ["span", "event", "span"]
+    inner, gc, outer = rows
+    assert inner["name"] == "bdd.fixpoint.eu"
+    assert inner["attrs"] == {"rounds": 3}
+    assert inner["parent_id"] == outer["span_id"]
+    assert gc["name"] == "bdd.gc"
+    assert gc["attrs"] == {"reclaimed": 17}
+    assert outer["name"] == "mc.check"
+    assert outer["dur_ns"] > inner["dur_ns"] > 0
+
+
+def test_chrome_trace_sink_emits_perfetto_loadable_document(tmp_path):
+    path = tmp_path / "trace.json"
+    _trace_some_spans(ChromeTraceSink(path))
+    document = json.loads(path.read_text())
+    # The trace-event schema Perfetto/chrome://tracing loads.
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    assert [e["name"] for e in events] == ["mc.check", "bdd.fixpoint.eu", "bdd.gc"]
+    complete = [e for e in events if e["ph"] == "X"]
+    for e in complete:
+        assert set(e) == {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+        assert e["ts"] >= 0 and e["dur"] > 0
+    [instant] = [e for e in events if e["ph"] == "i"]
+    assert instant["s"] == "t"
+    assert instant["args"] == {"reclaimed": 17}
+    # Events are sorted by timestamp and nested spans sit inside their
+    # parent's [ts, ts+dur) interval, which is what renders the flame graph.
+    outer, inner = complete
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+
+def test_chrome_trace_sink_accepts_caller_owned_stream():
+    stream = io.StringIO()
+    _trace_some_spans(ChromeTraceSink(stream))
+    document = json.loads(stream.getvalue())
+    assert len(document["traceEvents"]) == 3
+    stream.write("")  # stream was left open for the caller
+
+
+def test_chrome_trace_args_are_json_clean(tmp_path):
+    path = tmp_path / "trace.json"
+    sink = ChromeTraceSink(path)
+    with recording(sinks=[sink], clock_ns=FakeClock()):
+        with span("weird") as sp:
+            sp.set(formula=frozenset({1}), pair=(1, 2))
+    document = json.loads(path.read_text())
+    args = document["traceEvents"][0]["args"]
+    assert args["pair"] == [1, 2]
+    assert isinstance(args["formula"], str)  # repr'd, not a crash
+
+
+def test_summary_sink_aggregates_per_name():
+    sink = SummarySink(stream=io.StringIO())
+    with recording(sinks=[sink], clock_ns=FakeClock()):
+        with span("sat.solve"):
+            pass
+        with span("sat.solve"):
+            pass
+        with span("ic3.frame"):
+            pass
+    table = sink.format_table()
+    lines = table.splitlines()
+    assert "span" in lines[0] and "count" in lines[0]
+    solve_row = next(line for line in lines if line.startswith("sat.solve"))
+    assert " 2 " in solve_row
+
+
+def test_memory_sink_collects_and_closes():
+    sink = MemorySink()
+    _trace_some_spans(sink)
+    assert [record.name for record in sink.spans] == ["bdd.fixpoint.eu", "mc.check"]
+    assert len(sink.events) == 1
+    assert sink.closed
+
+
+def test_write_metrics_jsonl_merges_run_identity(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("mc.checks", engine="ic3").inc(2)
+    registry.gauge("sat.conflicts", engine="ic3").set(41)
+    path = tmp_path / "metrics.jsonl"
+    written = write_metrics_jsonl(
+        registry, path, extra={"system": "mutex", "size": 4}
+    )
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert written == len(rows) == 2
+    for row in rows:
+        assert row["system"] == "mutex"
+        assert row["size"] == 4
+        assert row["labels"] == {"engine": "ic3"}
+    assert {row["name"]: row["value"] for row in rows} == {
+        "mc.checks": 2,
+        "sat.conflicts": 41,
+    }
+
+
+def test_write_metrics_jsonl_to_stream_without_extra():
+    registry = MetricsRegistry()
+    registry.histogram("mc.fixpoint.size").observe(3)
+    stream = io.StringIO()
+    assert write_metrics_jsonl(registry, stream) == 1
+    [row] = [json.loads(line) for line in stream.getvalue().splitlines()]
+    assert row["kind"] == "histogram"
+    assert row["value"]["buckets"] == {"4": 1}

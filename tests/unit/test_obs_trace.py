@@ -1,0 +1,170 @@
+"""Unit tests for the span tracer: nesting, exception safety, fast path.
+
+The observability layer's contract is that instrumented hot paths pay
+(nearly) nothing while tracing is disabled, and that when enabled the
+recorded spans reconstruct the exact call tree — parentage, depth,
+durations on the monotonic clock, and an ``error:<Type>`` status when
+the span body raised (without ever swallowing the exception).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import sinks as obs_sinks
+from repro.obs.trace import (
+    _NOOP,
+    current_span,
+    enable,
+    disable,
+    event,
+    get_tracer,
+    is_enabled,
+    recording,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled():
+    """Every test starts and ends with tracing off (module-global tracer)."""
+    disable()
+    yield
+    disable()
+
+
+class FakeClock:
+    """A deterministic nanosecond clock advancing by a fixed step per call."""
+
+    def __init__(self, step_ns: int = 1000):
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+def test_disabled_span_is_shared_noop_singleton():
+    assert not is_enabled()
+    assert get_tracer() is None
+    sp = span("anything", k=1)
+    assert sp is _NOOP
+    assert span("something.else") is sp
+    with sp as inner:
+        assert inner is sp
+        inner.set(whatever=1)  # accepted and ignored
+    assert current_span() is None
+    event("ignored", n=3)  # no tracer: a strict no-op
+
+
+def test_span_nesting_records_parentage_and_depth():
+    with recording(clock_ns=FakeClock()) as tracer:
+        with span("outer", engine="bdd") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+                with span("innermost") as leaf:
+                    assert leaf.depth == 2
+            assert current_span() is outer
+        assert current_span() is None
+    names = tracer.span_names()
+    # Completion order: innermost finishes first.
+    assert names == ["innermost", "inner", "outer"]
+    by_name = {record.name: record for record in tracer.records}
+    assert by_name["outer"].parent_id is None
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
+    assert by_name["innermost"].parent_id == by_name["inner"].span_id
+    assert by_name["outer"].depth == 0
+    assert by_name["inner"].depth == 1
+    assert by_name["outer"].attrs == {"engine": "bdd"}
+
+
+def test_span_durations_use_injected_monotonic_clock():
+    with recording(clock_ns=FakeClock(step_ns=500)) as tracer:
+        with span("timed"):
+            pass
+    [record] = tracer.records
+    assert record.duration_ns == 500
+    assert record.duration_s == pytest.approx(5e-7)
+    assert record.end_ns > record.start_ns > 0
+
+
+def test_span_exception_marks_status_and_propagates():
+    with recording(clock_ns=FakeClock()) as tracer:
+        with pytest.raises(ValueError, match="boom"):
+            with span("failing", k=3):
+                raise ValueError("boom")
+        # The contextvar was restored despite the raise.
+        assert current_span() is None
+        with span("after"):
+            pass
+    failing = tracer.find("failing")[0]
+    assert failing.status == "error:ValueError"
+    assert failing.end_ns is not None
+    assert tracer.find("after")[0].status == "ok"
+
+
+def test_set_attaches_attributes_mid_span():
+    with recording(clock_ns=FakeClock()) as tracer:
+        with span("work", stage=1) as sp:
+            sp.set(rounds=7, stage=2)
+    [record] = tracer.records
+    assert record.attrs == {"stage": 2, "rounds": 7}
+    payload = record.as_dict()
+    assert payload["kind"] == "span"
+    assert payload["name"] == "work"
+    assert payload["attrs"]["rounds"] == 7
+    assert payload["dur_ns"] == record.duration_ns
+
+
+def test_events_record_position_in_the_tree():
+    with recording(clock_ns=FakeClock()) as tracer:
+        event("top.level", n=1)
+        with span("parent") as parent:
+            event("bdd.gc", reclaimed=42)
+    assert len(tracer.events) == 2
+    top, nested = tracer.events
+    assert top["parent_id"] is None
+    assert nested["parent_id"] == parent.span_id
+    assert nested["attrs"] == {"reclaimed": 42}
+
+
+def test_enable_disable_round_trip_keeps_sinks_open():
+    sink = obs_sinks.MemorySink()
+    tracer = enable([sink], clock_ns=FakeClock())
+    assert is_enabled() and get_tracer() is tracer
+    with span("only"):
+        pass
+    returned = disable()
+    assert returned is tracer
+    assert not is_enabled()
+    # disable() hands sink shutdown to the caller (the CLI writes the
+    # trace file after disabling), so the sink is not closed yet.
+    assert not sink.closed
+    assert [record.name for record in sink.spans] == ["only"]
+    tracer.close()
+    assert sink.closed
+
+
+def test_recording_restores_previous_tracer():
+    outer_tracer = enable(clock_ns=FakeClock())
+    with recording(clock_ns=FakeClock()) as inner_tracer:
+        assert get_tracer() is inner_tracer
+        with span("inner.only"):
+            pass
+    assert get_tracer() is outer_tracer
+    assert inner_tracer.span_names() == ["inner.only"]
+    assert outer_tracer.records == []
+
+
+def test_spans_fan_out_to_sinks_as_they_finish():
+    sink = obs_sinks.MemorySink()
+    with recording(sinks=[sink], clock_ns=FakeClock()):
+        with span("a"):
+            with span("b"):
+                pass
+        event("mark")
+    assert [record.name for record in sink.spans] == ["b", "a"]
+    assert [record["name"] for record in sink.events] == ["mark"]
+    assert sink.closed  # recording() closes the sinks it was given
