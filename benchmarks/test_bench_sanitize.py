@@ -1,0 +1,147 @@
+"""Sanitizer overhead guard: disabled hooks must cost < 5%.
+
+The sanitizer contract (``docs/CORRECTNESS.md``) mirrors the tracing
+one: a hook site left disabled is one module-global load and a falsy
+test, cheap enough for the BDD manager and the CDCL solver to carry
+permanently at their stable points.  Same product-form measurement as
+``test_bench_obs.py``:
+
+1. run the ``r = 10`` symbolic property sweep in count-only mode
+   (``MODE == 2``) to count how many times the hooks actually fire;
+2. measure the per-call cost of a disabled hook site in a tight loop;
+3. assert that (firings × per-call cost) stays under 5% of the sweep's
+   wall-clock time.
+
+Comparing two full sweep timings at a 5% threshold would flake on
+machine noise; the firing count and the nanosecond-scale site cost are
+both stable.
+"""
+
+import time
+
+import pytest
+
+import repro.bdd.sanitize as bdd_sanitize
+import repro.sat.sanitize as sat_sanitize
+from repro.mc import SymbolicCTLModelChecker
+from repro.systems import token_ring
+
+#: The acceptance threshold: disabled sanitizing < 5% of the sweep.
+_MAX_OVERHEAD_FRACTION = 0.05
+
+#: Ring size of the guarded sweep (matches the obs-overhead guard).
+_SWEEP_SIZE = 10
+
+
+def _run_sweep():
+    structure = token_ring.symbolic_token_ring(_SWEEP_SIZE)
+    checker = SymbolicCTLModelChecker(structure)
+    verdicts = checker.check_batch(token_ring.ring_properties())
+    assert all(verdicts.values())
+
+
+def _count_sweep_hook_firings() -> int:
+    before = (bdd_sanitize.CALLS, sat_sanitize.CALLS)
+    previous = (bdd_sanitize.MODE, sat_sanitize.MODE)
+    bdd_sanitize.MODE = sat_sanitize.MODE = 2
+    try:
+        _run_sweep()
+    finally:
+        bdd_sanitize.MODE, sat_sanitize.MODE = previous
+    return (bdd_sanitize.CALLS - before[0]) + (sat_sanitize.CALLS - before[1])
+
+
+def _disabled_hook_cost_ns(calls: int = 200_000) -> float:
+    # The same shape as the inline sites in BDDManager/Solver: one
+    # module-global load and a falsy test, nothing else.
+    assert not bdd_sanitize.enabled() and not sat_sanitize.enabled()
+    probe = object()
+    start = time.perf_counter_ns()
+    for _ in range(calls):
+        if bdd_sanitize.MODE:
+            bdd_sanitize.maybe_check_manager(probe)  # pragma: no cover
+    return (time.perf_counter_ns() - start) / calls
+
+
+def _run_bmc_proof():
+    from repro.mc.bmc import BoundedModelChecker
+    from repro.systems import mutex
+
+    checker = BoundedModelChecker(mutex.build_mutex(2), bound=10)
+    assert checker.check(mutex.mutex_safety(2))
+
+
+@pytest.mark.bench_smoke
+def test_disabled_sanitizer_overhead_under_5_percent_on_r10_sweep(benchmark):
+    benchmark.group = "sanitize-overhead"
+    benchmark.extra_info["n"] = _SWEEP_SIZE
+
+    hook_count = _count_sweep_hook_firings()
+
+    per_call_ns = _disabled_hook_cost_ns()
+
+    assert not bdd_sanitize.enabled() and not sat_sanitize.enabled()
+    start = time.perf_counter_ns()
+    benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    sweep_ns = time.perf_counter_ns() - start
+
+    worst_case_overhead_ns = hook_count * per_call_ns
+    fraction = worst_case_overhead_ns / sweep_ns
+    benchmark.extra_info["hook_count"] = hook_count
+    benchmark.extra_info["disabled_hook_cost_ns"] = round(per_call_ns, 2)
+    benchmark.extra_info["overhead_fraction"] = round(fraction, 6)
+    assert fraction < _MAX_OVERHEAD_FRACTION, (
+        "disabled-sanitizer worst case %.3f%% of the r=%d sweep (%d hook "
+        "firings at %.0fns each over %.0fms)"
+        % (
+            100 * fraction,
+            _SWEEP_SIZE,
+            hook_count,
+            per_call_ns,
+            sweep_ns / 1e6,
+        )
+    )
+    # The pure-symbolic sweep may fire no hooks at all (no GC pressure,
+    # no SAT) — then the overhead is genuinely zero, but keep the
+    # per-site cost itself honest so the guard never goes vacuous.
+    assert per_call_ns < 2_000, (
+        "a disabled sanitizer hook site costs %.0fns" % per_call_ns
+    )
+
+
+@pytest.mark.bench_smoke
+def test_disabled_sanitizer_overhead_under_5_percent_on_sat_proof(benchmark):
+    """The same product-form guard on a workload whose hooks really fire.
+
+    A k-induction mutex proof calls ``solve()`` repeatedly, so the SAT
+    hook count is non-zero and the measured fraction is a real bound,
+    not ``0 × cost``.
+    """
+    benchmark.group = "sanitize-overhead"
+
+    before = sat_sanitize.CALLS
+    previous = (bdd_sanitize.MODE, sat_sanitize.MODE)
+    bdd_sanitize.MODE = sat_sanitize.MODE = 2
+    try:
+        _run_bmc_proof()
+    finally:
+        bdd_sanitize.MODE, sat_sanitize.MODE = previous
+    hook_count = sat_sanitize.CALLS - before
+    assert hook_count > 0, "the BMC proof should hit the solve() hook"
+
+    per_call_ns = _disabled_hook_cost_ns()
+
+    assert not sat_sanitize.enabled()
+    start = time.perf_counter_ns()
+    benchmark.pedantic(_run_bmc_proof, rounds=1, iterations=1)
+    proof_ns = time.perf_counter_ns() - start
+
+    fraction = hook_count * per_call_ns / proof_ns
+    benchmark.extra_info["hook_count"] = hook_count
+    benchmark.extra_info["disabled_hook_cost_ns"] = round(per_call_ns, 2)
+    benchmark.extra_info["overhead_fraction"] = round(fraction, 6)
+    assert fraction < _MAX_OVERHEAD_FRACTION, (
+        "disabled-sanitizer worst case %.3f%% of the BMC mutex proof "
+        "(%d hook firings at %.0fns each over %.0fms)"
+        % (100 * fraction, hook_count, per_call_ns, proof_ns / 1e6)
+    )

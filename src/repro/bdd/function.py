@@ -41,7 +41,10 @@ class BDDFunction:
     def __del__(self) -> None:
         try:
             self.manager.decref(self.node)
-        except Exception:  # pragma: no cover - interpreter shutdown
+        except Exception:  # pragma: no cover  # repro-lint: disable=R005
+            # Deliberately blanket: __del__ runs during interpreter
+            # shutdown when the manager's internals may already be torn
+            # down, and a raising finaliser would mask the real error.
             pass
 
     # -- constructors ---------------------------------------------------------

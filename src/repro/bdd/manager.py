@@ -60,6 +60,7 @@ from dataclasses import dataclass
 from itertools import islice as _islice
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import repro.bdd.sanitize as _sanitize
 from repro.errors import BDDError
 from repro.obs import metrics as _metrics
 from repro.obs.trace import event as _obs_event
@@ -1087,6 +1088,8 @@ class BDDManager:
         _metrics.counter("bdd.gc.reclaimed").inc(freed)
         _metrics.gauge("bdd.nodes.peak").set_max(self._peak)
         _obs_event("bdd.gc", reclaimed=freed, live=self._live)
+        if _sanitize.MODE:
+            _sanitize.maybe_check_manager(self)
         return freed
 
     def stats(self) -> ManagerStats:
@@ -1222,6 +1225,8 @@ class BDDManager:
         # Within-block order is preserved by construction; verify the result.
         if list(self._level2var) != [var for block in self._blocks for var in block]:
             raise BDDError("internal error: block swap sequence lost coherence")
+        if _sanitize.MODE:
+            _sanitize.maybe_check_manager(self)
 
     def reorder(self, max_growth: float = 1.2) -> int:
         """Rudell sifting over the variable blocks; returns live nodes after.
@@ -1256,6 +1261,8 @@ class BDDManager:
             _metrics.counter("bdd.reorder.runs").inc()
             _metrics.counter("bdd.reorder.swaps").inc(swaps)
             sp.set(live_before=live_before, live_after=self._live, swaps=swaps)
+        if _sanitize.MODE:
+            _sanitize.maybe_check_manager(self)
         return self._live
 
     def _maybe_reorder(self) -> None:

@@ -76,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINE_NAMES,
         default="bitset",
         help=(
-            "engine to use (default: bitset; bdd, bmc and ic3 never build "
+            # Deliberate subset: the engines that skip the explicit graph.
+            "engine to use (default: bitset; bdd, bmc and ic3 never build "  # repro-lint: disable=R001
             "the explicit graph — see docs/ENGINES.md)"
         ),
     )

@@ -1,0 +1,11 @@
+"""Developer tooling that ships with the library but never runs inside it.
+
+``repro.devtools`` hosts build/CI-facing helpers — currently the
+project-specific static analyser :mod:`repro.devtools.lint` (console
+script ``repro-lint``).  Nothing under this package is imported by the
+engines; the dependency arrow points strictly from devtools into the
+library, mirroring how ``repro.obs`` is import-only in the other
+direction.
+"""
+
+__all__ = []

@@ -1,0 +1,39 @@
+"""``repro-lint`` — the project-specific static analyser.
+
+Six AST/text rules (R001–R006) encode invariants this codebase has
+broken by hand before: registry-stale engine enumerations, stray
+wall-clock reads, mutable defaults, undocumented span/metric names,
+exception swallowing, and drifted ``__all__`` exports.  See
+``docs/CORRECTNESS.md`` for the catalog and pragma syntax.
+
+Programmatic entry points::
+
+    from repro.devtools.lint import run_lint
+    findings = run_lint(["src"])     # [] when the tree is clean
+"""
+
+from .engine import (
+    build_parser,
+    find_observability_doc,
+    lint_path,
+    lint_source,
+    lint_text,
+    main,
+    run_lint,
+)
+from .rules import RULES, RULES_BY_ID, Finding, LintContext, load_obs_vocabulary
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "RULES",
+    "RULES_BY_ID",
+    "build_parser",
+    "find_observability_doc",
+    "lint_path",
+    "lint_source",
+    "lint_text",
+    "load_obs_vocabulary",
+    "main",
+    "run_lint",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.lint`` — same surface as ``repro-lint``."""
+
+import sys
+
+from .engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,325 @@
+"""Driver for ``repro-lint``: file discovery, pragmas, reporting, CLI.
+
+The analysis itself lives in :mod:`repro.devtools.lint.rules`; this
+module walks the tree, runs every rule over every file, filters the
+findings through the suppression pragmas, and renders the survivors as
+human-readable lines or one JSON document.
+
+Pragma syntax (comments, so they survive formatting):
+
+``# repro-lint: disable=R002``
+    suppresses the listed rule(s) for findings *on that line*
+    (comma-separate ids, or ``disable=all``);
+
+``# repro-lint: disable-file=R001``
+    on a line of its own, suppresses the rule(s) for the whole file.
+
+Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import tokenize
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .rules import RULES, RULES_BY_ID, Finding, LintContext, load_obs_vocabulary
+
+__all__ = [
+    "lint_source",
+    "lint_text",
+    "lint_path",
+    "run_lint",
+    "find_observability_doc",
+    "main",
+]
+
+_TEXT_SUFFIXES = (".md", ".rst")
+_OBS_DOC_RELATIVE = os.path.join("docs", "OBSERVABILITY.md")
+
+_PRAGMA_PREFIX = "repro-lint:"
+
+
+def _parse_pragma_comment(comment: str) -> Optional[Tuple[str, Set[str]]]:
+    """Parse one comment; return ``(scope, rule_ids)`` or ``None``.
+
+    ``scope`` is ``"line"`` or ``"file"``; ``rule_ids`` may contain the
+    sentinel ``"all"``.
+    """
+    marker = comment.find(_PRAGMA_PREFIX)
+    if marker < 0:
+        return None
+    directive = comment[marker + len(_PRAGMA_PREFIX) :]
+    directive = directive.split("-->")[0].strip()
+    for scope, key in (("file", "disable-file="), ("line", "disable=")):
+        if directive.startswith(key):
+            ids = {part.strip() for part in directive[len(key) :].split(",") if part.strip()}
+            return scope, ids
+    return None
+
+
+def collect_pragmas(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """Return ``(file_disabled, line_disabled)`` pragma tables.
+
+    Comments are found with :mod:`tokenize` so pragma-looking strings
+    inside literals do not count; an untokenizable file (which would
+    also fail to parse) yields empty tables.
+    """
+    file_disabled: Set[str] = set()
+    line_disabled: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            parsed = _parse_pragma_comment(token.string)
+            if parsed is None:
+                continue
+            scope, ids = parsed
+            if scope == "file":
+                file_disabled |= ids
+            else:
+                line_disabled.setdefault(token.start[0], set()).update(ids)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return file_disabled, line_disabled
+
+
+def _suppressed(finding: Finding, file_disabled: Set[str], line_disabled: Dict[int, Set[str]]) -> bool:
+    if "all" in file_disabled or finding.rule in file_disabled:
+        return True
+    on_line = line_disabled.get(finding.line, ())
+    return "all" in on_line or finding.rule in on_line
+
+
+def _select_rules(only: Optional[Iterable[str]]):
+    if only is None:
+        return RULES
+    unknown = sorted(set(only) - set(RULES_BY_ID))
+    if unknown:
+        raise ValueError("unknown rule id(s): %s" % ", ".join(unknown))
+    return tuple(RULES_BY_ID[rule_id] for rule_id in only)
+
+
+def lint_source(
+    source: str,
+    ctx: LintContext,
+    only: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one Python module given as text."""
+    import ast
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=ctx.path,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                rule="E000",
+                message="syntax error: %s" % error.msg,
+            )
+        ]
+    file_disabled, line_disabled = collect_pragmas(source)
+    findings: List[Finding] = []
+    for rule in _select_rules(only):
+        for finding in rule.check_module(tree, source, ctx):
+            if not _suppressed(finding, file_disabled, line_disabled):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def _collect_text_pragmas(text: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """Pragmas in prose files: HTML comments ``<!-- repro-lint: ... -->``."""
+    file_disabled: Set[str] = set()
+    line_disabled: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _PRAGMA_PREFIX not in line:
+            continue
+        parsed = _parse_pragma_comment(line)
+        if parsed is None:
+            continue
+        scope, ids = parsed
+        if scope == "file":
+            file_disabled |= ids
+        else:
+            line_disabled.setdefault(lineno, set()).update(ids)
+    return file_disabled, line_disabled
+
+
+def lint_text(text: str, ctx: LintContext, only: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint one prose file (``.md``): only ``text_mode`` rules apply."""
+    file_disabled, line_disabled = _collect_text_pragmas(text)
+    findings: List[Finding] = []
+    for rule in _select_rules(only):
+        if not rule.text_mode:
+            continue
+        for finding in rule.check_text(text, ctx):
+            if not _suppressed(finding, file_disabled, line_disabled):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def find_observability_doc(start: str) -> Optional[str]:
+    """Walk upward from ``start`` looking for ``docs/OBSERVABILITY.md``."""
+    current = os.path.abspath(start)
+    if os.path.isfile(current):
+        current = os.path.dirname(current)
+    while True:
+        candidate = os.path.join(current, _OBS_DOC_RELATIVE)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def _load_vocabulary(obs_doc: Optional[str], start: str) -> Optional[FrozenSet[str]]:
+    path = obs_doc or find_observability_doc(start)
+    if path is None:
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_obs_vocabulary(handle.read())
+
+
+def lint_path(
+    path: str,
+    only: Optional[Iterable[str]] = None,
+    obs_doc: Optional[str] = None,
+    vocabulary: Optional[FrozenSet[str]] = None,
+) -> List[Finding]:
+    """Lint one file (``.py`` or prose)."""
+    if vocabulary is None:
+        vocabulary = _load_vocabulary(obs_doc, path)
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    ctx = LintContext(path=path, obs_vocabulary=vocabulary)
+    if path.endswith(_TEXT_SUFFIXES):
+        return lint_text(content, ctx, only=only)
+    return lint_source(content, ctx, only=only)
+
+
+def _discover(paths: Sequence[str]) -> List[str]:
+    """Expand directories into sorted ``.py``/``.md`` file lists."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py") or filename.endswith(_TEXT_SUFFIXES):
+                        files.append(os.path.join(root, filename))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            raise FileNotFoundError(path)
+    return files
+
+
+def run_lint(
+    paths: Sequence[str],
+    only: Optional[Iterable[str]] = None,
+    obs_doc: Optional[str] = None,
+) -> List[Finding]:
+    """Lint every file under ``paths``; returns all surviving findings."""
+    files = _discover(paths)
+    vocabulary = _load_vocabulary(obs_doc, files[0] if files else os.getcwd())
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_path(path, only=only, vocabulary=vocabulary))
+    return findings
+
+
+def _render_text(findings: List[Finding], checked: int, out) -> None:
+    for finding in findings:
+        print(finding.format(), file=out)
+    summary = "repro-lint: %d finding%s in %d file%s" % (
+        len(findings),
+        "" if len(findings) == 1 else "s",
+        checked,
+        "" if checked == 1 else "s",
+    )
+    print(summary, file=out)
+
+
+def _render_json(findings: List[Finding], checked: int, out) -> None:
+    document = {
+        "tool": "repro-lint",
+        "files_checked": checked,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    json.dump(document, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--obs-doc",
+        metavar="PATH",
+        help="explicit path to docs/OBSERVABILITY.md for the R004 vocabulary",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for rule in RULES:
+            print("%s  %s" % (rule.id, rule.title))
+            print("      %s" % rule.rationale)
+        return 0
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+    only = options.select.split(",") if options.select else None
+    try:
+        files = _discover(options.paths)
+        vocabulary = _load_vocabulary(
+            options.obs_doc, files[0] if files else os.getcwd()
+        )
+        findings: List[Finding] = []
+        for path in files:
+            findings.extend(lint_path(path, only=only, vocabulary=vocabulary))
+    except (FileNotFoundError, ValueError, OSError) as error:
+        print("repro-lint: error: %s" % error, file=sys.stderr)
+        return 2
+    if options.format == "json":
+        _render_json(findings, len(files), sys.stdout)
+    else:
+        _render_text(findings, len(files), sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

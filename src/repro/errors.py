@@ -20,6 +20,7 @@ __all__ = [
     "CorrespondenceError",
     "CompositionError",
     "BDDError",
+    "SanitizerError",
 ]
 
 
@@ -102,4 +103,15 @@ class BDDError(ReproError):
     different managers are combined, when a satisfy-count is requested over a
     variable set that does not cover the function's support, or when a rename
     mapping is not order-preserving.
+    """
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer detected a corrupted engine invariant.
+
+    Raised by :mod:`repro.bdd.sanitize` and :mod:`repro.sat.sanitize` when an
+    opt-in audit (``REPRO_SANITIZE=1``) finds the unique table, the watch
+    lists, the trail, or the reference counts in an inconsistent state — and
+    by :func:`repro.bdd.sanitize.assert_no_leaks` when a scope exits while
+    still holding external BDD references it did not hold on entry.
     """

@@ -58,7 +58,12 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.bdd import BDDFunction
-from repro.errors import FragmentError, InconclusiveError, ModelCheckingError
+from repro.errors import (
+    FragmentError,
+    InconclusiveError,
+    ModelCheckingError,
+    ReproError,
+)
 from repro.kripke.paths import Lasso
 from repro.kripke.structure import KripkeStructure, State
 from repro.kripke.symbolic import SymbolicKripkeStructure, symbolic_structure
@@ -270,6 +275,11 @@ class BoundedModelChecker:
     cap is hit undecided.  Verdicts are memoised per formula, and
     :attr:`last_detail` reports how the most recent one was decided
     (``"counterexample at depth 3"``, ``"proved by 1-induction"``, …).
+
+    With ``drat=True`` every successful k-induction step is certified by
+    the independent :mod:`repro.sat.drat` forward RUP/DRAT checker (the
+    inductor solvers log proofs; :attr:`last_proof_stats` reports the
+    checker's counters).
     """
 
     #: BMC decides single verdicts, not satisfaction sets — the indexed
@@ -282,6 +292,7 @@ class BoundedModelChecker:
         bound: int = DEFAULT_BOUND,
         validate_structure: bool = True,
         fairness: Optional[FairnessConstraint] = None,
+        drat: bool = False,
     ) -> None:
         if normalize_fairness(fairness) is not None:
             raise FragmentError(
@@ -300,9 +311,13 @@ class BoundedModelChecker:
         self._inductor_handles: List[BDDFunction] = []
         self._node_cache: Dict[Formula, BDDFunction] = {}
         self._verdicts: Dict[Formula, bool] = {}
+        self._drat = drat
         self.last_detail: str = ""
         self.last_counterexample: Optional[List[State]] = None
         self.last_lasso: Optional[Lasso] = None
+        #: RUP/DRAT checker counters of the last certified k-induction proof
+        #: (populated only when ``drat=True`` and an induction step succeeded).
+        self.last_proof_stats: Optional[Dict[str, int]] = None
 
     # -- accessors -----------------------------------------------------------
 
@@ -561,6 +576,8 @@ class BoundedModelChecker:
         unroller = self._inductors.get(property_node)
         if unroller is None:
             unroller = _Unroller(self._symbolic)
+            if self._drat:
+                unroller.solver.start_proof()
             self._inductors[property_node] = unroller
             self._inductor_handles.append(self._symbolic.function(property_node))
         with _obs_span("bmc.induction", length=length):
@@ -574,7 +591,20 @@ class BoundedModelChecker:
             bad = self._symbolic.complement(property_node)
             bad_fn = self._symbolic.function(bad)
             assumption = unroller.literal(bad_fn.node, length)
-            return not unroller.solver.solve([assumption])
+            proved = not unroller.solver.solve([assumption])
+            if proved and self._drat:
+                # The k-induction proof is exactly this UNSAT verdict;
+                # certify the whole incremental transcript behind it.
+                from repro.sat.drat import ProofError, check_proof
+
+                try:
+                    self.last_proof_stats = check_proof(unroller.solver.proof)
+                except ProofError as error:
+                    raise ModelCheckingError(
+                        "k-induction produced an uncertifiable UNSAT proof: %s"
+                        % error
+                    ) from error
+            return proved
 
     def _find_lasso(self, constraint_node: int, bound: int) -> Optional[Lasso]:
         constraint_fn = self._symbolic.function(constraint_node)
@@ -660,7 +690,9 @@ class BoundedModelChecker:
             return state == source.initial_state
         try:
             assignment = self._symbolic.encode_state(state)
-        except Exception:  # no encoder: cannot prove it is the initial state
+        except (ReproError, KeyError, ValueError):
+            # No encoder (or one that rejects this state): cannot prove it
+            # is the initial state.
             return False
         return self._symbolic.manager.evaluate(self._symbolic.initial, assignment)
 

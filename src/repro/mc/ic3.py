@@ -225,9 +225,12 @@ class _IC3Run:
         symbolic: SymbolicKripkeStructure,
         template: _TransitionTemplate,
         property_node: int,
+        drat: bool = False,
     ) -> None:
         self.symbolic = symbolic
         self.template = template
+        self.drat = drat
+        self.proof_stats: Optional[Dict[str, int]] = None
         self.num_bits = symbolic.num_bits
         manager = symbolic.manager
         self.property_fn = symbolic.function(property_node)
@@ -613,6 +616,8 @@ class _IC3Run:
         """Re-verify initiation, consecution and safety with fresh solvers."""
         clauses = [tuple(-literal for literal in cube) for cube in cubes]
         init_solver = self.template.new_solver()
+        if self.drat:
+            init_solver.start_proof()
         init_cache: Dict[int, int] = {}
         init_literal = self.template.encode_state_set(
             init_solver, self.symbolic.initial, init_cache
@@ -626,6 +631,8 @@ class _IC3Run:
                     "initial state"
                 )
         consecution = self.template.new_solver()
+        if self.drat:
+            consecution.start_proof()
         for clause in clauses:
             consecution.add_clause(clause)
         for cube in cubes:
@@ -646,6 +653,23 @@ class _IC3Run:
             )
         self.solver_stats.accumulate(init_solver.stats)
         self.solver_stats.accumulate(consecution.stats)
+        if self.drat:
+            # Certify every UNSAT verdict above (one per initiation and
+            # consecution query, plus the safety query) with the
+            # independent RUP/DRAT checker.
+            from repro.sat.drat import ProofError, check_proof
+
+            self.proof_stats = {"inputs": 0, "added": 0, "deleted": 0, "unsat_checks": 0}
+            for proved in (init_solver, consecution):
+                try:
+                    counts = check_proof(proved.proof)
+                except ProofError as error:
+                    raise ModelCheckingError(
+                        "IC3 certificate verification produced an uncertifiable "
+                        "UNSAT proof: %s" % error
+                    ) from error
+                for key, value in counts.items():
+                    self.proof_stats[key] += value
         return InvariantCertificate(cubes=tuple(sorted(cubes)), frame=self.top)
 
     def collect_stats(self) -> SolverStats:
@@ -672,6 +696,12 @@ class IC3ModelChecker:
     ``"counterexample at depth 5"``), :attr:`certificate` holds the last
     re-verified :class:`InvariantCertificate`, and
     :attr:`last_counterexample` the last decoded path.
+
+    With ``drat=True`` the certificate re-verification solvers log DRAT
+    proofs, and every UNSAT verdict behind a handed-out certificate (one
+    per initiation/consecution query plus the safety query) is certified
+    by the independent :mod:`repro.sat.drat` forward checker;
+    :attr:`last_proof_stats` reports the checker's counters.
     """
 
     #: IC3 decides single verdicts, not satisfaction sets — the indexed
@@ -684,6 +714,7 @@ class IC3ModelChecker:
         max_frames: int = DEFAULT_MAX_FRAMES,
         validate_structure: bool = True,
         fairness: Optional[FairnessConstraint] = None,
+        drat: bool = False,
     ) -> None:
         if normalize_fairness(fairness) is not None:
             raise FragmentError(
@@ -706,9 +737,13 @@ class IC3ModelChecker:
         self._front = BoundedModelChecker(
             structure, validate_structure=False, fairness=None
         )
+        self._drat = drat
         self.last_detail: str = ""
         self.last_counterexample: Optional[List[State]] = None
         self.certificate: Optional[InvariantCertificate] = None
+        #: RUP/DRAT checker counters of the last certificate re-verification
+        #: (populated only when ``drat=True`` and the last verdict was a proof).
+        self.last_proof_stats: Optional[Dict[str, int]] = None
 
     # -- accessors -----------------------------------------------------------
 
@@ -815,12 +850,13 @@ class IC3ModelChecker:
         node = self._front._propositional_node(body)
         if self._template is None:
             self._template = _TransitionTemplate(self._symbolic)
-        run = _IC3Run(self._symbolic, self._template, node.node)
+        run = _IC3Run(self._symbolic, self._template, node.node, drat=self._drat)
         try:
             safe, payload = run.run(self._max_frames)
         finally:
             self._counters.accumulate(run.counters)
             self._solver_stats.accumulate(run.collect_stats())
+            self.last_proof_stats = run.proof_stats
         if safe:
             assert isinstance(payload, InvariantCertificate)
             self.certificate = payload

@@ -14,7 +14,15 @@ solves each with :class:`repro.sat.solver.Solver`, and checks the verdict:
 * each instance is re-queried under random assumptions; an UNSAT answer
   there must come with an :meth:`Solver.unsat_core` that is a subset of the
   assumptions and is itself sufficient (the formula conjoined with just the
-  core stays unsatisfiable under the enumerator).
+  core stays unsatisfiable under the enumerator);
+* every solver runs with a :mod:`repro.sat.drat` proof log attached, and the
+  full transcript — covering *every* UNSAT verdict the round produced — must
+  pass the independent forward RUP/DRAT checker.
+
+With ``--sanitize`` the :mod:`repro.sat.sanitize` and
+:mod:`repro.bdd.sanitize` runtime auditors are switched on for the whole
+batch, so every solver stability point is structurally audited as the fuzz
+runs.
 
 The exit status is non-zero on any mismatch, which lets CI run the module
 directly as a smoke step.  Deterministic under ``--seed``.
@@ -34,6 +42,7 @@ from repro.sat.cnf import (
     parse_dimacs,
     to_dimacs,
 )
+from repro.sat.drat import ProofError, check_proof
 from repro.sat.solver import Solver
 
 __all__ = ["random_3cnf", "run_fuzz", "main"]
@@ -54,12 +63,15 @@ def run_fuzz(
     count: int = 50,
     max_vars: int = 12,
     seed: int = 0,
-    out=sys.stdout,
+    out=None,
 ) -> int:
     """Run ``count`` random instances; returns the number of failures."""
+    if out is None:
+        out = sys.stdout  # bound at call time so capture/redirection works
     rng = random.Random(seed)
     failures = 0
     sat_count = 0
+    certified_verdicts = 0
     for round_number in range(count):
         num_vars = rng.randint(3, max_vars)
         # Clause/variable ratios straddling the ~4.26 phase transition keep
@@ -70,6 +82,7 @@ def run_fuzz(
 
         def fresh() -> Solver:
             solver = Solver()
+            solver.start_proof()
             for _ in range(cnf.num_vars):
                 solver.new_var()
             for clause in cnf.clauses:
@@ -141,9 +154,23 @@ def run_fuzz(
                     % round_number,
                     file=out,
                 )
+
+        # Certify every proof transcript: each UNSAT verdict above (plain,
+        # inprocessed, or under assumptions) must survive the independent
+        # RUP/DRAT checker.
+        for name, proved in (("main", solver), ("inprocessed", simplified)):
+            try:
+                certified_verdicts += check_proof(proved.proof)["unsat_checks"]
+            except ProofError as error:
+                failures += 1
+                print(
+                    "FAIL round %d: %s solver proof rejected: %s"
+                    % (round_number, name, error),
+                    file=out,
+                )
     print(
-        "fuzz: %d instances (%d SAT / %d UNSAT), %d failures"
-        % (count, sat_count, count - sat_count, failures),
+        "fuzz: %d instances (%d SAT / %d UNSAT), %d certified UNSAT verdicts, "
+        "%d failures" % (count, sat_count, count - sat_count, certified_verdicts, failures),
         file=out,
     )
     return failures
@@ -164,10 +191,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "by exhaustive enumeration; default: 12)",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed (default: 0)")
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the batch with the SAT and BDD runtime sanitizers enabled",
+    )
     args = parser.parse_args(argv)
     if args.count < 1 or args.max_vars < 3:
         print("error: --count must be >= 1 and --max-vars >= 3", file=sys.stderr)
         return 2
+    if args.sanitize:
+        import repro.bdd.sanitize as bdd_sanitize
+        import repro.sat.sanitize as sat_sanitize
+
+        sat_sanitize.enable(True)
+        bdd_sanitize.enable(True)
     return 1 if run_fuzz(args.count, args.max_vars, args.seed) else 0
 
 

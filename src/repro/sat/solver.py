@@ -56,9 +56,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+import repro.sat.sanitize as _sanitize
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _span
 from repro.sat.cnf import ClauseSink, SatError
+from repro.sat.drat import ProofLog
 
 __all__ = ["Solver", "SolverStats", "luby"]
 
@@ -269,6 +271,7 @@ class Solver(ClauseSink):
         self._conflict_core: Optional[FrozenSet[int]] = None
         self._next_inprocess = self._INPROCESS_INTERVAL
         self._true_literal = None
+        self._proof: Optional[ProofLog] = None
 
     # -- the clause-sink protocol (shared with repro.sat.cnf.CNF) -------------
 
@@ -295,6 +298,41 @@ class Solver(ClauseSink):
         while self._num_vars < var:
             self.new_var()
 
+    # -- proof logging -----------------------------------------------------
+
+    @property
+    def proof(self) -> Optional[ProofLog]:
+        """The attached :class:`~repro.sat.drat.ProofLog`, if any."""
+        return self._proof
+
+    def start_proof(self) -> ProofLog:
+        """Attach a fresh DRAT-style proof log and return it.
+
+        From this point on, every input clause, derived clause, deletion
+        and UNSAT verdict is recorded; :func:`repro.sat.drat.check_proof`
+        certifies the transcript independently of the solver.  Clauses
+        (and level-zero units) already in the database are snapshotted as
+        inputs, so a proof can be started mid-life on an incremental
+        solver.  Attaching a new log replaces any previous one.
+        """
+        log = ProofLog()
+        if not self._ok:
+            log.input(())
+        else:
+            level0 = self._trail[: self._trail_lim[0]] if self._trail_lim else self._trail
+            for literal in level0:
+                log.input((literal,))
+            for store in (self._clauses, self._learnts):
+                for clause in store:
+                    if not clause.removed:
+                        log.input(tuple(clause.lits))
+        self._proof = log
+        return log
+
+    def stop_proof(self) -> None:
+        """Detach the proof log; subsequent derivations are not recorded."""
+        self._proof = None
+
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns ``False`` when the database became unsatisfiable.
 
@@ -307,6 +345,9 @@ class Solver(ClauseSink):
         self._cancel_until(0)
         if not self._ok:
             return False
+        literals = list(literals)
+        if self._proof is not None:
+            self._proof.input(literals)
         seen_here: Dict[int, int] = {}
         simplified: List[int] = []
         for literal in literals:
@@ -325,6 +366,11 @@ class Solver(ClauseSink):
                 simplified.append(literal)
             elif previous != literal:
                 return True  # p ∨ ¬p: tautology
+        if self._proof is not None and sorted(simplified) != sorted(literals):
+            # The simplified clause (false literals stripped, duplicates
+            # merged) is RUP against the input clause plus the level-0
+            # units, so it earns a derivation step of its own.
+            self._proof.add(simplified)
         if not simplified:
             self._ok = False
             return False
@@ -624,6 +670,8 @@ class Solver(ClauseSink):
         removable = len(reducible) // 2
         for clause in reducible[:removable]:
             clause.removed = True
+            if self._proof is not None:
+                self._proof.delete(clause.lits)
         self._learnts = protected + reducible[removable:]
         self.stats.deleted_clauses += removable
         # Learnt-DB reductions are rare (one per _max_learnts overflow).
@@ -642,6 +690,8 @@ class Solver(ClauseSink):
                 return var if self._phase[var] else -var
 
     def _record_learnt(self, learnt: List[int], lbd: int, promote: bool = False) -> None:
+        if self._proof is not None:
+            self._proof.add(learnt)
         if len(learnt) == 1:
             self._enqueue(learnt[0], None)
             return
@@ -674,16 +724,23 @@ class Solver(ClauseSink):
                 # drop; when it was a problem clause the learnt clause is
                 # promoted so the constraint cannot later be reduced away.
                 promote = False
+                subsumed_lits: Optional[List[int]] = None
                 if (
                     not conflict.removed
                     and 1 < len(learnt) < len(conflict.lits)
                     and set(learnt) <= set(conflict.lits)
                 ):
                     conflict.removed = True
+                    subsumed_lits = list(conflict.lits)
                     promote = not conflict.learnt
                     self.stats.subsumed_clauses += 1
                 self._cancel_until(backjump_level)
                 self._record_learnt(learnt, lbd, promote=promote)
+                if subsumed_lits is not None and self._proof is not None:
+                    # Deleted only after the learnt clause that subsumes it
+                    # was derived, so the checker never loses the clause a
+                    # pending step depends on.
+                    self._proof.delete(subsumed_lits)
                 self._var_decay_tick()
                 self._cla_decay_tick()
                 continue
@@ -736,6 +793,10 @@ class Solver(ClauseSink):
                 conflicts=stats.conflicts - conflicts_before,
                 propagations=stats.propagations - propagations_before,
             )
+        if _sanitize.MODE:
+            _sanitize.maybe_check_solver(self)
+        if result is False and self._proof is not None:
+            self._proof.unsat([int(literal) for literal in assumptions])
         return result
 
     def _solve(self, assumptions: Sequence[int]) -> bool:
@@ -806,6 +867,14 @@ class Solver(ClauseSink):
             if self._propagate() is not None:
                 self._ok = False
                 return False
+            if self._proof is not None:
+                # Pin every level-0 fact as a derived unit before any
+                # satisfied clause is deleted: deletion would otherwise
+                # strip the checker of the propagation support later
+                # strengthening steps rely on.  Each unit is RUP (it is
+                # exactly what unit propagation derives).
+                for literal in self._trail:
+                    self._proof.add((literal,))
             # Level-0 reasons are never dereferenced (analysis guards on
             # level > 0), but null them so removed clauses cannot linger as
             # locked.
@@ -816,6 +885,10 @@ class Solver(ClauseSink):
                 self._backward_subsume()
             if self._ok:
                 self._vivify()
+            # Units propagated by _readd during the passes acquired reasons
+            # whose clauses may since have been removed; null them too.
+            for index in range(len(self._trail)):
+                self._reason[abs(self._trail[index])] = None
             self._clauses = [clause for clause in self._clauses if not clause.removed]
             self._learnts = [clause for clause in self._learnts if not clause.removed]
             self.stats.inprocessings += 1
@@ -824,6 +897,8 @@ class Solver(ClauseSink):
                 subsumed=self.stats.subsumed_clauses - subsumed_before,
                 strengthened=self.stats.strengthened_clauses - strengthened_before,
             )
+            if _sanitize.MODE:
+                _sanitize.maybe_check_solver(self)
             return self._ok
 
     def publish_metrics(self, **labels) -> None:
@@ -858,11 +933,17 @@ class Solver(ClauseSink):
                         has_false = True
                 if satisfied:
                     clause.removed = True
+                    if self._proof is not None:
+                        self._proof.delete(lits)
                     continue
                 if has_false:
+                    original = list(lits) if self._proof is not None else None
                     lits[2:] = [
                         literal for literal in lits[2:] if self._value(literal) != -1
                     ]
+                    if original is not None and len(lits) < len(original):
+                        self._proof.add(lits)
+                        self._proof.delete(original)
 
     @staticmethod
     def _signature(lits: Sequence[int]) -> int:
@@ -925,6 +1006,8 @@ class Solver(ClauseSink):
                     continue
                 if negated == 0:
                     candidate.removed = True
+                    if self._proof is not None:
+                        self._proof.delete(candidate.lits)
                     if clause.learnt and not candidate.learnt:
                         clause.learnt = False  # promoted: now carries a problem constraint
                         self._learnts = [c for c in self._learnts if c is not clause]
@@ -936,7 +1019,13 @@ class Solver(ClauseSink):
                     candidate.removed = True
                     self.stats.strengthened_clauses += 1
         for original, shrunk in strengthened:
-            if not self._readd(shrunk, original.learnt, original.lbd):
+            # _readd logs the strengthened clause as a derivation first; the
+            # original is deleted after, while the checker can still resolve
+            # against it.
+            ok = self._readd(shrunk, original.learnt, original.lbd)
+            if self._proof is not None:
+                self._proof.delete(original.lits)
+            if not ok:
                 return
 
     def _readd(self, lits: List[int], learnt: bool, lbd: int) -> bool:
@@ -944,14 +1033,23 @@ class Solver(ClauseSink):
         lits = [literal for literal in lits if self._value(literal) != -1]
         if any(self._value(literal) == 1 for literal in lits):
             return True
+        if self._proof is not None:
+            self._proof.add(lits)
         if not lits:
             self._ok = False
             return False
         if len(lits) == 1:
+            trail_before = len(self._trail)
             self._enqueue(lits[0], None)
             if self._propagate() is not None:
                 self._ok = False
                 return False
+            if self._proof is not None:
+                # Pin the level-0 consequences right away: the ongoing
+                # inprocessing pass may delete the (now satisfied) clauses
+                # that propagated them before anything else records them.
+                for literal in self._trail[trail_before + 1 :]:
+                    self._proof.add((literal,))
             return True
         clause = _Clause(lits, learnt=learnt, lbd=min(lbd, len(lits)) if lbd else 0)
         (self._learnts if learnt else self._clauses).append(clause)
@@ -979,6 +1077,8 @@ class Solver(ClauseSink):
                 continue
             if any(self._value(literal) == 1 for literal in clause.lits):
                 clause.removed = True
+                if self._proof is not None:
+                    self._proof.delete(clause.lits)
                 continue
             lits = [literal for literal in clause.lits if self._value(literal) == 0]
             clause.removed = True  # detached: the probe must not use the clause itself
@@ -1002,7 +1102,12 @@ class Solver(ClauseSink):
             self._cancel_until(0)
             if len(shortened) < len(clause.lits):
                 self.stats.strengthened_clauses += 1
-            if not self._readd(shortened, clause.learnt, clause.lbd):
+            # As in _backward_subsume: derive the shortened clause before
+            # deleting the one it replaces.
+            ok = self._readd(shortened, clause.learnt, clause.lbd)
+            if self._proof is not None:
+                self._proof.delete(clause.lits)
+            if not ok:
                 return
 
     # -- models ---------------------------------------------------------------------

@@ -20,6 +20,25 @@ from repro.kripke import KripkeStructure  # noqa: E402
 from repro.systems import barrier, figures, round_robin, token_ring  # noqa: E402
 
 
+@pytest.fixture()
+def sanitizers():
+    """Enable the BDD and SAT runtime sanitizers for one test, then restore.
+
+    Opt-in per test (``def test_x(sanitizers): ...``); the whole suite can
+    instead run sanitized via ``REPRO_SANITIZE=1`` (see docs/CORRECTNESS.md).
+    """
+    import repro.bdd.sanitize as bdd_sanitize
+    import repro.sat.sanitize as sat_sanitize
+
+    previous = (bdd_sanitize.MODE, sat_sanitize.MODE)
+    bdd_sanitize.enable(True)
+    sat_sanitize.enable(True)
+    try:
+        yield
+    finally:
+        bdd_sanitize.MODE, sat_sanitize.MODE = previous
+
+
 @pytest.fixture(scope="session")
 def toggle_structure() -> KripkeStructure:
     """A minimal two-state structure alternating between labels {p} and {q}."""

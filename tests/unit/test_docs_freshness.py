@@ -18,6 +18,7 @@ _DOC_FILES = [
     _REPO_ROOT / "docs" / "ENGINES.md",
     _REPO_ROOT / "docs" / "ARCHITECTURE.md",
     _REPO_ROOT / "docs" / "OBSERVABILITY.md",
+    _REPO_ROOT / "docs" / "CORRECTNESS.md",
 ]
 
 
@@ -72,6 +73,7 @@ def test_docs_cross_link_each_other():
     assert "docs/ENGINES.md" in readme
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/OBSERVABILITY.md" in readme
+    assert "docs/CORRECTNESS.md" in readme
     engines = (_REPO_ROOT / "docs" / "ENGINES.md").read_text(encoding="utf-8")
     assert "ARCHITECTURE.md" in engines
     architecture = (_REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
@@ -79,11 +81,30 @@ def test_docs_cross_link_each_other():
     )
     assert "ENGINES.md" in architecture
     assert "OBSERVABILITY.md" in architecture
+    assert "CORRECTNESS.md" in architecture
     observability = (_REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(
         encoding="utf-8"
     )
     assert "ARCHITECTURE.md" in observability
     assert "ENGINES.md" in observability
+    correctness = (_REPO_ROOT / "docs" / "CORRECTNESS.md").read_text(
+        encoding="utf-8"
+    )
+    for companion in ("ARCHITECTURE.md", "ENGINES.md", "OBSERVABILITY.md"):
+        assert companion in correctness
+
+
+def test_correctness_doc_matches_the_lint_catalog():
+    """docs/CORRECTNESS.md documents every repro-lint rule, by id."""
+    from repro.devtools.lint import RULES
+
+    correctness = (_REPO_ROOT / "docs" / "CORRECTNESS.md").read_text(
+        encoding="utf-8"
+    )
+    for rule in RULES:
+        assert re.search(r"\b%s\b" % rule.id, correctness), (
+            "lint rule %s is not documented in docs/CORRECTNESS.md" % rule.id
+        )
 
 
 def test_observability_doc_names_the_cli_flags_and_span_vocabulary():
