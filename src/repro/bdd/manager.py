@@ -65,6 +65,7 @@ from repro.errors import BDDError
 from repro.obs import metrics as _metrics
 from repro.obs.trace import event as _obs_event
 from repro.obs.trace import span as _obs_span
+from repro.runtime.limits import checkpoint as _checkpoint
 
 __all__ = [
     "BDDManager",
@@ -170,6 +171,10 @@ class _OpCache:
             for key in list(_islice(iter(data), drop)):
                 del data[key]
             self.evictions += drop
+            # A cache spill marks a working set outgrowing its bounds —
+            # a natural budget/cancellation boundary (runs are seconds
+            # from spilling, not microseconds).
+            _checkpoint("bdd.cache.spill")
 
     def clear(self) -> int:
         """Drop every entry (not counted as eviction); return how many were dropped."""
@@ -318,6 +323,10 @@ class BDDManager:
             self._live += 1
             if self._live > self._peak:
                 self._peak = self._live
+            if not self._live & 4095:
+                # Every 4096th allocation: where a blowing-up build hits
+                # the bdd_nodes budget ceiling.
+                _checkpoint("bdd.alloc", bdd_nodes=self._live)
         return node << 1 | flip
 
     def var(self, var: int) -> int:
@@ -1088,6 +1097,7 @@ class BDDManager:
         _metrics.counter("bdd.gc.reclaimed").inc(freed)
         _metrics.gauge("bdd.nodes.peak").set_max(self._peak)
         _obs_event("bdd.gc", reclaimed=freed, live=self._live)
+        _checkpoint("bdd.collect", bdd_nodes=self._live)
         if _sanitize.MODE:
             _sanitize.maybe_check_manager(self)
         return freed

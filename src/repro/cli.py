@@ -26,7 +26,13 @@ counterexample within ``--bound``), while ``--engine ic3`` proves them
 *unboundedly* by property-directed reachability, reporting a re-verified
 inductive-invariant certificate (``--bound`` then caps the frame count, a
 divergence safety net rather than a proof parameter).  Properties outside a
-SAT engine's fragment are reported as skipped.  ``--fairness`` switches
+SAT engine's fragment are reported as skipped.  ``--engine portfolio``
+races the other engines per property in supervised worker processes —
+first conclusive verdict wins, crashed or hung workers are restarted, and
+``--workers`` caps the pool (see ``docs/RESILIENCE.md``).  ``--timeout``
+and ``--memory-limit`` attach a resource budget that every engine observes
+at its cooperative checkpoints; ``--buggy`` builds the seeded-bug system
+variants.  ``--fairness`` switches
 every check to the fairness-constrained semantics and adds the
 fairness-dependent liveness family.  ``--experiments`` instead replays the
 full E1–E13 experiment suite and prints one summary line per experiment.
@@ -169,6 +175,47 @@ def build_parser() -> argparse.ArgumentParser:
             "engines' outer loops (fixpoint rounds, BMC depths, IC3 frames)"
         ),
     )
+    parser.add_argument(
+        "--buggy",
+        action="store_true",
+        help=(
+            "build the seeded-bug variant of the system (every family has "
+            "one) so violated properties exercise the counterexample and "
+            "portfolio-disagreement paths"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget for the checks; engines observe it at their "
+            "cooperative checkpoints and report BUDGET EXHAUSTED instead of "
+            "running away (portfolio workers each get the full budget)"
+        ),
+    )
+    parser.add_argument(
+        "--memory-limit",
+        type=int,
+        default=None,
+        metavar="MB",
+        help=(
+            "address-space ceiling in mebibytes, enforced with setrlimit; "
+            "with --engine portfolio each worker process gets the ceiling, "
+            "otherwise it applies to this process"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --engine portfolio: cap the number of racing worker "
+            "processes (default: one per raced engine)"
+        ),
+    )
     return parser
 
 
@@ -232,6 +279,18 @@ _SYSTEMS = {
 _SYSTEM_MODULES = {"ring": "token_ring", "mutex": "mutex", "counter": "counter"}
 
 
+def _make_budget(timeout: Optional[float], memory_limit: Optional[int]):
+    """Build a :class:`~repro.runtime.limits.ResourceBudget`, or ``None``."""
+    if timeout is None and memory_limit is None:
+        return None
+    from repro.runtime.limits import ResourceBudget
+
+    return ResourceBudget(
+        deadline_s=timeout,
+        memory_bytes=None if memory_limit is None else memory_limit * 1024 * 1024,
+    )
+
+
 def _run_check(
     system: str,
     engine: str,
@@ -240,24 +299,61 @@ def _run_check(
     out,
     profile: bool = False,
     bound: Optional[int] = None,
+    buggy: bool = False,
+    timeout: Optional[float] = None,
+    memory_limit: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> bool:
+    import contextlib
     import importlib
 
-    from repro.errors import FragmentError, InconclusiveError
+    from repro.errors import (
+        BudgetExceededError,
+        EngineCrashError,
+        FragmentError,
+        InconclusiveError,
+    )
 
     family_factory, explicit_name, symbolic_name, display = _SYSTEMS[system]
-    module = importlib.import_module(
-        "repro.systems." + _SYSTEM_MODULES[system]
-    )
+    module_name = "repro.systems." + _SYSTEM_MODULES[system]
+    module = importlib.import_module(module_name)
     build_explicit = getattr(module, explicit_name)
     build_symbolic = getattr(module, symbolic_name)
     family, constraint = family_factory(size, fairness)
     label = display % size
+    if buggy:
+        label += " (buggy)"
+    budget = _make_budget(timeout, memory_limit)
 
-    if engine == "bdd":
+    if engine == "portfolio":
+        from repro.runtime.portfolio import PortfolioModelChecker, builder_source
+
+        sources = {
+            "bitset": builder_source(module_name, explicit_name, size, buggy=buggy),
+            "bdd": builder_source(module_name, symbolic_name, size, buggy=buggy),
+            "bmc": builder_source(
+                module_name, symbolic_name, size, buggy=buggy, domain="free"
+            ),
+            "ic3": builder_source(
+                module_name, symbolic_name, size, buggy=buggy, domain="free"
+            ),
+        }
+        if constraint is not None:  # pragma: no cover - rejected by main()
+            raise FragmentError("the portfolio engine rejects fairness")
+        built = timed_call(
+            PortfolioModelChecker,
+            sources=sources,
+            workers=workers,
+            bound=bound,
+            budget=budget,
+        )
+        structure = None
+        checker = built.value
+        descriptor = "parallel portfolio racing %s" % ", ".join(checker.engines)
+    elif engine == "bdd":
         from repro.mc.symbolic import SymbolicCTLModelChecker
 
-        built = timed_call(build_symbolic, size)
+        built = timed_call(build_symbolic, size, buggy=buggy)
         structure = built.value
         checker = SymbolicCTLModelChecker(structure, fairness=constraint)
         descriptor = "direct symbolic encoding"
@@ -265,7 +361,7 @@ def _run_check(
         # The free domain skips the symbolic reachability fixpoint — the
         # whole point of the SAT engines is that the bound (bmc) or the
         # discovered invariant (ic3), not the reachable set, pays.
-        built = timed_call(build_symbolic, size, domain="free")
+        built = timed_call(build_symbolic, size, buggy=buggy, domain="free")
         structure = built.value
         if engine == "bmc":
             from repro.mc.bmc import BoundedModelChecker
@@ -289,7 +385,7 @@ def _run_check(
     else:
         from repro.mc.indexed import ICTLStarModelChecker
 
-        built = timed_call(build_explicit, size)
+        built = timed_call(build_explicit, size, buggy=buggy)
         structure = built.value
         # Concrete-index property families (pairwise mutual exclusion) are
         # already instantiated, which the Section 4 closedness restriction
@@ -305,7 +401,12 @@ def _run_check(
     print("%s via engine=%s (%s)" % (label, engine, descriptor), file=out)
     if constraint is not None:
         print("  fairness    : %d conditions" % len(constraint), file=out)
-    if engine in _SAT_ENGINES:
+    if engine == "portfolio":
+        # Structures are built worker-side, one natural encoding per engine.
+        print("  workers     : %d" % len(checker.engines), file=out)
+        if budget is not None:
+            print("  budget      : %s" % budget.as_dict(), file=out)
+    elif engine in _SAT_ENGINES:
         # No reachability fixpoint ran, so state counts are not available.
         print("  state bits  : %d" % structure.num_bits, file=out)
     else:
@@ -317,24 +418,45 @@ def _run_check(
     all_hold = True
     skipped = []
     inconclusive = []
+    exhausted = []
+    crashed = []
     phases = [{"name": "build", "seconds": built.seconds}]
-    for name, formula in family.items():
-        try:
-            checked = timed_call(checker.check, formula)
-        except FragmentError:
-            skipped.append(name)
-            continue
-        except InconclusiveError:
-            # Like a fragment skip: the engine could not decide, which is
-            # not a violation — the exit code only reflects what was decided.
-            inconclusive.append(name)
-            continue
-        all_hold = all_hold and checked.value
-        phases.append({"name": "check %s" % name, "seconds": checked.seconds})
-        verdict = str(checked.value)
-        if engine in _SAT_ENGINES and checker.last_detail:
-            verdict = "%s (%s)" % (checked.value, checker.last_detail)
-        print("  %-34s %-8s %.4f" % (name, verdict, checked.seconds), file=out)
+    # For the in-process engines a budget is enforced at their cooperative
+    # checkpoints; the portfolio hands it to the workers instead.
+    budget_scope = contextlib.nullcontext()
+    if budget is not None and engine != "portfolio":
+        from repro.runtime import limits as _limits
+
+        if budget.memory_bytes is not None:
+            _limits.apply_memory_limit(budget.memory_bytes)
+        budget_scope = _limits.active(budget)
+    with budget_scope:
+        for name, formula in family.items():
+            try:
+                checked = timed_call(checker.check, formula)
+            except FragmentError:
+                skipped.append(name)
+                continue
+            except InconclusiveError:
+                # Like a fragment skip: the engine could not decide, which is
+                # not a violation — the exit code only reflects what was
+                # decided.
+                inconclusive.append(name)
+                continue
+            except BudgetExceededError as error:
+                exhausted.append((name, error))
+                continue
+            except EngineCrashError as error:
+                crashed.append((name, error))
+                continue
+            all_hold = all_hold and checked.value
+            phases.append({"name": "check %s" % name, "seconds": checked.seconds})
+            verdict = str(checked.value)
+            if engine in _SAT_ENGINES and checker.last_detail:
+                verdict = "%s (%s)" % (checked.value, checker.last_detail)
+            elif engine == "portfolio" and checker.last_detail:
+                verdict = "%s (%s)" % (checked.value, checker.last_detail)
+            print("  %-34s %-8s %.4f" % (name, verdict, checked.seconds), file=out)
     for name in skipped:
         print(
             "  %-34s %-8s" % (name, "skipped (outside the %s fragment)" % engine),
@@ -342,10 +464,17 @@ def _run_check(
         )
     for name in inconclusive:
         print("  %-34s %-8s" % (name, "INCONCLUSIVE (raise --bound)"), file=out)
+    for name, error in exhausted:
+        print(
+            "  %-34s %-8s" % (name, "BUDGET EXHAUSTED (%s)" % error.resource),
+            file=out,
+        )
+    for name, error in crashed:
+        print("  %-34s %-8s" % (name, "CRASHED (%s)" % error), file=out)
     print("", file=out)
     checked_what = (
         "checked properties and invariants"
-        if skipped or inconclusive
+        if skipped or inconclusive or exhausted or crashed
         else "all properties and invariants"
     )
     if all_hold:
@@ -368,6 +497,8 @@ def _run_check(
             "total_seconds": sum(phase["seconds"] for phase in phases),
             "metrics": REGISTRY.snapshot(),
         }
+        if engine == "portfolio":
+            payload["portfolio"] = dict(checker.last_outcomes)
         if engine == "bdd":
             payload["bdd"] = structure.manager.stats().as_dict()
         if engine in _SAT_ENGINES:
@@ -467,8 +598,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.size < 1:
         print("error: --size (--ring-size) must be at least 1", file=sys.stderr)
         return 2
-    if args.bound is not None and args.engine not in _SAT_ENGINES:
-        print("error: --bound only applies to --engine bmc or ic3", file=sys.stderr)
+    if args.bound is not None and args.engine not in _SAT_ENGINES + ("portfolio",):
+        print(
+            "error: --bound only applies to the SAT engines or the portfolio "
+            "(where it caps its SAT members)",
+            file=sys.stderr,
+        )
         return 2
     if args.bound is not None and args.bound < 0:
         print("error: --bound must be non-negative", file=sys.stderr)
@@ -483,6 +618,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.engine == "portfolio" and args.fairness:
+        print(
+            "error: the portfolio races the SAT engines, which reject "
+            "fairness; use bitset, naive, or bdd",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.engine != "portfolio":
+        print("error: --workers only applies to --engine portfolio", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        return 2
+    if args.memory_limit is not None and args.memory_limit < 1:
+        print("error: --memory-limit must be at least 1 MiB", file=sys.stderr)
+        return 2
     if args.system == "counter" and args.fairness:
         print(
             "error: the counter family has no fairness story (it is "
@@ -491,10 +645,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
     if args.experiments:
-        if args.engine in _SAT_ENGINES:
+        if args.engine in _SAT_ENGINES or args.engine == "portfolio":
             print(
                 "error: the experiment suite sweeps the full-CTL engines; the "
                 "SAT stories are replayed as E12/E13 under any of them",
+                file=sys.stderr,
+            )
+            return 2
+        if (
+            args.buggy
+            or args.workers is not None
+            or args.timeout is not None
+            or args.memory_limit is not None
+        ):
+            print(
+                "error: --buggy/--timeout/--memory-limit/--workers apply to "
+                "single checks, not the experiment suite",
                 file=sys.stderr,
             )
             return 2
@@ -530,6 +696,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # With --profile, stderr must stay exactly one JSON document, so
         # heartbeats move to stdout alongside the results table.
         obs_progress.enable_progress(stream=out if args.profile else None)
+    ok = False
+    interrupted = False
     try:
         if args.experiments:
             ok = _run_experiments(args.engine, args.quick, out, profile=args.profile)
@@ -542,7 +710,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 out,
                 profile=args.profile,
                 bound=args.bound,
+                buggy=args.buggy,
+                timeout=args.timeout,
+                memory_limit=args.memory_limit,
+                workers=args.workers,
             )
+    except KeyboardInterrupt:
+        # Ctrl-C must never strand worker processes or lose the artifacts
+        # collected so far: tear the supervisors down, fall through to the
+        # flushes below, and exit with the conventional 130.
+        interrupted = True
+        from repro.runtime.supervisor import shutdown_all
+
+        reaped = shutdown_all()
+        print("", file=out)
+        print(
+            "interrupted: stopped after partial results"
+            + (" (%d worker pool(s) torn down)" % reaped if reaped else ""),
+            file=sys.stderr,
+        )
     finally:
         if sinks:
             tracer = obs_trace.disable()
@@ -560,6 +746,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "size": args.size,
                 },
             )
+    if interrupted:
+        return 130
     return 0 if ok else 1
 
 

@@ -21,6 +21,10 @@ __all__ = [
     "CompositionError",
     "BDDError",
     "SanitizerError",
+    "BudgetExceededError",
+    "CancelledError",
+    "EngineCrashError",
+    "EngineDisagreementError",
 ]
 
 
@@ -85,7 +89,41 @@ class InconclusiveError(ModelCheckingError):
     counterexample (within the falsification bound) nor a k-induction proof
     (within the induction bound) was found — the property may still hold or
     fail at greater depths.
+
+    The keyword attributes report how much of the budget the engine consumed
+    before giving up, so a caller (the portfolio engine's degradation
+    messages, a retry loop raising the bound) can act on the failure instead
+    of guessing:
+
+    ``depth_reached``
+        The deepest BMC unrolling depth completed (``None`` for IC3).
+    ``frames_opened``
+        The number of IC3 frames opened (``None`` for BMC).
+    ``conflicts_spent``
+        Total SAT conflicts spent across the engine's solvers, when known.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        depth_reached: int | None = None,
+        frames_opened: int | None = None,
+        conflicts_spent: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.depth_reached = depth_reached
+        self.frames_opened = frames_opened
+        self.conflicts_spent = conflicts_spent
+
+    def progress(self) -> dict:
+        """The non-``None`` budget-consumption attributes as a dict."""
+        fields = {
+            "depth_reached": self.depth_reached,
+            "frames_opened": self.frames_opened,
+            "conflicts_spent": self.conflicts_spent,
+        }
+        return {key: value for key, value in fields.items() if value is not None}
 
 
 class CorrespondenceError(ReproError):
@@ -115,3 +153,88 @@ class SanitizerError(ReproError):
     by :func:`repro.bdd.sanitize.assert_no_leaks` when a scope exits while
     still holding external BDD references it did not hold on entry.
     """
+
+
+class BudgetExceededError(ModelCheckingError):
+    """A run overshot a :class:`repro.runtime.limits.ResourceBudget` ceiling.
+
+    Raised from a cooperative checkpoint inside an engine hot loop (or by
+    the portfolio supervisor when a whole race times out).  Structured so
+    callers can tell *which* ceiling fell:
+
+    ``resource``
+        One of ``"deadline"``, ``"memory"``, ``"bdd_nodes"``,
+        ``"sat_conflicts"``.
+    ``limit`` / ``observed``
+        The configured ceiling and the value that crossed it (seconds for
+        the deadline, bytes for memory, counts otherwise).
+    ``site``
+        The checkpoint site that noticed (e.g. ``"sat.conflicts"``), or the
+        supervisor's description of the race.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str = "deadline",
+        limit: float | None = None,
+        observed: float | None = None,
+        site: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.observed = observed
+        self.site = site
+
+
+class CancelledError(ReproError):
+    """A run was cooperatively cancelled at an engine checkpoint.
+
+    Raised inside a worker when its cancellation token is set — e.g. a
+    portfolio race already has a conclusive verdict and the losers are asked
+    to stand down.  ``site`` names the checkpoint that observed the request.
+    """
+
+    def __init__(self, message: str, *, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class EngineCrashError(ModelCheckingError):
+    """Every worker of a portfolio race died without a conclusive verdict.
+
+    Carries the per-engine post-mortem in ``outcomes`` — a mapping from
+    engine name to a short diagnostic string (``"crashed (signal 9)"``,
+    ``"hung (no heartbeat for 5.0s)"``, ``"MemoryError: ..."``) — so the
+    failure is actionable rather than a silent hang.
+    """
+
+    def __init__(self, message: str, outcomes: dict | None = None) -> None:
+        super().__init__(message)
+        self.outcomes = dict(outcomes or {})
+
+
+class EngineDisagreementError(ModelCheckingError):
+    """Two engines returned different verdicts for the same property.
+
+    Raised by :func:`repro.mc.oracle.crosscheck_ctl_engines` when any two
+    satisfaction-set engines differ, and by the portfolio engine when a
+    cancelled loser already delivered a verdict conflicting with the
+    winner's.  A disagreement is always a bug in at least one engine, so
+    the payload names everything needed to reproduce it:
+
+    ``formula``
+        The offending property.
+    ``verdicts``
+        Mapping from engine name to that engine's verdict (a bool for the
+        portfolio, a sorted state list for satisfaction-set crosschecks).
+    """
+
+    def __init__(
+        self, message: str, *, formula=None, verdicts: dict | None = None
+    ) -> None:
+        super().__init__(message)
+        self.formula = formula
+        self.verdicts = dict(verdicts or {})

@@ -41,6 +41,7 @@ from repro.mc.fairness import FairnessConstraint, normalize_fairness
 from repro.mc.scc import fair_components
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _obs_span
+from repro.runtime.limits import checkpoint as _checkpoint
 from repro.logic.ast import (
     And,
     Atom,
@@ -83,14 +84,18 @@ _ATOMIC = (TrueLiteral, FalseLiteral, Atom, IndexedAtom, ExactlyOne)
 #: SAT-based engines decide the invariant fragment only: ``"bmc"``
 #: (:mod:`repro.mc.bmc`) by bounded falsification + k-induction, ``"ic3"``
 #: (:mod:`repro.mc.ic3`) by unbounded property-directed reachability with
-#: re-verified invariant certificates.
-ENGINE_NAMES = ("bitset", "naive", "bdd", "bmc", "ic3")
+#: re-verified invariant certificates.  ``"portfolio"``
+#: (:mod:`repro.runtime.portfolio`) is the meta-engine racing the others in
+#: supervised worker processes and keeping the first conclusive verdict.
+ENGINE_NAMES = ("bitset", "naive", "bdd", "bmc", "ic3", "portfolio")
 
 #: The engines computing full CTL *satisfaction sets* — the differential-
 #: testing set replayed by :func:`repro.mc.oracle.crosscheck_ctl_engines`.
-#: ``"bmc"`` and ``"ic3"`` are deliberately excluded: they produce single
-#: verdicts, not sets.
-CTL_ENGINES = tuple(name for name in ENGINE_NAMES if name not in ("bmc", "ic3"))
+#: ``"bmc"``, ``"ic3"`` and ``"portfolio"`` are deliberately excluded: they
+#: produce single verdicts, not sets.
+CTL_ENGINES = tuple(
+    name for name in ENGINE_NAMES if name not in ("bmc", "ic3", "portfolio")
+)
 
 
 class BitsetCTLModelChecker:
@@ -338,6 +343,8 @@ class BitsetCTLModelChecker:
             while frontier:
                 index = frontier.pop()
                 pops += 1
+                if not pops & 255:
+                    _checkpoint("bitset.worklist")
                 for pred in predecessors_of(index):
                     bit = 1 << pred
                     if not satisfied & bit and left & bit:
@@ -371,6 +378,8 @@ class BitsetCTLModelChecker:
             while doomed:
                 index = doomed.pop()
                 pops += 1
+                if not pops & 255:
+                    _checkpoint("bitset.worklist")
                 current &= ~(1 << index)
                 for pred in predecessors_of(index):
                     remaining = counts.get(pred)
@@ -485,9 +494,12 @@ def make_ctl_checker(
     fragment by bounded falsification and k-induction (``bound`` caps its
     unrolling depth); ``"ic3"`` returns the unbounded SAT-based prover
     :class:`repro.mc.ic3.IC3ModelChecker` (``bound`` caps its *frame count*
-    — a divergence safety net, not a proof parameter).  ``bound`` is ignored
-    by the fixpoint engines.  See ``docs/ENGINES.md`` for a
-    when-to-use-which guide.
+    — a divergence safety net, not a proof parameter); ``"portfolio"``
+    returns :class:`repro.runtime.portfolio.PortfolioModelChecker`, racing
+    the other engines in supervised worker processes and keeping the first
+    conclusive verdict (``bound`` is forwarded to its SAT workers).
+    ``bound`` is ignored by the fixpoint engines.  See ``docs/ENGINES.md``
+    for a when-to-use-which guide.
 
     With ``fairness`` (a :class:`repro.mc.fairness.FairnessConstraint`) the
     returned checker decides the fairness-constrained CTL semantics: path
@@ -535,6 +547,17 @@ def make_ctl_checker(
             max_frames=DEFAULT_MAX_FRAMES if bound is None else bound,
             validate_structure=validate_structure,
             fairness=fairness,
+        )
+    if engine == "portfolio":
+        from repro.runtime.portfolio import PortfolioModelChecker
+
+        if isinstance(structure, CompiledKripkeStructure):
+            structure = structure.source
+        return PortfolioModelChecker(
+            structure,
+            bound=bound,
+            fairness=fairness,
+            validate_structure=validate_structure,
         )
     raise ModelCheckingError(
         "unknown engine %r; expected one of %s" % (engine, ", ".join(ENGINE_NAMES))

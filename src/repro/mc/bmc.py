@@ -93,6 +93,7 @@ from repro.mc.fairness import FairnessConstraint, normalize_fairness
 from repro.obs import metrics as _metrics
 from repro.obs.progress import heartbeat as _heartbeat
 from repro.obs.trace import span as _obs_span
+from repro.runtime.limits import checkpoint as _checkpoint
 from repro.sat.cnf import tseitin_bdd
 from repro.sat.solver import Solver, SolverStats
 
@@ -470,7 +471,9 @@ class BoundedModelChecker:
                     return False
                 raise InconclusiveError(
                     "no lasso violating AF within bound %d; BMC cannot prove "
-                    "liveness — use a fixpoint engine" % self._bound
+                    "liveness — use a fixpoint engine" % self._bound,
+                    depth_reached=self._bound,
+                    conflicts_spent=self._conflicts_spent(),
                 )
         if isinstance(formula, Exists):
             path = formula.path
@@ -487,7 +490,9 @@ class BoundedModelChecker:
                     return True
                 raise InconclusiveError(
                     "no EG lasso witness within bound %d; BMC cannot refute "
-                    "EG — use a fixpoint engine" % self._bound
+                    "EG — use a fixpoint engine" % self._bound,
+                    depth_reached=self._bound,
+                    conflicts_spent=self._conflicts_spent(),
                 )
         if self._is_propositional(formula):
             node = self._propositional_node(formula)
@@ -522,6 +527,10 @@ class BoundedModelChecker:
         falsifier = self._falsifier_unroller()
         for depth in range(self._bound + 1):
             with _obs_span("bmc.depth", k=depth) as sp:
+                _checkpoint(
+                    "bmc.depth",
+                    sat_conflicts=falsifier.solver.stats.conflicts,
+                )
                 _heartbeat(
                     "bmc",
                     k=depth,
@@ -541,7 +550,9 @@ class BoundedModelChecker:
                 sp.set(outcome="deepen")
         raise InconclusiveError(
             "invariant neither violated within depth %d nor provable by "
-            "%d-induction; raise the bound" % (self._bound, self._bound + 1)
+            "%d-induction; raise the bound" % (self._bound, self._bound + 1),
+            depth_reached=self._bound,
+            conflicts_spent=self._conflicts_spent(),
         )
 
     # -- SAT queries -----------------------------------------------------------
@@ -552,11 +563,23 @@ class BoundedModelChecker:
             self._falsifier.assert_initial()
         return self._falsifier
 
+    def _conflicts_spent(self) -> int:
+        total = 0
+        if self._falsifier is not None:
+            total += self._falsifier.solver.stats.conflicts
+        for unroller in self._inductors.values():
+            total += unroller.solver.stats.conflicts
+        return total
+
     def _falsify(self, bad_node: int, bound: int) -> Optional[List[State]]:
         bad_fn = self._symbolic.function(bad_node)
         falsifier = self._falsifier_unroller()
         for depth in range(bound + 1):
             with _obs_span("bmc.depth", k=depth, mode="falsify"):
+                _checkpoint(
+                    "bmc.depth",
+                    sat_conflicts=falsifier.solver.stats.conflicts,
+                )
                 _heartbeat("bmc", k=depth, mode="falsify")
                 falsifier.extend(depth)
                 if falsifier.solver.solve([falsifier.literal(bad_fn.node, depth)]):
@@ -611,6 +634,10 @@ class BoundedModelChecker:
         falsifier = self._falsifier_unroller()
         assumptions: List[int] = []
         for length in range(1, bound + 1):
+            _checkpoint(
+                "bmc.lasso",
+                sat_conflicts=falsifier.solver.stats.conflicts,
+            )
             falsifier.extend(length)
             assumptions.append(falsifier.literal(constraint_fn.node, length - 1))
             selector = falsifier.loop_selector(length)

@@ -81,6 +81,7 @@ from repro.mc.fairness import FairnessConstraint, normalize_fairness
 from repro.obs import metrics as _metrics
 from repro.obs.progress import heartbeat as _heartbeat
 from repro.obs.trace import span as _obs_span
+from repro.runtime.limits import checkpoint as _checkpoint
 from repro.sat.cnf import CNF, tseitin_bdd
 from repro.sat.solver import Solver, SolverStats
 
@@ -470,6 +471,7 @@ class _IC3Run:
                 return False, [state]
             while True:
                 counters = self.counters
+                _checkpoint("ic3.frame")
                 _heartbeat(
                     "ic3",
                     frames=self.top,
@@ -483,7 +485,11 @@ class _IC3Run:
                 if self.top >= max_frames:
                     raise InconclusiveError(
                         "IC3 exceeded the frame ceiling (%d) without converging; "
-                        "raise max_frames" % max_frames
+                        "raise max_frames" % max_frames,
+                        frames_opened=self.top,
+                        conflicts_spent=sum(
+                            solver.stats.conflicts for solver in self.solvers
+                        ),
                     )
                 self._open_frame()
                 invariant_cubes = self._propagate()
@@ -525,6 +531,7 @@ class _IC3Run:
         self._push_obligation(queue, root)
         while queue:
             level, _, obligation = heapq.heappop(queue)
+            _checkpoint("ic3.obligation")
             cube = obligation.cube
             with _obs_span(
                 "ic3.obligation", level=level, cube_size=len(cube)

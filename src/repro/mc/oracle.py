@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.errors import ModelCheckingError
+from repro.errors import EngineDisagreementError, ModelCheckingError
 from repro.kripke.compiled import compile_structure
 from repro.kripke.paths import Lasso, enumerate_lassos
 from repro.kripke.structure import KripkeStructure, State
@@ -201,9 +201,11 @@ def crosscheck_ctl_engines(
     Replays the formula through all of :data:`repro.mc.bitset.CTL_ENGINES` —
     the compiled bitset engine, the naive frozenset oracle, and the symbolic
     BDD engine — and insists on identical satisfaction sets.  Returns the
-    common satisfaction set; raises :class:`ModelCheckingError` when any two
-    engines disagree (listing the states on which they differ, which is what
-    the property-based tests report).
+    common satisfaction set; raises
+    :class:`~repro.errors.EngineDisagreementError` when any two engines
+    disagree, carrying the formula and each engine's satisfaction set so the
+    property-based tests (and the parallel portfolio's late-loser audit) can
+    report exactly which states differ.
 
     With ``fairness`` (a :class:`repro.mc.fairness.FairnessConstraint`) every
     engine decides the fairness-constrained semantics, which differentially
@@ -229,7 +231,7 @@ def crosscheck_ctl_engines(
         if reference is None:
             reference, reference_engine = result, engine
         elif result != reference:
-            raise ModelCheckingError(
+            raise EngineDisagreementError(
                 "engines %r and %r disagree on %s: only-%s=%r, only-%s=%r"
                 % (
                     reference_engine,
@@ -239,6 +241,11 @@ def crosscheck_ctl_engines(
                     sorted(reference - result, key=repr),
                     engine,
                     sorted(result - reference, key=repr),
-                )
+                ),
+                formula=formula,
+                verdicts={
+                    reference_engine: sorted(reference, key=repr),
+                    engine: sorted(result, key=repr),
+                },
             )
     return reference

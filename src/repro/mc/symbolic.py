@@ -61,6 +61,7 @@ from repro.obs import metrics as _metrics
 from repro.obs.progress import heartbeat as _heartbeat
 from repro.obs.trace import is_enabled as _tracing
 from repro.obs.trace import span as _span
+from repro.runtime.limits import checkpoint as _checkpoint
 from repro.logic.ast import (
     And,
     Atom,
@@ -351,6 +352,7 @@ class SymbolicCTLModelChecker:
             rounds = 0
             while not frontier.is_false:
                 rounds += 1
+                _checkpoint("bdd.fixpoint")
                 if trace_on:
                     frontier_nodes.append(symbolic.manager.node_count(frontier.node))
                 reached = left & symbolic.preimage_fn(frontier)
@@ -381,6 +383,7 @@ class SymbolicCTLModelChecker:
             rounds = 0
             while True:
                 rounds += 1
+                _checkpoint("bdd.fixpoint")
                 if trace_on:
                     sp.set(rounds=rounds, nodes=symbolic.manager.node_count(current.node))
                 refined = current & symbolic.preimage_fn(current)
@@ -470,6 +473,7 @@ class SymbolicCTLModelChecker:
             result = None
             while result is None:
                 rounds += 1
+                _checkpoint("bdd.fixpoint")
                 _heartbeat("bdd", fixpoint="fair_eg", round=rounds)
                 refined = current
                 for condition in condition_fns:

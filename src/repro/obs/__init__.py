@@ -1,8 +1,9 @@
 """Unified observability layer: span tracing, metrics, sinks, progress.
 
 The ``repro.obs`` package is the one instrumentation substrate shared by
-all five engines (``bitset``, ``naive``, ``bdd``, ``bmc``, ``ic3``), the
-kripke/bdd/sat cores, the CLI, and the benchmark suite:
+all six engines (``bitset``, ``naive``, ``bdd``, ``bmc``, ``ic3``,
+``portfolio``), the kripke/bdd/sat cores, the worker runtime
+(``repro.runtime``), the CLI, and the benchmark suite:
 
 ``repro.obs.trace``
     Nested span tracing on the monotonic nanosecond clock
@@ -67,6 +68,7 @@ from repro.obs.trace import (
     event,
     get_tracer,
     is_enabled,
+    monotonic_ns,
     recording,
     span,
 )
@@ -81,6 +83,7 @@ __all__ = [
     "event",
     "get_tracer",
     "is_enabled",
+    "monotonic_ns",
     "recording",
     "span",
     # metrics

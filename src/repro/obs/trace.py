@@ -44,8 +44,21 @@ __all__ = [
     "is_enabled",
     "get_tracer",
     "current_span",
+    "monotonic_ns",
     "recording",
 ]
+
+
+def monotonic_ns() -> int:
+    """The obs-sanctioned monotonic clock read (:func:`time.perf_counter_ns`).
+
+    The rest of the library is forbidden from reading wall clocks directly
+    (lint rule R002 — see ``docs/CORRECTNESS.md``); code outside ``obs/``
+    that needs a deadline or rate limit (the runtime's resource budgets,
+    the worker supervisor) goes through this one function so every timing
+    source in the process is the same monotonic clock the spans use.
+    """
+    return time.perf_counter_ns()
 
 #: The currently open span (or ``None`` at top level).  A ContextVar so
 #: that nesting survives generators/coroutines, not just call stacks.

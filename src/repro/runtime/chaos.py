@@ -1,0 +1,249 @@
+"""Deterministic, seeded fault injection for the worker runtime.
+
+The supervisor's recovery guarantees (restart on crash, hang detection,
+graceful portfolio degradation) are only worth having if they are
+*exercised*, the same way PR 8's sanitizers exercise the engine
+invariants.  This module injects four fault kinds into worker processes
+at the cooperative checkpoints declared in :mod:`repro.runtime.limits`:
+
+``kill``
+    The worker sends itself ``SIGKILL`` mid-solve — an abrupt crash the
+    supervisor must notice via the exit code and restart with backoff.
+``hang``
+    The worker stops making progress (a long sleep at a checkpoint) —
+    heartbeats cease and the supervisor's hang detector must fire.
+``oom``
+    The worker allocates until ``MemoryError`` — exercising the
+    ``RLIMIT_AS`` ceiling and the structured out-of-memory failure path.
+``garble``
+    The worker's result payload is corrupted after its integrity digest
+    was computed — the supervisor must detect the mismatch and discard
+    the answer rather than report a wrong verdict.
+
+Faults are **deterministic given a seed**: each worker attempt derives
+its own :class:`random.Random` from ``(seed, scope)`` where ``scope``
+identifies the task and attempt number, then decides up front which
+fault (if any) fires and at which checkpoint count.  Re-running the same
+schedule reproduces the same failure, which is what makes the chaos
+property tests (``tests/unit/test_runtime_chaos.py``) debuggable.
+
+Configuration comes from the environment —
+
+.. code-block:: shell
+
+    REPRO_CHAOS="kill:0.2,hang:0.1,oom:0.1,garble:0.05" REPRO_CHAOS_SEED=7 \
+        repro-mc --engine portfolio --system mutex --size 4
+
+— or programmatically via :func:`enable` / :class:`ChaosConfig`.  The
+knobs are documented in ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time  # only time.sleep (hang injection); no clock reads (lint R002)
+from typing import Dict, Optional
+
+from repro.runtime import limits as _limits
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosConfig",
+    "ChaosInjector",
+    "enable",
+    "disable",
+    "current_injector",
+    "from_env",
+]
+
+#: The recognised fault kinds, in the order probabilities are evaluated.
+FAULT_KINDS = ("kill", "hang", "oom", "garble")
+
+#: How long an injected hang sleeps, in seconds.  Far beyond any sane
+#: supervisor hang timeout; bounded so an un-supervised test process
+#: still terminates eventually.
+HANG_SECONDS = 600.0
+
+#: Checkpoint window within which a triggered fault fires: the injector
+#: picks a trigger point uniformly from ``[1, TRIGGER_WINDOW]`` so faults
+#: land at different depths of the solve, not always on the first step.
+TRIGGER_WINDOW = 64
+
+
+class ChaosConfig:
+    """Per-fault-kind probabilities plus the deterministic seed."""
+
+    __slots__ = ("rates", "seed")
+
+    def __init__(self, rates: Optional[Dict[str, float]] = None, seed: int = 0) -> None:
+        self.rates = {kind: 0.0 for kind in FAULT_KINDS}
+        for kind, rate in (rates or {}).items():
+            if kind not in self.rates:
+                raise ValueError(
+                    "unknown chaos fault kind %r (expected one of %s)"
+                    % (kind, ", ".join(FAULT_KINDS))
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("chaos rate for %r must be in [0, 1]; got %r" % (kind, rate))
+            self.rates[kind] = rate
+        self.seed = seed
+
+    def is_enabled(self) -> bool:
+        """Whether any fault kind has a non-zero probability."""
+        return any(rate > 0.0 for rate in self.rates.values())
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "ChaosConfig":
+        """Parse a ``"kill:0.2,hang:0.1,oom:0.1,garble:0.05"`` spec string.
+
+        An empty spec yields a disabled config (all rates zero); malformed
+        entries raise :class:`ValueError` with the offending fragment.
+        """
+        rates: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, sep, rate_text = part.partition(":")
+            if not sep:
+                raise ValueError(
+                    "malformed chaos spec entry %r (expected 'kind:rate')" % part
+                )
+            try:
+                rate = float(rate_text)
+            except ValueError:
+                raise ValueError(
+                    "malformed chaos rate %r in entry %r" % (rate_text, part)
+                ) from None
+            rates[kind.strip()] = rate
+        return cls(rates, seed=seed)
+
+    def as_spec(self) -> str:
+        """The inverse of :meth:`parse` (only non-zero rates)."""
+        return ",".join(
+            "%s:%g" % (kind, self.rates[kind])
+            for kind in FAULT_KINDS
+            if self.rates[kind] > 0.0
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ChaosConfig(%r, seed=%d)" % (self.as_spec(), self.seed)
+
+
+def from_env(environ=None) -> Optional[ChaosConfig]:
+    """Build a config from ``REPRO_CHAOS`` / ``REPRO_CHAOS_SEED``.
+
+    Returns ``None`` when ``REPRO_CHAOS`` is unset or empty — the
+    distinction between "no env config" and "explicitly disabled config"
+    matters to the supervisor (a task's explicit empty config overrides
+    the environment).
+    """
+    environ = os.environ if environ is None else environ
+    spec = environ.get("REPRO_CHAOS", "").strip()
+    if not spec:
+        return None
+    seed = int(environ.get("REPRO_CHAOS_SEED", "0"))
+    return ChaosConfig.parse(spec, seed=seed)
+
+
+class ChaosInjector:
+    """One attempt's fault schedule, derived deterministically from the seed.
+
+    ``scope`` identifies the attempt (the supervisor uses
+    ``"<task_id>#<attempt>"``), so restarted attempts draw fresh faults —
+    a kill schedule that re-killed every restart would make the backoff
+    loop spin forever at rate 1.0, which is exactly what the
+    never-wrong/never-deadlock property test wants to be possible, while
+    typical rates let a restart succeed.
+    """
+
+    def __init__(self, config: ChaosConfig, scope: str = "") -> None:
+        self.config = config
+        self.scope = scope
+        rng = random.Random("%s|%s" % (config.seed, scope))
+        self.fault: Optional[str] = None
+        self.trigger_at = 0
+        for kind in FAULT_KINDS:
+            if rng.random() < config.rates[kind]:
+                self.fault = kind
+                self.trigger_at = rng.randint(1, TRIGGER_WINDOW)
+                break
+        self.checkpoints_seen = 0
+        self.fired: Optional[str] = None
+
+    # -- checkpoint hook ---------------------------------------------------
+    def __call__(self, site: str) -> None:
+        """The hook :mod:`repro.runtime.limits` invokes at every checkpoint."""
+        if self.fault is None or self.fired is not None:
+            return
+        self.checkpoints_seen += 1
+        if self.checkpoints_seen < self.trigger_at:
+            return
+        if self.fault == "garble":
+            # Garbling happens to the result payload, not at a checkpoint;
+            # mark it armed so garble_payload() (called by the worker's
+            # send path) knows to corrupt the bytes.
+            self.fired = "garble"
+            return
+        self.fired = self.fault
+        if self.fault == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.fault == "hang":
+            time.sleep(HANG_SECONDS)
+        elif self.fault == "oom":
+            hog = []
+            while True:  # terminated by MemoryError under RLIMIT_AS
+                hog.append(bytearray(16 * 1024 * 1024))
+
+    # -- payload corruption ------------------------------------------------
+    def should_garble(self) -> bool:
+        """Whether the armed garble fault should corrupt this payload."""
+        if self.fault != "garble":
+            return False
+        # A garble armed but never reached by a checkpoint still corrupts
+        # the payload: short solves must not dodge the fault entirely.
+        self.fired = "garble"
+        return True
+
+    def garble_payload(self, payload: bytes) -> bytes:
+        """Flip one byte of ``payload`` (position chosen from the seed).
+
+        Called by the worker *after* the integrity digest was computed over
+        the true payload, so the supervisor sees a digest mismatch and
+        discards the result — corruption must surface as a detected fault,
+        never as a silently wrong verdict.
+        """
+        if not payload:
+            return payload
+        rng = random.Random("%s|%s|garble" % (self.config.seed, self.scope))
+        index = rng.randrange(len(payload))
+        corrupted = bytearray(payload)
+        corrupted[index] ^= 0xFF
+        return bytes(corrupted)
+
+
+#: The installed injector, or ``None`` while chaos is off.
+_injector: Optional[ChaosInjector] = None
+
+
+def enable(config: ChaosConfig, scope: str = "") -> ChaosInjector:
+    """Install an injector for ``config`` and hook it into the checkpoints."""
+    global _injector
+    _injector = ChaosInjector(config, scope=scope)
+    _limits.set_chaos_hook(_injector)
+    return _injector
+
+
+def disable() -> Optional[ChaosInjector]:
+    """Uninstall the injector (if any) and return it."""
+    global _injector
+    injector, _injector = _injector, None
+    _limits.set_chaos_hook(None)
+    return injector
+
+
+def current_injector() -> Optional[ChaosInjector]:
+    """The installed injector, or ``None``."""
+    return _injector

@@ -1,0 +1,622 @@
+"""Supervised ``multiprocessing`` worker pool with crash/hang recovery.
+
+The :class:`Supervisor` runs :class:`WorkerTask`\\ s in child processes and
+watches them the way the paper's networks of processes must watch their
+peers: it assumes workers *will* die mid-solve, wedge without making
+progress, run out of memory, or return corrupted payloads, and turns each
+of those into a structured, observable outcome instead of a hang or a
+wrong answer.
+
+Detection machinery, per worker:
+
+``crash``
+    The process exited without delivering a result; the exit code (or
+    ``-signal``) is recorded.  Detected by polling ``Process.is_alive``.
+``hang``
+    The process is alive but its heartbeats stopped.  Workers pipe every
+    progress heartbeat (:mod:`repro.obs.progress`, pumped by the
+    checkpoints in :mod:`repro.runtime.limits`) back over their result
+    connection; silence beyond ``hang_timeout`` seconds gets the worker
+    killed and counted as hung.
+``garble``
+    The result payload's SHA-256 digest does not match the digest the
+    worker computed over the true payload before sending — the result is
+    discarded, never deserialised.  (This is the detection path the chaos
+    harness's ``garble`` fault exercises.)
+``oom`` / structured failures
+    The worker caught ``MemoryError`` (the ``RLIMIT_AS`` ceiling) or a
+    structured library error (:class:`~repro.errors.InconclusiveError`,
+    :class:`~repro.errors.BudgetExceededError`, ...) and reported it as a
+    typed failure message rather than dying.
+
+Crashed / hung / garbled / out-of-memory workers are restarted with
+capped exponential backoff, up to ``max_restarts`` times per task; each
+attempt re-derives its own chaos schedule, so an injected crash does not
+doom every retry.  The caller can stop the pool early (``stop_when`` —
+how a portfolio race returns as soon as one engine is conclusive) and
+cancel stragglers cooperatively with a grace window before escalating to
+``SIGTERM``/``SIGKILL``.  Every supervisor registers itself so
+:func:`shutdown_all` (the CLI's Ctrl-C path) can guarantee no orphaned
+worker processes outlive the run.
+
+Supervision events are published as ``worker.*`` counters in the global
+metrics registry (vocabulary in ``docs/OBSERVABILITY.md``); the state
+machine is documented in ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import time  # only time.sleep (poll loop); no clock reads (lint R002)
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    BudgetExceededError,
+    CancelledError,
+    FragmentError,
+    InconclusiveError,
+    ReproError,
+)
+from repro.obs.metrics import counter as _counter
+from repro.obs.progress import enable_progress
+from repro.obs.trace import monotonic_ns
+from repro.runtime import chaos as _chaos
+from repro.runtime import limits as _limits
+
+__all__ = [
+    "WorkerTask",
+    "TaskOutcome",
+    "Supervisor",
+    "shutdown_all",
+    "RESTARTABLE_STATUSES",
+]
+
+try:
+    #: Fork keeps worker launch cheap and lets tasks reference module-level
+    #: callables without import gymnastics; fall back to the platform
+    #: default where fork does not exist (Windows).
+    _MP = multiprocessing.get_context("fork")
+except ValueError:  # pragma: no cover - non-POSIX platforms
+    _MP = multiprocessing.get_context()
+
+
+#: Outcome statuses that earn a restart: the failure was environmental
+#: (process death, wedge, corrupted payload, memory exhaustion), not a
+#: deterministic structured verdict from the engine.
+RESTARTABLE_STATUSES = frozenset({"crashed", "hung", "garbled", "oom"})
+
+
+class WorkerTask:
+    """One unit of supervised work: a picklable callable plus its policy.
+
+    ``fn`` must be a module-level callable (pickled by reference under the
+    fork start method).  ``budget`` ceilings are armed inside the worker;
+    ``chaos`` overrides the environment's ``REPRO_CHAOS`` config for this
+    task (pass a disabled ``ChaosConfig()`` to force chaos off even under
+    a chaos environment — the chaos lane's own tests need that).
+    ``label`` tags the task's metrics/outcome provenance (the portfolio
+    uses the engine name).
+    """
+
+    __slots__ = ("id", "fn", "args", "kwargs", "budget", "chaos", "label")
+
+    def __init__(
+        self,
+        id: str,
+        fn: Callable[..., Any],
+        args: Tuple = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        budget: Optional[_limits.ResourceBudget] = None,
+        chaos: Optional[_chaos.ChaosConfig] = None,
+        label: str = "",
+    ) -> None:
+        self.id = id
+        self.fn = fn
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs or {})
+        self.budget = budget
+        self.chaos = chaos
+        self.label = label or id
+
+
+class TaskOutcome:
+    """What finally became of one task, after restarts.
+
+    ``status`` is one of ``"ok"`` (``result`` holds the return value),
+    ``"error"`` (structured failure: ``error_kind``/``message``/``fields``),
+    ``"budget"`` (a :class:`~repro.errors.BudgetExceededError`),
+    ``"fragment"``, ``"inconclusive"``, ``"cancelled"``, ``"oom"``,
+    ``"crashed"``, ``"hung"``, or ``"garbled"``.  ``history`` lists every attempt's fate in order, so a
+    final ``"ok"`` after two chaos kills still shows the crashes.
+    """
+
+    __slots__ = (
+        "task_id",
+        "label",
+        "status",
+        "result",
+        "error_kind",
+        "message",
+        "fields",
+        "attempts",
+        "exitcode",
+        "history",
+        "late",
+    )
+
+    def __init__(self, task_id: str, label: str) -> None:
+        self.task_id = task_id
+        self.label = label
+        self.status = "pending"
+        self.result: Any = None
+        self.error_kind = ""
+        self.message = ""
+        self.fields: Dict[str, Any] = {}
+        self.attempts = 0
+        self.exitcode: Optional[int] = None
+        self.history: List[str] = []
+        #: Whether the final result arrived after cancellation was requested
+        #: (a portfolio loser finishing in the grace window).
+        self.late = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def describe(self) -> str:
+        """One-line diagnostic, e.g. ``"crashed (signal 9) after 3 attempts"``."""
+        if self.status == "ok":
+            text = "ok"
+        elif self.status == "crashed":
+            if self.exitcode is not None and self.exitcode < 0:
+                text = "crashed (signal %d)" % -self.exitcode
+            else:
+                text = "crashed (exit code %r)" % self.exitcode
+        elif self.status == "hung":
+            text = "hung (heartbeats stopped)"
+        elif self.status == "garbled":
+            text = "garbled (payload digest mismatch)"
+        else:
+            text = self.status
+            if self.message:
+                text = "%s: %s" % (text, self.message)
+        if self.attempts > 1:
+            text += " after %d attempts" % self.attempts
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TaskOutcome(%r, %s)" % (self.task_id, self.describe())
+
+
+class _ConnStream:
+    """A write-only text stream that turns progress lines into heartbeats.
+
+    Installed as the worker's progress stream, so every rate-limited
+    ``[progress]`` line an engine (or a budget checkpoint) emits becomes a
+    liveness message on the result pipe instead of stderr noise.
+    """
+
+    __slots__ = ("_conn", "_task_id")
+
+    def __init__(self, conn, task_id: str) -> None:
+        self._conn = conn
+        self._task_id = task_id
+
+    def write(self, text: str) -> int:
+        if text.strip():
+            try:
+                self._conn.send(("heartbeat", self._task_id, text.strip()))
+            except (BrokenPipeError, OSError):
+                pass  # supervisor gone; the worker is about to die anyway
+        return len(text)
+
+    def flush(self) -> None:
+        return None
+
+
+def _worker_main(conn, cancel, task: WorkerTask, attempt: int) -> None:
+    """Worker-process entry point: arm policy, run the task, report once."""
+    if task.budget is not None and task.budget.memory_bytes is not None:
+        _limits.apply_memory_limit(task.budget.memory_bytes)
+    chaos_config = task.chaos if task.chaos is not None else _chaos.from_env()
+    injector = None
+    if chaos_config is not None and chaos_config.is_enabled():
+        injector = _chaos.enable(chaos_config, scope="%s#%d" % (task.id, attempt))
+    # Heartbeats flow through the result pipe; the interval is the floor of
+    # the supervisor's hang-detection resolution.
+    enable_progress(interval=0.05, stream=_ConnStream(conn, task.id))
+    budget = task.budget if task.budget is not None else _limits.ResourceBudget()
+    try:
+        conn.send(("started", task.id, attempt))
+        with _limits.active(budget, cancel=cancel):
+            result = task.fn(*task.args, **task.kwargs)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        if injector is not None and injector.should_garble():
+            payload = injector.garble_payload(payload)
+        conn.send(("result", task.id, payload, digest))
+    except BudgetExceededError as exc:
+        _send_failure(
+            conn,
+            task.id,
+            "BudgetExceededError",
+            str(exc),
+            {
+                "resource": exc.resource,
+                "limit": exc.limit,
+                "observed": exc.observed,
+                "site": exc.site,
+            },
+        )
+    except CancelledError as exc:
+        _send_failure(conn, task.id, "CancelledError", str(exc), {"site": exc.site})
+    except InconclusiveError as exc:
+        _send_failure(conn, task.id, "InconclusiveError", str(exc), exc.progress())
+    except FragmentError as exc:
+        _send_failure(conn, task.id, "FragmentError", str(exc), {})
+    except MemoryError as exc:
+        _send_failure(conn, task.id, "MemoryError", str(exc), {})
+    except ReproError as exc:
+        _send_failure(conn, task.id, type(exc).__name__, str(exc), {})
+    finally:
+        # Anything else (a genuine bug) propagates and the non-zero exit
+        # code surfaces as a crash in the supervisor.
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+def _send_failure(conn, task_id: str, kind: str, message: str, fields: Dict[str, Any]) -> None:
+    try:
+        conn.send(("fail", task_id, kind, message, fields))
+    except (BrokenPipeError, OSError):  # pragma: no cover - supervisor gone
+        pass
+
+
+#: Failure kinds that map to non-"error" outcome statuses.
+_FAIL_STATUS = {
+    "BudgetExceededError": "budget",
+    "CancelledError": "cancelled",
+    "MemoryError": "oom",
+    "FragmentError": "fragment",
+    "InconclusiveError": "inconclusive",
+}
+
+
+class _WorkerState:
+    """Supervisor-side bookkeeping for one task's current attempt."""
+
+    __slots__ = ("task", "process", "conn", "cancel", "attempt", "last_seen_ns", "retry_at_ns")
+
+    def __init__(self, task: WorkerTask) -> None:
+        self.task = task
+        self.process = None
+        self.conn = None
+        self.cancel = None
+        self.attempt = 0
+        self.last_seen_ns = 0
+        self.retry_at_ns: Optional[int] = None  # set while waiting out backoff
+
+
+#: Every live supervisor, for shutdown_all() on Ctrl-C.
+_LIVE_SUPERVISORS: "weakref.WeakSet[Supervisor]" = weakref.WeakSet()
+
+
+def shutdown_all() -> int:
+    """Tear down every live supervisor's workers (the CLI interrupt path).
+
+    Returns the number of supervisors shut down.  Idempotent and safe to
+    call from a ``KeyboardInterrupt`` handler.
+    """
+    count = 0
+    for supervisor in list(_LIVE_SUPERVISORS):
+        supervisor.shutdown()
+        count += 1
+    return count
+
+
+class Supervisor:
+    """Runs tasks in worker processes; detects, restarts, never hangs.
+
+    ``hang_timeout``
+        Seconds of heartbeat silence before a live worker is declared hung
+        and killed.
+    ``max_restarts``
+        Restarts per task (on top of the first attempt) for
+        :data:`RESTARTABLE_STATUSES` failures.
+    ``backoff_base`` / ``backoff_cap``
+        Restart ``n`` waits ``min(backoff_base * 2**(n-1), backoff_cap)``
+        seconds before relaunching.
+    ``grace``
+        Seconds cooperatively-cancelled workers get to deliver a late
+        result (how a portfolio race catches a loser that disagrees)
+        before ``SIGTERM``/``SIGKILL``.
+    """
+
+    def __init__(
+        self,
+        hang_timeout: float = 5.0,
+        max_restarts: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        grace: float = 0.25,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.hang_timeout = hang_timeout
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.grace = grace
+        self.poll_interval = poll_interval
+        self.outcomes: Dict[str, TaskOutcome] = {}
+        self._states: Dict[str, _WorkerState] = {}
+        self._cancelling = False
+        _LIVE_SUPERVISORS.add(self)
+
+    # -- lifecycle ---------------------------------------------------------
+    def _launch(self, state: _WorkerState) -> None:
+        state.attempt += 1
+        state.retry_at_ns = None
+        parent_conn, child_conn = _MP.Pipe(duplex=False)
+        cancel = _MP.Event()
+        process = _MP.Process(
+            target=_worker_main,
+            args=(child_conn, cancel, state.task, state.attempt),
+            name="repro-worker-%s" % state.task.id,
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        state.process = process
+        state.conn = parent_conn
+        state.cancel = cancel
+        state.last_seen_ns = monotonic_ns()
+        outcome = self.outcomes[state.task.id]
+        outcome.attempts = state.attempt
+        if state.attempt == 1:
+            _counter("worker.launched", task=state.task.label).inc()
+        else:
+            _counter("worker.restarts", task=state.task.label).inc()
+
+    def _reap(self, state: _WorkerState) -> None:
+        """Close the connection and join the (already dead) process."""
+        if state.conn is not None:
+            try:
+                state.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            state.conn = None
+        if state.process is not None:
+            state.process.join(timeout=1.0)
+            state.process = None
+
+    def _record_attempt_failure(self, state: _WorkerState, status: str, **extra: Any) -> bool:
+        """Record a failed attempt; returns whether a restart was scheduled."""
+        task = state.task
+        outcome = self.outcomes[task.id]
+        outcome.history.append(status)
+        if status == "crashed":
+            _counter("worker.crashes", task=task.label).inc()
+        elif status == "hung":
+            _counter("worker.hangs", task=task.label).inc()
+        elif status == "garbled":
+            _counter("worker.garbled", task=task.label).inc()
+        elif status == "oom":
+            _counter("worker.oom", task=task.label).inc()
+        self._reap(state)
+        if (
+            status in RESTARTABLE_STATUSES
+            and state.attempt <= self.max_restarts
+            and not self._cancelling
+        ):
+            backoff = min(
+                self.backoff_base * (2 ** (state.attempt - 1)), self.backoff_cap
+            )
+            state.retry_at_ns = monotonic_ns() + int(backoff * 1e9)
+            return True
+        outcome.status = status
+        for key, value in extra.items():
+            setattr(outcome, key, value)
+        return False
+
+    # -- message handling --------------------------------------------------
+    def _handle_message(self, state: _WorkerState, message: Tuple) -> None:
+        kind = message[0]
+        outcome = self.outcomes[state.task.id]
+        if kind in ("started", "heartbeat"):
+            return
+        if kind == "result":
+            _, _, payload, digest = message
+            if hashlib.sha256(payload).hexdigest() != digest:
+                # Corrupted payload: discard without deserialising; the
+                # attempt is treated like a crash (restartable).
+                self._record_attempt_failure(state, "garbled")
+                return
+            outcome.status = "ok"
+            outcome.result = pickle.loads(payload)
+            outcome.history.append("ok")
+            outcome.late = self._cancelling
+            self._reap(state)
+            return
+        if kind == "fail":
+            _, _, error_kind, text, fields = message
+            status = _FAIL_STATUS.get(error_kind, "error")
+            if status in RESTARTABLE_STATUSES:
+                if self._record_attempt_failure(
+                    state, status, error_kind=error_kind, message=text, fields=dict(fields)
+                ):
+                    return
+            else:
+                outcome.status = status
+                outcome.history.append(status)
+            outcome.error_kind = error_kind
+            outcome.message = text
+            outcome.fields = dict(fields)
+            self._reap(state)
+
+    def _drain(self, state: _WorkerState) -> bool:
+        """Pump all pending messages from one worker; returns liveness."""
+        saw_message = False
+        conn = state.conn
+        while conn is not None and state.conn is not None:
+            try:
+                if not conn.poll(0):
+                    break
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # worker side closed; exit status decides the fate
+            saw_message = True
+            state.last_seen_ns = monotonic_ns()
+            self._handle_message(state, message)
+        return saw_message
+
+    # -- the supervision loop ----------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[WorkerTask],
+        stop_when: Optional[Callable[[Dict[str, TaskOutcome]], bool]] = None,
+    ) -> Dict[str, TaskOutcome]:
+        """Supervise ``tasks`` to completion (or early ``stop_when`` exit).
+
+        Always returns with every worker process dead and reaped — the
+        all-paths-terminate guarantee the chaos property tests pin down.
+        """
+        seen_ids = set()
+        for task in tasks:
+            if task.id in seen_ids:
+                raise ValueError("duplicate task id %r" % task.id)
+            seen_ids.add(task.id)
+            self.outcomes[task.id] = TaskOutcome(task.id, task.label)
+            self._states[task.id] = _WorkerState(task)
+        try:
+            for state in self._states.values():
+                self._launch(state)
+            while True:
+                progressed = self._poll_once()
+                if stop_when is not None and stop_when(self.outcomes):
+                    # Early exit: stand the stragglers down cooperatively
+                    # (with the grace window, so a loser that already
+                    # finished can still deliver a disagreeing verdict).
+                    self.cancel_stragglers()
+                    break
+                if not any(self._is_open(s) for s in self._states.values()):
+                    break
+                if not progressed:
+                    time.sleep(self.poll_interval)
+        finally:
+            self.shutdown()
+        return self.outcomes
+
+    def _is_open(self, state: _WorkerState) -> bool:
+        return state.process is not None or state.retry_at_ns is not None
+
+    def _poll_once(self) -> bool:
+        progressed = False
+        now = monotonic_ns()
+        hang_ns = int(self.hang_timeout * 1e9)
+        for state in self._states.values():
+            if state.process is None:
+                if state.retry_at_ns is not None and now >= state.retry_at_ns:
+                    self._launch(state)
+                    progressed = True
+                continue
+            if self._drain(state):
+                progressed = True
+            if state.process is None:
+                continue  # a drained message finished the task
+            if not state.process.is_alive():
+                # Final drain: the worker may have sent its result and died
+                # before we read it.
+                self._drain(state)
+                if state.process is None:
+                    progressed = True
+                    continue
+                exitcode = state.process.exitcode
+                self._record_attempt_failure(state, "crashed", exitcode=exitcode)
+                progressed = True
+            elif monotonic_ns() - state.last_seen_ns > hang_ns:
+                self._kill(state)
+                self._record_attempt_failure(state, "hung")
+                progressed = True
+        return progressed
+
+    def _kill(self, state: _WorkerState) -> None:
+        process = state.process
+        if process is None:
+            return
+        process.terminate()
+        process.join(timeout=0.5)
+        if process.is_alive():  # pragma: no cover - SIGTERM blocked
+            process.kill()
+            process.join(timeout=0.5)
+
+    # -- cancellation and teardown -----------------------------------------
+    def cancel_stragglers(self) -> None:
+        """Ask every still-running worker to stand down cooperatively.
+
+        Workers get ``grace`` seconds to act on their cancellation token —
+        long enough for one that already finished solving to deliver its
+        (possibly disagreeing) result — then are terminated.  Pending
+        backoff restarts are abandoned.
+        """
+        self._cancelling = True
+        deadline = monotonic_ns() + int(self.grace * 1e9)
+        for state in self._states.values():
+            state.retry_at_ns = None
+            if state.cancel is not None and state.process is not None:
+                state.cancel.set()
+        while monotonic_ns() < deadline:
+            if not any(state.process is not None for state in self._states.values()):
+                break
+            if not self._poll_once():
+                time.sleep(self.poll_interval)
+        for state in self._states.values():
+            if state.process is not None:
+                self._kill(state)
+                outcome = self.outcomes[state.task.id]
+                if outcome.status == "pending":
+                    outcome.status = "cancelled"
+                    outcome.history.append("cancelled")
+                self._reap(state)
+
+    def shutdown(self) -> None:
+        """Unconditional teardown: no worker survives this call."""
+        self._cancelling = True
+        for state in self._states.values():
+            state.retry_at_ns = None
+            if state.cancel is not None:
+                state.cancel.set()
+            if state.process is not None:
+                # One last drain so a finished-but-unread result is kept.
+                self._drain(state)
+            if state.process is not None:
+                self._kill(state)
+            self._reap(state)
+        for outcome in self.outcomes.values():
+            # Anything still undecided (killed mid-run or torn down while
+            # waiting out a restart backoff) was cancelled.
+            if outcome.status == "pending":
+                outcome.status = "cancelled"
+                outcome.history.append("cancelled")
+        _LIVE_SUPERVISORS.discard(self)
+
+    def live_pids(self) -> List[int]:
+        """PIDs of still-alive workers (empty after shutdown — pinned by tests)."""
+        pids = []
+        for state in self._states.values():
+            if state.process is not None and state.process.is_alive():
+                pid = state.process.pid
+                if pid is not None:
+                    pids.append(pid)
+        return pids
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False

@@ -59,6 +59,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 import repro.sat.sanitize as _sanitize
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _span
+from repro.runtime.limits import checkpoint as _checkpoint
 from repro.sat.cnf import ClauseSink, SatError
 from repro.sat.drat import ProofLog
 
@@ -713,6 +714,8 @@ class Solver(ClauseSink):
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_here += 1
+                if not self.stats.conflicts & 255:
+                    _checkpoint("sat.conflict", sat_conflicts=self.stats.conflicts)
                 if self._decision_level() == 0:
                     self._ok = False
                     self._conflict_core = frozenset()
@@ -747,6 +750,7 @@ class Solver(ClauseSink):
             if conflicts_here >= budget:
                 self._cancel_until(0)
                 self.stats.restarts += 1
+                _checkpoint("sat.restart", sat_conflicts=self.stats.conflicts)
                 return None
             if len(self._learnts) >= self._max_learnts + len(self._trail):
                 self._reduce_db()

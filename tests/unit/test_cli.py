@@ -412,3 +412,90 @@ def test_profile_metrics_snapshot_matches_engine(capsys):
     metrics = payload["metrics"]
     assert metrics["mc.checks{engine=bmc}"] >= 1
     assert any(key.startswith("sat.") for key in metrics)
+
+
+# -- the runtime surface: portfolio, budgets, --buggy, Ctrl-C -------------
+
+
+def test_portfolio_mutex_check(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    exit_code = main(["--engine", "portfolio", "--system", "mutex", "--size", "2"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "mutex(2) via engine=portfolio" in out
+    assert "parallel portfolio racing" in out
+    assert "workers     : 4" in out
+    assert "won by" in out
+    assert "all properties and invariants hold" in out
+
+
+def test_portfolio_profile_embeds_per_engine_outcomes(capsys, monkeypatch):
+    import json
+
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    exit_code = main(
+        ["--engine", "portfolio", "--system", "mutex", "--size", "2", "--profile"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.err)
+    assert payload["engine"] == "portfolio"
+    fates = payload["portfolio"]
+    assert set(fates) <= {"bitset", "bdd", "bmc", "ic3"}
+    assert any(fate == "ok" for fate in fates.values())
+    assert payload["metrics"]["portfolio.races"] >= 1
+
+
+def test_buggy_flag_refutes_the_seeded_bug(capsys):
+    exit_code = main(["--system", "mutex", "--size", "3", "--buggy"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "mutex(3) (buggy)" in out
+    assert "False" in out
+
+
+def test_timeout_budget_reports_exhaustion_without_failing(capsys):
+    # A deadline too small for any fixpoint round: the checks report
+    # BUDGET EXHAUSTED per property, and the run still exits 0 — like
+    # INCONCLUSIVE, exhaustion is an honest "not decided".
+    exit_code = main(["--engine", "bdd", "--ring-size", "3", "--timeout", "1e-6"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "BUDGET EXHAUSTED (deadline)" in out
+
+
+@pytest.mark.parametrize(
+    "argv, fragment",
+    [
+        (["--workers", "2"], "--workers"),  # default engine is bitset
+        (["--engine", "portfolio", "--workers", "0"], "--workers"),
+        (["--timeout", "0"], "--timeout"),
+        (["--memory-limit", "0"], "--memory-limit"),
+        (["--engine", "portfolio", "--fairness"], "fairness"),
+        (["--experiments", "--engine", "portfolio"], "E12/E13"),
+        (["--experiments", "--buggy"], "--buggy"),
+        (["--experiments", "--timeout", "30"], "--timeout"),
+    ],
+)
+def test_runtime_flag_misuse_exits_2(argv, fragment, capsys):
+    assert main(argv) == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_keyboard_interrupt_exits_130_and_flushes_artifacts(
+    capsys, monkeypatch, tmp_path
+):
+    import repro.cli as cli_module
+
+    def _interrupt(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(cli_module, "_run_check", _interrupt)
+    metrics_path = tmp_path / "partial.jsonl"
+    exit_code = main(["--ring-size", "2", "--metrics", str(metrics_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 130
+    assert "interrupted: stopped after partial results" in captured.err
+    # The artifact flush still ran on the way out (nothing was recorded
+    # before the interrupt, so the dump is empty but present).
+    assert metrics_path.is_file()

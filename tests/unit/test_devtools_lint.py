@@ -50,8 +50,14 @@ class TestR001EngineEnumerations:
         assert "ic3" in findings[0].message
 
     def test_full_registry_enumeration_is_clean(self):
-        source = '"""Engines: bitset, naive, bdd, bmc, ic3."""\n'
+        source = '"""Engines: bitset, naive, bdd, bmc, ic3, portfolio."""\n'
         assert lint_source(source, _ctx(), only=["R001"]) == []
+
+    def test_pre_portfolio_enumeration_is_stale(self):
+        source = '"""Engines: bitset, naive, bdd, bmc, ic3."""\n'
+        findings = lint_source(source, _ctx(), only=["R001"])
+        assert _rules(findings) == ["R001"]
+        assert "portfolio" in findings[0].message
 
     def test_ctl_subset_is_clean(self):
         source = '"""Fixpoint engines: bitset, naive, bdd."""\n'

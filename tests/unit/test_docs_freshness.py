@@ -19,6 +19,7 @@ _DOC_FILES = [
     _REPO_ROOT / "docs" / "ARCHITECTURE.md",
     _REPO_ROOT / "docs" / "OBSERVABILITY.md",
     _REPO_ROOT / "docs" / "CORRECTNESS.md",
+    _REPO_ROOT / "docs" / "RESILIENCE.md",
 ]
 
 
@@ -74,6 +75,7 @@ def test_docs_cross_link_each_other():
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/OBSERVABILITY.md" in readme
     assert "docs/CORRECTNESS.md" in readme
+    assert "docs/RESILIENCE.md" in readme
     engines = (_REPO_ROOT / "docs" / "ENGINES.md").read_text(encoding="utf-8")
     assert "ARCHITECTURE.md" in engines
     architecture = (_REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
@@ -92,6 +94,16 @@ def test_docs_cross_link_each_other():
     )
     for companion in ("ARCHITECTURE.md", "ENGINES.md", "OBSERVABILITY.md"):
         assert companion in correctness
+    resilience = (_REPO_ROOT / "docs" / "RESILIENCE.md").read_text(
+        encoding="utf-8"
+    )
+    for companion in (
+        "ARCHITECTURE.md",
+        "ENGINES.md",
+        "OBSERVABILITY.md",
+        "CORRECTNESS.md",
+    ):
+        assert companion in resilience
 
 
 def test_correctness_doc_matches_the_lint_catalog():
@@ -123,5 +135,39 @@ def test_observability_doc_names_the_cli_flags_and_span_vocabulary():
         "ic3.generalize",
         "bdd.fixpoint.eu",
         "bitset.eu",
+        "portfolio.race",
     ):
         assert span_name in text, "span %r is undocumented" % span_name
+    for metric_name in (
+        "portfolio.races",
+        "portfolio.wins",
+        "worker.launched",
+        "worker.restarts",
+        "worker.crashes",
+        "worker.hangs",
+        "worker.garbled",
+        "worker.oom",
+    ):
+        assert metric_name in text, "metric %r is undocumented" % metric_name
+
+
+def test_resilience_doc_names_the_cli_flags_and_chaos_knobs():
+    """The resilience guide must document the runtime CLI surface, the
+    chaos environment knobs, and the failure vocabulary."""
+    text = (_REPO_ROOT / "docs" / "RESILIENCE.md").read_text(encoding="utf-8")
+    for flag in ("--timeout", "--memory-limit", "--workers"):
+        assert flag in text, "flag %s is undocumented" % flag
+    for knob in ("REPRO_CHAOS", "REPRO_CHAOS_SEED"):
+        assert knob in text, "chaos knob %s is undocumented" % knob
+    for name in (
+        "ResourceBudget",
+        "BudgetExceededError",
+        "CancelledError",
+        "EngineDisagreementError",
+        "EngineCrashError",
+        "InconclusiveError",
+    ):
+        assert name in text, "%s is undocumented" % name
+    readme = (_REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for flag in ("--timeout", "--memory-limit", "--workers", "--buggy"):
+        assert flag in readme, "flag %s is missing from the README" % flag

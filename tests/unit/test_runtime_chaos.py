@@ -1,0 +1,132 @@
+"""Unit tests for the deterministic chaos-injection harness.
+
+Only the ``garble`` fault is ever armed in-process here — ``kill``,
+``hang``, and ``oom`` would take the test process down with them; their
+end-to-end behaviour is covered through worker processes in
+``test_runtime_supervisor.py`` and ``test_runtime_portfolio.py``.
+"""
+
+import pytest
+
+from repro.runtime import chaos, limits
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    chaos.disable()
+
+
+class TestChaosConfig:
+    def test_parse_full_spec(self):
+        config = chaos.ChaosConfig.parse("kill:0.2,hang:0.1,oom:0.1,garble:0.05", seed=7)
+        assert config.rates == {"kill": 0.2, "hang": 0.1, "oom": 0.1, "garble": 0.05}
+        assert config.seed == 7
+        assert config.is_enabled()
+
+    def test_empty_spec_is_disabled(self):
+        config = chaos.ChaosConfig.parse("")
+        assert not config.is_enabled()
+        assert config.as_spec() == ""
+        assert all(rate == 0.0 for rate in config.rates.values())
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "kill",  # no rate
+            "kill:lots",  # non-numeric rate
+            "frobnicate:0.5",  # unknown fault kind
+            "kill:1.5",  # out of [0, 1]
+            "hang:-0.1",
+        ],
+    )
+    def test_malformed_specs_are_rejected(self, spec):
+        with pytest.raises(ValueError):
+            chaos.ChaosConfig.parse(spec)
+
+    def test_as_spec_roundtrips(self):
+        config = chaos.ChaosConfig({"kill": 0.25, "garble": 1.0}, seed=3)
+        again = chaos.ChaosConfig.parse(config.as_spec(), seed=3)
+        assert again.rates == config.rates
+
+    def test_from_env(self):
+        assert chaos.from_env({}) is None
+        assert chaos.from_env({"REPRO_CHAOS": "  "}) is None
+        config = chaos.from_env({"REPRO_CHAOS": "kill:1.0", "REPRO_CHAOS_SEED": "11"})
+        assert config is not None
+        assert config.rates["kill"] == 1.0
+        assert config.seed == 11
+
+
+class TestChaosInjector:
+    def test_same_seed_and_scope_draws_the_same_schedule(self):
+        config = chaos.ChaosConfig({"kill": 0.5, "hang": 0.5}, seed=42)
+        one = chaos.ChaosInjector(config, scope="task#1")
+        two = chaos.ChaosInjector(config, scope="task#1")
+        assert one.fault == two.fault
+        assert one.trigger_at == two.trigger_at
+
+    def test_different_scopes_draw_fresh_schedules(self):
+        config = chaos.ChaosConfig({"kill": 0.5}, seed=42)
+        schedules = {
+            (injector.fault, injector.trigger_at)
+            for injector in (
+                chaos.ChaosInjector(config, scope="task#%d" % attempt)
+                for attempt in range(32)
+            )
+        }
+        # At rate 0.5 over 32 attempts, both "no fault" and several distinct
+        # trigger points must appear — a restart is not doomed to re-kill.
+        assert (None, 0) in schedules
+        assert len(schedules) > 2
+
+    def test_certain_rate_always_schedules_the_fault(self):
+        config = chaos.ChaosConfig({"garble": 1.0}, seed=0)
+        for attempt in range(8):
+            injector = chaos.ChaosInjector(config, scope="t#%d" % attempt)
+            assert injector.fault == "garble"
+            assert 1 <= injector.trigger_at <= chaos.TRIGGER_WINDOW
+
+    def test_should_garble_only_for_garble_faults(self):
+        killer = chaos.ChaosInjector(chaos.ChaosConfig({"kill": 1.0}), scope="s")
+        assert killer.fault == "kill"
+        assert not killer.should_garble()
+        garbler = chaos.ChaosInjector(chaos.ChaosConfig({"garble": 1.0}), scope="s")
+        # Arms even when no checkpoint ever ran: short solves cannot dodge it.
+        assert garbler.should_garble()
+        assert garbler.fired == "garble"
+
+    def test_garble_flips_exactly_one_byte_deterministically(self):
+        config = chaos.ChaosConfig({"garble": 1.0}, seed=9)
+        payload = b"the one true verdict"
+        one = chaos.ChaosInjector(config, scope="t#1").garble_payload(payload)
+        two = chaos.ChaosInjector(config, scope="t#1").garble_payload(payload)
+        assert one == two
+        assert one != payload
+        assert len(one) == len(payload)
+        assert sum(a != b for a, b in zip(one, payload)) == 1
+        other_scope = chaos.ChaosInjector(config, scope="t#2").garble_payload(payload)
+        assert other_scope != payload  # may or may not equal `one`; must corrupt
+
+    def test_empty_payload_survives_garbling(self):
+        injector = chaos.ChaosInjector(chaos.ChaosConfig({"garble": 1.0}), scope="s")
+        assert injector.garble_payload(b"") == b""
+
+
+class TestHookWiring:
+    def test_enable_installs_the_checkpoint_hook(self):
+        config = chaos.ChaosConfig({"garble": 1.0}, seed=1)
+        injector = chaos.enable(config, scope="wiring#1")
+        assert chaos.current_injector() is injector
+        for _ in range(chaos.TRIGGER_WINDOW):
+            limits.checkpoint("test.site")
+        assert injector.checkpoints_seen >= injector.trigger_at
+        assert injector.fired == "garble"
+
+    def test_disable_uninstalls_and_returns_the_injector(self):
+        installed = chaos.enable(chaos.ChaosConfig({"garble": 1.0}), scope="s")
+        assert chaos.disable() is installed
+        assert chaos.current_injector() is None
+        limits.checkpoint("test.site")  # back to the disarmed fast path
+        assert installed.checkpoints_seen == 0
+        assert chaos.disable() is None  # idempotent

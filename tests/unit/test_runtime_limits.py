@@ -1,0 +1,146 @@
+"""Unit tests for resource budgets and cooperative checkpoints.
+
+These run in-process (no workers): ``checkpoint`` only reacts to the
+ambient ``REPRO_CHAOS`` environment through :func:`repro.runtime.chaos.enable`,
+which these tests never call, so the CI chaos lane cannot perturb them.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import BudgetExceededError, CancelledError
+from repro.runtime import limits
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    """Leave no budget or chaos hook armed behind, whatever a test does."""
+    yield
+    limits.deactivate()
+    limits.set_chaos_hook(None)
+
+
+class TestResourceBudget:
+    def test_defaults_are_unlimited(self):
+        budget = limits.ResourceBudget()
+        assert budget.is_unlimited()
+        assert budget.as_dict() == {
+            "deadline_s": None,
+            "memory_bytes": None,
+            "bdd_nodes": None,
+            "sat_conflicts": None,
+        }
+
+    def test_any_ceiling_clears_unlimited(self):
+        assert not limits.ResourceBudget(deadline_s=1.0).is_unlimited()
+        assert not limits.ResourceBudget(memory_bytes=1).is_unlimited()
+        assert not limits.ResourceBudget(bdd_nodes=1).is_unlimited()
+        assert not limits.ResourceBudget(sat_conflicts=1).is_unlimited()
+
+    def test_as_dict_carries_the_configured_ceilings(self):
+        budget = limits.ResourceBudget(deadline_s=2.5, sat_conflicts=1000)
+        assert budget.as_dict()["deadline_s"] == 2.5
+        assert budget.as_dict()["sat_conflicts"] == 1000
+        assert budget.as_dict()["bdd_nodes"] is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": 0},
+            {"deadline_s": -1.0},
+            {"memory_bytes": 0},
+            {"bdd_nodes": -5},
+            {"sat_conflicts": 0},
+        ],
+    )
+    def test_non_positive_ceilings_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            limits.ResourceBudget(**kwargs)
+
+
+class TestCheckpoint:
+    def test_noop_while_nothing_is_armed(self):
+        assert limits.current_budget() is None
+        limits.checkpoint("anywhere", bdd_nodes=10**9)  # must not raise
+
+    def test_deadline_raises_structured_budget_error(self):
+        with limits.active(limits.ResourceBudget(deadline_s=0.005)):
+            time.sleep(0.02)
+            with pytest.raises(BudgetExceededError) as excinfo:
+                limits.checkpoint("test.site")
+        error = excinfo.value
+        assert error.resource == "deadline"
+        assert error.limit == 0.005
+        assert error.observed > error.limit
+        assert error.site == "test.site"
+
+    @pytest.mark.parametrize("resource", ["bdd_nodes", "sat_conflicts"])
+    def test_gauge_ceiling_raises_when_crossed(self, resource):
+        budget = limits.ResourceBudget(**{resource: 10})
+        with limits.active(budget):
+            limits.checkpoint("test.gauge", **{resource: 10})  # at ceiling: fine
+            with pytest.raises(BudgetExceededError) as excinfo:
+                limits.checkpoint("test.gauge", **{resource: 11})
+        assert excinfo.value.resource == resource
+        assert excinfo.value.limit == 10
+        assert excinfo.value.observed == 11
+        assert excinfo.value.site == "test.gauge"
+
+    def test_unreported_gauges_do_not_trip_ceilings(self):
+        with limits.active(limits.ResourceBudget(bdd_nodes=1)):
+            limits.checkpoint("test.other", sat_conflicts=10**6)  # must not raise
+
+    def test_cancel_token_raises_cancelled_error(self):
+        token = limits.CancelToken()
+        assert not token.is_set()
+        with limits.active(limits.ResourceBudget(), cancel=token):
+            limits.checkpoint("test.before")  # token unset: fine
+            token.set()
+            with pytest.raises(CancelledError) as excinfo:
+                limits.checkpoint("test.after")
+        assert excinfo.value.site == "test.after"
+        assert token.is_set()
+
+
+class TestActivation:
+    def test_budgets_do_not_nest(self):
+        limits.activate(limits.ResourceBudget())
+        try:
+            with pytest.raises(RuntimeError):
+                limits.activate(limits.ResourceBudget())
+        finally:
+            limits.deactivate()
+
+    def test_deactivate_returns_the_armed_budget(self):
+        budget = limits.ResourceBudget(deadline_s=9.0)
+        limits.activate(budget)
+        assert limits.current_budget() is budget
+        assert limits.deactivate() is budget
+        assert limits.current_budget() is None
+        assert limits.deactivate() is None  # idempotent
+
+    def test_active_context_disarms_on_exit_even_on_error(self):
+        with pytest.raises(ValueError):
+            with limits.active(limits.ResourceBudget()):
+                assert limits.current_budget() is not None
+                raise ValueError("engine bug")
+        assert limits.current_budget() is None
+
+
+class TestChaosHook:
+    def test_hook_fires_at_checkpoints_without_a_budget(self):
+        sites = []
+        limits.set_chaos_hook(sites.append)
+        limits.checkpoint("test.one")
+        limits.checkpoint("test.two")
+        assert sites == ["test.one", "test.two"]
+        limits.set_chaos_hook(None)
+        limits.checkpoint("test.three")
+        assert sites == ["test.one", "test.two"]
+
+
+def test_apply_memory_limit_succeeds_on_posix():
+    # A ceiling far above anything the test process uses: the rlimit call
+    # must go through without disturbing the rest of the suite.
+    assert limits.apply_memory_limit(1 << 40) is True
