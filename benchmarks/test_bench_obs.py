@@ -20,13 +20,21 @@ while the span count and the nanosecond-scale per-call cost are both
 stable.
 """
 
+import hashlib
+import pickle
 import time
 
 import pytest
 
 from repro.mc import SymbolicCTLModelChecker
+from repro.obs.collect import (
+    TELEMETRY_BATCH_SPANS,
+    TelemetryCollector,
+    TraceContext,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import MemorySink
-from repro.obs.trace import is_enabled, recording, span
+from repro.obs.trace import disable, enable, is_enabled, recording, span
 from repro.systems import token_ring
 
 #: The acceptance threshold: disabled instrumentation < 5% of the sweep.
@@ -90,3 +98,60 @@ def test_disabled_tracing_overhead_under_5_percent_on_r10_sweep(benchmark):
             sweep_ns / 1e6,
         )
     )
+
+
+def _telemetry_batch():
+    """One full worker batch (64 spans) in wire form, completion-ordered.
+
+    A nested chain finished leaf-first — the worst case for the
+    collector's re-parenting pass, which must sort by start time before
+    any child can reference its parent's remapped id.
+    """
+    spans = []
+    for i in range(TELEMETRY_BATCH_SPANS):
+        spans.append(
+            {
+                "kind": "span",
+                "span_id": i + 1,
+                "parent_id": i if i else None,
+                "name": "sat.solve",
+                "depth": i,
+                "start_ns": 10 * (i + 1),
+                "end_ns": 10 * (2 * TELEMETRY_BATCH_SPANS + 1) - 10 * i,
+                "status": "ok",
+                "attrs": {"k": i},
+            }
+        )
+    spans.reverse()
+    payload = {"pid": 4242, "spans": spans}
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return blob, hashlib.sha256(blob).hexdigest()
+
+
+@pytest.mark.bench_smoke
+def test_collector_ingest_throughput_on_a_full_batch(benchmark):
+    """Digest-verify + validate + re-parent one worker batch of 64 spans.
+
+    This is the coordinator-side cost of the cross-process telemetry
+    pipe, paid inside the supervisor's poll loop — it must stay cheap
+    relative to the poll interval (20ms), or draining a span-heavy
+    worker would starve hang detection.
+    """
+    benchmark.group = "obs-collect"
+    benchmark.extra_info["batch_spans"] = TELEMETRY_BATCH_SPANS
+    blob, digest = _telemetry_batch()
+    collector = TelemetryCollector(registry=MetricsRegistry())
+    enable([], keep_records=False)  # fan out to no sinks, keep nothing
+    try:
+        with span("portfolio.race") as race:
+            context = TraceContext.capture()
+            assert context.enabled and context.parent_span_id == race.span_id
+
+            def ingest():
+                assert collector.ingest("bmc", context, blob, digest)
+
+            benchmark.pedantic(ingest, rounds=50, iterations=5)
+    finally:
+        disable()
+    assert collector.dropped == 0
+    assert collector.spans_ingested >= TELEMETRY_BATCH_SPANS

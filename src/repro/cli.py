@@ -47,7 +47,11 @@ Chrome/Perfetto trace-event JSON of the run's nested spans (load it at
 (one labeled series per line), ``--progress`` prints rate-limited heartbeat
 lines from the engines' outer loops, and ``--profile`` emits exactly one
 JSON document on stderr summarising phases, engine statistics, and the
-metrics snapshot.
+metrics snapshot.  For ``--engine portfolio`` the trace and metrics include
+the raced workers' own telemetry (one Perfetto lane per engine,
+``worker=<engine>``-labelled metric rows); analyse the artifacts offline
+with the ``repro-obs`` console script (``repro-obs report``,
+``repro-obs diff``).
 """
 
 from __future__ import annotations
@@ -155,7 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "record a Chrome/Perfetto trace-event JSON of the run's nested "
-            "spans to FILE (open it at ui.perfetto.dev)"
+            "spans to FILE (open it at ui.perfetto.dev, or analyse it with "
+            "repro-obs report)"
         ),
     )
     parser.add_argument(

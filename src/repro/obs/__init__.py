@@ -28,6 +28,19 @@ all six engines (``bitset``, ``naive``, ``bdd``, ``bmc``, ``ic3``,
     (IC3 frames reached, obligations pending, BMC depth k, BDD live
     nodes).
 
+``repro.obs.collect``
+    Cross-process telemetry collection: the
+    :class:`~repro.obs.collect.TraceContext` the worker supervisor
+    serialises into each forked worker, the worker-side buffering
+    exporter, and the supervisor-side collector that re-parents worker
+    spans into the live trace and merges worker metrics under a
+    ``worker`` label.
+
+``repro.obs.analyze``
+    Offline trace analysis (the ``repro-obs`` console script): aggregate
+    tables, critical path, portfolio loser autopsy, and run-vs-run diffs
+    over trace JSONL / Perfetto documents and ``BENCH_*.json`` files.
+
 Naming conventions, sink formats, and a guided tour of an IC3 trace
 live in ``docs/OBSERVABILITY.md``.  The package is dependency-free
 (stdlib only) and must stay importable from every layer without
@@ -51,10 +64,16 @@ from repro.obs.progress import (
     enable_progress,
     heartbeat,
 )
+from repro.obs.collect import (
+    TelemetryCollector,
+    TraceContext,
+    WorkerTelemetry,
+)
 from repro.obs.sinks import (
     ChromeTraceSink,
     JsonlSink,
     MemorySink,
+    PerfettoSink,
     Sink,
     SummarySink,
     write_metrics_jsonl,
@@ -62,6 +81,7 @@ from repro.obs.sinks import (
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
+    clear_current_span,
     current_span,
     disable,
     enable,
@@ -77,6 +97,7 @@ __all__ = [
     # trace
     "SpanRecord",
     "Tracer",
+    "clear_current_span",
     "current_span",
     "disable",
     "enable",
@@ -99,9 +120,14 @@ __all__ = [
     "ChromeTraceSink",
     "JsonlSink",
     "MemorySink",
+    "PerfettoSink",
     "Sink",
     "SummarySink",
     "write_metrics_jsonl",
+    # collect
+    "TelemetryCollector",
+    "TraceContext",
+    "WorkerTelemetry",
     # progress
     "ProgressReporter",
     "disable_progress",

@@ -22,8 +22,13 @@ Three instrument kinds, each keyed by name plus a frozen label set
 :class:`Histogram`
     Power-of-two log-bucketed distribution (bucket ``i`` counts
     observations with ``2**(i-1) < v <= 2**i``), tracking count, sum,
-    min, and max.  Used for per-check latencies and fixpoint iteration
-    counts, where the spread matters more than the total.
+    min, and max, and estimating p50/p90/p99 percentiles from the
+    bucket boundaries.  Used for per-check latencies and fixpoint
+    iteration counts, where the spread matters more than the total.
+
+Worker processes snapshot their whole registry on teardown and the
+supervisor merges it back under a ``worker`` label via
+:meth:`MetricsRegistry.merge_records` — see :mod:`repro.obs.collect`.
 
 Updates are plain dict/attribute operations with no locking; the
 engines are single-threaded per check and the registry is only read at
@@ -120,12 +125,76 @@ class Histogram:
         index = _bucket_index(value)
         self.buckets[index] = self.buckets.get(index, 0) + 1
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        The estimate interpolates linearly inside the log bucket holding
+        the quantile rank (bounds ``(2**(i-1), 2**i]``) and is clamped to
+        the observed ``[min, max]`` range, so single-observation and
+        single-bucket histograms report exact values.  Returns ``None``
+        while the histogram is empty.
+        """
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            in_bucket = self.buckets[index]
+            if cumulative + in_bucket >= rank:
+                upper = float(2**index)
+                lower = 0.0 if index == 0 else float(2 ** (index - 1))
+                position = (rank - cumulative) / in_bucket
+                value = lower + position * (upper - lower)
+                return min(max(value, self.min), self.max)
+            cumulative += in_bucket
+        return self.max  # pragma: no cover - rank <= count always lands
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        This is how a worker process's latency distribution joins the
+        coordinator's registry without shipping raw observations: bucket
+        counts add bucket-by-bucket (the boundaries are globally fixed at
+        powers of two), count/sum add, min/max widen.  Malformed
+        snapshots raise ``ValueError``/``TypeError`` — the telemetry
+        collector validates before merging.
+        """
+        count = int(snapshot["count"])
+        if count < 0:
+            raise ValueError("histogram snapshot count must be >= 0")
+        if count == 0:
+            return
+        # Validate everything before mutating: a malformed snapshot must
+        # not leave this histogram half-merged (the telemetry collector
+        # skips the record and the registry stays consistent).
+        total = float(snapshot["sum"])
+        parsed = []
+        for bound_text, in_bucket in dict(snapshot["buckets"]).items():
+            bound = int(bound_text)
+            if bound < 1 or bound & (bound - 1):
+                raise ValueError("bucket bound %r is not a power of two" % bound_text)
+            parsed.append((bound.bit_length() - 1, int(in_bucket)))
+        self.count += count
+        self.total += total
+        for index, in_bucket in parsed:
+            self.buckets[index] = self.buckets.get(index, 0) + in_bucket
+        for key, better in (("min", min), ("max", max)):
+            value = snapshot.get(key)
+            if value is not None:
+                ours = getattr(self, key)
+                setattr(self, key, value if ours is None else better(ours, value))
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
+            # Percentiles are estimates from the log-bucket boundaries —
+            # the per-engine latency columns the service daemon needs.
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
             # Bucket keys are the inclusive upper bounds (2**i), emitted
             # as strings so the snapshot is JSON-clean.
             "buckets": {
@@ -206,6 +275,43 @@ class MetricsRegistry:
                 }
             )
         return records
+
+    def merge_records(
+        self, records: List[Dict[str, Any]], **extra_labels: Any
+    ) -> Tuple[int, int]:
+        """Fold :meth:`as_records` rows from another registry into this one.
+
+        ``extra_labels`` are added to every merged series — the supervisor
+        merges each worker's final snapshot under ``worker=<engine>`` so a
+        portfolio run's ``--metrics`` file carries per-engine rows next to
+        the coordinator's own.  Counters add (each worker attempt counted
+        once), gauges overwrite (last snapshot wins), histograms merge
+        bucket-by-bucket.  Malformed records are skipped, not raised:
+        telemetry from a crashing or chaos-garbled worker must never
+        poison the coordinator's registry.  Returns ``(merged, skipped)``.
+        """
+        merged = 0
+        skipped = 0
+        for record in records:
+            try:
+                kind = record["kind"]
+                name = record["name"]
+                labels = dict(record["labels"])
+                labels.update(extra_labels)
+                value = record["value"]
+                if kind == "counter":
+                    self.counter(name, **labels).inc(int(value))
+                elif kind == "gauge":
+                    self.gauge(name, **labels).set(value)
+                elif kind == "histogram":
+                    self.histogram(name, **labels).merge(value)
+                else:
+                    raise ValueError("unknown instrument kind %r" % (kind,))
+            except (KeyError, TypeError, ValueError, AttributeError):
+                skipped += 1
+                continue
+            merged += 1
+        return merged, skipped
 
 
 #: The process-global registry every engine publishes into.

@@ -13,11 +13,15 @@ Formats:
     One JSON object per line, in completion order — the append-friendly
     event stream (``{"kind": "span", "name": ..., "dur_ns": ...}``).
 
-:class:`ChromeTraceSink`
+:class:`ChromeTraceSink` (alias :data:`PerfettoSink`)
     The Chrome trace-event format (a ``{"traceEvents": [...]}`` JSON
     document with complete ``"ph": "X"`` events in microseconds),
     loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
-    ``docs/OBSERVABILITY.md`` walks through reading an IC3 run's trace.
+    Records that carry a ``pid``/``lane`` (re-parented worker spans from
+    :mod:`repro.obs.collect`) land on their own process track, labelled
+    with the engine name via metadata events, so a portfolio race renders
+    as one coherent multi-process timeline.  ``docs/OBSERVABILITY.md``
+    walks through reading an IC3 trace and a portfolio race.
 
 :class:`SummarySink`
     Human-readable per-span-name aggregate table (count, total, mean,
@@ -39,6 +43,7 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "ChromeTraceSink",
+    "PerfettoSink",
     "SummarySink",
     "write_metrics_jsonl",
 ]
@@ -112,16 +117,43 @@ class ChromeTraceSink(_FileBacked):
     """Chrome/Perfetto trace-event JSON (written as one document on close).
 
     Spans become complete events (``"ph": "X"``) with microsecond
-    ``ts``/``dur`` on one pid/tid, so the viewer renders the nesting as
-    a flame graph; instant events become ``"ph": "i"`` marks.
+    ``ts``/``dur``, so the viewer renders the nesting as a flame graph;
+    instant events become ``"ph": "i"`` marks.  Each event's ``args``
+    carry the span's attributes plus its ``span_id``/``parent_id`` (the
+    exact tree, so ``repro-obs`` never has to guess nesting from
+    containment) and a non-``"ok"`` ``status``.
+
+    Multi-process lanes: a record carrying a ``pid`` attribute (worker
+    spans re-parented by :class:`repro.obs.collect.TelemetryCollector`)
+    keeps that pid; everything else resolves ``os.getpid()`` *per event*
+    — a sink inherited across ``fork()`` must never stamp the parent's
+    pid on a child's events.  Records with a ``lane`` (the worker's
+    engine name) get Perfetto ``"M"`` metadata events naming their
+    process and thread tracks; the coordinator's lane is labelled
+    ``coordinator`` and sorts first.
     """
 
     def __init__(self, target):
         super().__init__(target)
         self._trace_events: List[Dict[str, Any]] = []
-        self._pid = os.getpid()
+        #: pid -> lane label (None until a labelled record names it).
+        self._lanes: Dict[int, Optional[str]] = {}
+
+    def _resolve_track(self, record_pid, lane) -> int:
+        pid = os.getpid() if record_pid is None else record_pid
+        if lane is not None or pid not in self._lanes:
+            self._lanes[pid] = lane if lane is not None else self._lanes.get(pid)
+        return pid
 
     def on_span(self, record) -> None:
+        pid = self._resolve_track(
+            getattr(record, "pid", None), getattr(record, "lane", None)
+        )
+        args = _json_clean(record.attrs)
+        args["span_id"] = record.span_id
+        args["parent_id"] = record.parent_id
+        if record.status != "ok":
+            args["status"] = record.status
         self._trace_events.append(
             {
                 "name": record.name,
@@ -129,13 +161,14 @@ class ChromeTraceSink(_FileBacked):
                 "ph": "X",
                 "ts": record.start_ns / 1000.0,
                 "dur": record.duration_ns / 1000.0,
-                "pid": self._pid,
+                "pid": pid,
                 "tid": 1,
-                "args": _json_clean(record.attrs),
+                "args": args,
             }
         )
 
     def on_event(self, record) -> None:
+        pid = self._resolve_track(record.get("pid"), record.get("lane"))
         self._trace_events.append(
             {
                 "name": record["name"],
@@ -143,19 +176,62 @@ class ChromeTraceSink(_FileBacked):
                 "ph": "i",
                 "s": "t",
                 "ts": record["ts_ns"] / 1000.0,
-                "pid": self._pid,
+                "pid": pid,
                 "tid": 1,
                 "args": _json_clean(record["attrs"]),
             }
         )
 
+    def _metadata_events(self) -> List[Dict[str, Any]]:
+        """Process/thread naming events, coordinator first, workers after."""
+        events: List[Dict[str, Any]] = []
+        sort_index = 0
+        for pid in sorted(self._lanes, key=lambda p: (self._lanes[p] is not None, p)):
+            lane = self._lanes[pid]
+            process_name = "coordinator" if lane is None else "worker:%s" % lane
+            thread_name = "main" if lane is None else lane
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": process_name},
+                }
+            )
+            events.append(
+                {
+                    "name": "process_sort_index",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"sort_index": sort_index},
+                }
+            )
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 1,
+                    "args": {"name": thread_name},
+                }
+            )
+            sort_index += 1
+        return events
+
     def close(self) -> None:
         # Viewers sort by ts, but emit in time order anyway for diffability.
         self._trace_events.sort(key=lambda e: e["ts"])
-        document = {"traceEvents": self._trace_events, "displayTimeUnit": "ms"}
+        document = {
+            "traceEvents": self._metadata_events() + self._trace_events,
+            "displayTimeUnit": "ms",
+        }
         json.dump(document, self._file())
         self._file().write("\n")
         super().close()
+
+
+#: The honest name: the documents this sink writes are opened in Perfetto.
+PerfettoSink = ChromeTraceSink
 
 
 class SummarySink(Sink):

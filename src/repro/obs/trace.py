@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+import os
 import time
+import uuid
 from contextvars import ContextVar
 from typing import Any, Dict, Iterator, Optional, Sequence
 
@@ -44,6 +46,7 @@ __all__ = [
     "is_enabled",
     "get_tracer",
     "current_span",
+    "clear_current_span",
     "monotonic_ns",
     "recording",
 ]
@@ -139,7 +142,12 @@ class SpanRecord:
         return False  # never swallow the exception
 
     def as_dict(self) -> Dict[str, Any]:
-        """A plain JSON-serialisable view (used by the JSONL sink)."""
+        """A plain JSON-serialisable view (used by the JSONL sink).
+
+        ``pid`` is resolved at call time, not at span creation — a span
+        record serialised after a ``fork()`` must carry the process that
+        exported it, which is what the cross-process collector keys on.
+        """
         return {
             "kind": "span",
             "span_id": self.span_id,
@@ -151,6 +159,7 @@ class SpanRecord:
             "dur_ns": self.duration_ns,
             "status": self.status,
             "attrs": self.attrs,
+            "pid": os.getpid(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -195,11 +204,16 @@ class Tracer:
         sinks: Sequence[Any] = (),
         keep_records: bool = True,
         clock_ns=time.perf_counter_ns,
+        trace_id: Optional[str] = None,
     ):
         self.sinks = list(sinks)
         self.keep_records = keep_records
         self.records: list = []
         self.events: list = []
+        #: Identifies this tracer's id space across processes: a worker's
+        #: telemetry is only re-parented into the tracer whose trace id it
+        #: was captured against (see :mod:`repro.obs.collect`).
+        self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex[:16]
         self._ids = itertools.count(1)
         self._clock_ns = clock_ns
 
@@ -226,6 +240,34 @@ class Tracer:
             self.records.append(record)
         for sink in self.sinks:
             sink.on_span(record)
+
+    # -- cross-process ingestion -------------------------------------------
+    def allocate_span_id(self) -> int:
+        """Claim a fresh span id from this tracer's id space.
+
+        The telemetry collector remaps worker-local span ids through this
+        so re-parented remote spans can never collide with local ones.
+        """
+        return next(self._ids)
+
+    def ingest(self, record: Any) -> None:
+        """Adopt an already-finished foreign span (a worker's, re-parented).
+
+        The record must quack like a finished :class:`SpanRecord` (name,
+        span_id, parent_id, start_ns/end_ns, attrs, status); it is fanned
+        out to the sinks exactly like a locally finished span.
+        """
+        if self.keep_records:
+            self.records.append(record)
+        for sink in self.sinks:
+            sink.on_span(record)
+
+    def ingest_event(self, record: Dict[str, Any]) -> None:
+        """Adopt a foreign instant event (a worker heartbeat, say)."""
+        if self.keep_records:
+            self.events.append(record)
+        for sink in self.sinks:
+            sink.on_event(record)
 
     def close(self) -> None:
         """Flush and close every attached sink."""
@@ -302,6 +344,18 @@ def get_tracer() -> Optional[Tracer]:
 def current_span():
     """The innermost open span, or ``None`` (also ``None`` when disabled)."""
     return _CURRENT.get()
+
+
+def clear_current_span() -> None:
+    """Reset span parentage to top level (the post-``fork()`` hygiene call).
+
+    A forked worker inherits the parent's context-var stack, so without
+    this its first span would claim the *parent process's* open span as
+    its parent — in a foreign id space.  Worker telemetry installation
+    clears the stack so worker span trees are rooted locally and the
+    collector controls re-parenting explicitly.
+    """
+    _CURRENT.set(None)
 
 
 @contextlib.contextmanager

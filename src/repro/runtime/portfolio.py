@@ -25,7 +25,11 @@ supervised worker processes (:mod:`repro.runtime.supervisor`):
 
 Per-engine outcomes land in the verdict provenance (:attr:`last_outcomes`,
 :attr:`last_detail`) and the ``portfolio.races`` / ``portfolio.wins``
-counters; the whole race runs under a ``portfolio.race`` span.  Failure
+counters; the whole race runs under a ``portfolio.race`` span, beneath
+which every worker's own spans are re-parented and every worker's metrics
+merged under a ``worker=<engine>`` label (:mod:`repro.obs.collect`), so a
+``--trace`` of a portfolio run opens in Perfetto as one multi-process
+timeline and ``repro-obs report`` can autopsy the losers.  Failure
 semantics and chaos-testing knobs are documented in ``docs/RESILIENCE.md``.
 """
 
@@ -109,7 +113,14 @@ def run_engine_check(
         from repro.mc.bitset import make_ctl_checker
 
         checker = make_ctl_checker(structure, engine=engine, bound=bound)
-        verdict = checker.check(formula)
+        try:
+            verdict = checker.check(formula)
+        finally:
+            # Publish on every exit path: a cancelled loser's partial
+            # solver statistics (sat.* gauges) still reach the registry
+            # snapshot the worker's telemetry exporter ships on teardown —
+            # the data the supervisor merges under worker=<engine>.
+            checker.publish_metrics()
         detail = checker.last_detail
     elif engine == "bdd" and isinstance(structure, SymbolicKripkeStructure):
         # A direct symbolic encoding has no explicit state graph to hand
@@ -254,6 +265,17 @@ class PortfolioModelChecker:
 
         with _obs_span("portfolio.race", engines=",".join(self._race)) as sp:
             outcomes = supervisor.run(tasks, stop_when=first_verdict)
+            # Telemetry bookkeeping lands on the race span *before* merge —
+            # a disagreement/degraded raise must not lose the provenance.
+            collector = supervisor.collector
+            sp.set(
+                outcomes=",".join(
+                    "%s=%s" % (o.label, o.status) for o in outcomes.values()
+                ),
+                worker_spans=collector.spans_ingested,
+                worker_series=collector.series_merged,
+                telemetry_dropped=collector.dropped,
+            )
             verdict = self._merge(formula, outcomes)
             sp.set(winner=self.last_detail)
         return verdict

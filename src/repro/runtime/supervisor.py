@@ -60,6 +60,7 @@ from repro.errors import (
     InconclusiveError,
     ReproError,
 )
+from repro.obs import collect as _collect
 from repro.obs.metrics import counter as _counter
 from repro.obs.progress import enable_progress
 from repro.obs.trace import monotonic_ns
@@ -217,18 +218,36 @@ class _ConnStream:
         return None
 
 
-def _worker_main(conn, cancel, task: WorkerTask, attempt: int) -> None:
-    """Worker-process entry point: arm policy, run the task, report once."""
+def _worker_main(
+    conn,
+    cancel,
+    task: WorkerTask,
+    attempt: int,
+    context: Optional[_collect.TraceContext] = None,
+) -> None:
+    """Worker-process entry point: arm policy, run the task, report once.
+
+    The *terminal* message (``result`` or ``fail``) is computed first and
+    sent last, from ``finally`` — after the telemetry exporter has flushed
+    its remaining span buffer and final metrics snapshot.  The supervisor
+    reaps the connection as soon as it reads a terminal message, so any
+    telemetry sent after one would be lost; and if the task body dies on an
+    unexpected exception (no terminal message at all — the crash path), the
+    ``finally`` flush still ships whatever the worker had buffered, which
+    is what makes partial traces survive crashes and cancellations.
+    """
     if task.budget is not None and task.budget.memory_bytes is not None:
         _limits.apply_memory_limit(task.budget.memory_bytes)
     chaos_config = task.chaos if task.chaos is not None else _chaos.from_env()
     injector = None
     if chaos_config is not None and chaos_config.is_enabled():
         injector = _chaos.enable(chaos_config, scope="%s#%d" % (task.id, attempt))
+    telemetry = _collect.WorkerTelemetry(context, conn, task.id, injector=injector)
     # Heartbeats flow through the result pipe; the interval is the floor of
     # the supervisor's hang-detection resolution.
     enable_progress(interval=0.05, stream=_ConnStream(conn, task.id))
     budget = task.budget if task.budget is not None else _limits.ResourceBudget()
+    terminal: Optional[Tuple] = None
     try:
         conn.send(("started", task.id, attempt))
         with _limits.active(budget, cancel=cancel):
@@ -237,10 +256,10 @@ def _worker_main(conn, cancel, task: WorkerTask, attempt: int) -> None:
         digest = hashlib.sha256(payload).hexdigest()
         if injector is not None and injector.should_garble():
             payload = injector.garble_payload(payload)
-        conn.send(("result", task.id, payload, digest))
+        terminal = ("result", task.id, payload, digest)
     except BudgetExceededError as exc:
-        _send_failure(
-            conn,
+        terminal = (
+            "fail",
             task.id,
             "BudgetExceededError",
             str(exc),
@@ -252,29 +271,28 @@ def _worker_main(conn, cancel, task: WorkerTask, attempt: int) -> None:
             },
         )
     except CancelledError as exc:
-        _send_failure(conn, task.id, "CancelledError", str(exc), {"site": exc.site})
+        terminal = ("fail", task.id, "CancelledError", str(exc), {"site": exc.site})
     except InconclusiveError as exc:
-        _send_failure(conn, task.id, "InconclusiveError", str(exc), exc.progress())
+        terminal = ("fail", task.id, "InconclusiveError", str(exc), exc.progress())
     except FragmentError as exc:
-        _send_failure(conn, task.id, "FragmentError", str(exc), {})
+        terminal = ("fail", task.id, "FragmentError", str(exc), {})
     except MemoryError as exc:
-        _send_failure(conn, task.id, "MemoryError", str(exc), {})
+        terminal = ("fail", task.id, "MemoryError", str(exc), {})
     except ReproError as exc:
-        _send_failure(conn, task.id, type(exc).__name__, str(exc), {})
+        terminal = ("fail", task.id, type(exc).__name__, str(exc), {})
     finally:
         # Anything else (a genuine bug) propagates and the non-zero exit
-        # code surfaces as a crash in the supervisor.
+        # code surfaces as a crash in the supervisor — after the flush.
+        telemetry.close()
+        if terminal is not None:
+            try:
+                conn.send(terminal)
+            except (BrokenPipeError, OSError):  # pragma: no cover - gone
+                pass
         try:
             conn.close()
         except OSError:  # pragma: no cover - already torn down
             pass
-
-
-def _send_failure(conn, task_id: str, kind: str, message: str, fields: Dict[str, Any]) -> None:
-    try:
-        conn.send(("fail", task_id, kind, message, fields))
-    except (BrokenPipeError, OSError):  # pragma: no cover - supervisor gone
-        pass
 
 
 #: Failure kinds that map to non-"error" outcome statuses.
@@ -290,7 +308,16 @@ _FAIL_STATUS = {
 class _WorkerState:
     """Supervisor-side bookkeeping for one task's current attempt."""
 
-    __slots__ = ("task", "process", "conn", "cancel", "attempt", "last_seen_ns", "retry_at_ns")
+    __slots__ = (
+        "task",
+        "process",
+        "conn",
+        "cancel",
+        "attempt",
+        "last_seen_ns",
+        "retry_at_ns",
+        "context",
+    )
 
     def __init__(self, task: WorkerTask) -> None:
         self.task = task
@@ -300,6 +327,7 @@ class _WorkerState:
         self.attempt = 0
         self.last_seen_ns = 0
         self.retry_at_ns: Optional[int] = None  # set while waiting out backoff
+        self.context: Optional[_collect.TraceContext] = None  # per-attempt
 
 
 #: Every live supervisor, for shutdown_all() on Ctrl-C.
@@ -353,6 +381,9 @@ class Supervisor:
         self.grace = grace
         self.poll_interval = poll_interval
         self.outcomes: Dict[str, TaskOutcome] = {}
+        #: Ingests worker telemetry (spans re-parented into the live trace,
+        #: metrics merged under ``worker=<label>``) — see repro.obs.collect.
+        self.collector = _collect.TelemetryCollector()
         self._states: Dict[str, _WorkerState] = {}
         self._cancelling = False
         _LIVE_SUPERVISORS.add(self)
@@ -361,11 +392,15 @@ class Supervisor:
     def _launch(self, state: _WorkerState) -> None:
         state.attempt += 1
         state.retry_at_ns = None
+        # Captured per attempt, at the launch site: whatever span is open
+        # right now (for a portfolio race, the ``portfolio.race`` span)
+        # becomes the parent of this attempt's re-ingested worker spans.
+        state.context = _collect.TraceContext.capture()
         parent_conn, child_conn = _MP.Pipe(duplex=False)
         cancel = _MP.Event()
         process = _MP.Process(
             target=_worker_main,
-            args=(child_conn, cancel, state.task, state.attempt),
+            args=(child_conn, cancel, state.task, state.attempt, state.context),
             name="repro-worker-%s" % state.task.id,
             daemon=True,
         )
@@ -427,7 +462,17 @@ class Supervisor:
     def _handle_message(self, state: _WorkerState, message: Tuple) -> None:
         kind = message[0]
         outcome = self.outcomes[state.task.id]
-        if kind in ("started", "heartbeat"):
+        if kind == "started":
+            return
+        if kind == "heartbeat":
+            pid = None if state.process is None else state.process.pid
+            self.collector.ingest_heartbeat(
+                state.task.label, pid, message[2], state.context
+            )
+            return
+        if kind == "telemetry":
+            _, _, blob, digest = message
+            self.collector.ingest(state.task.label, state.context, blob, digest)
             return
         if kind == "result":
             _, _, payload, digest = message

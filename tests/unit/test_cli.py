@@ -332,8 +332,9 @@ def test_trace_flag_writes_perfetto_document_with_nested_spans(tmp_path):
     ):
         assert expected in names, expected
     for e in events:
-        assert e["ph"] in ("X", "i")
-        assert e["ts"] >= 0
+        assert e["ph"] in ("X", "i", "M")
+        if e["ph"] != "M":
+            assert e["ts"] >= 0
     # Nesting: some ic3.frame span lies inside the ic3.run span's interval.
     [run] = [e for e in events if e["name"] == "ic3.run"]
     frames = [e for e in events if e["name"] == "ic3.frame"]
@@ -444,6 +445,93 @@ def test_portfolio_profile_embeds_per_engine_outcomes(capsys, monkeypatch):
     assert set(fates) <= {"bitset", "bdd", "bmc", "ic3"}
     assert any(fate == "ok" for fate in fates.values())
     assert payload["metrics"]["portfolio.races"] >= 1
+
+
+def test_portfolio_metrics_include_worker_labelled_engine_rows(tmp_path, monkeypatch):
+    import json
+
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    metrics_file = tmp_path / "race.jsonl"
+    exit_code = main(
+        [
+            "--engine",
+            "portfolio",
+            "--system",
+            "mutex",
+            "--size",
+            "3",
+            "--metrics",
+            str(metrics_file),
+        ]
+    )
+    assert exit_code == 0
+    rows = [json.loads(line) for line in metrics_file.read_text().splitlines()]
+    worker_rows = [row for row in rows if "worker" in row["labels"]]
+    assert worker_rows, "no worker-labelled rows merged from the racing engines"
+    by_worker = {}
+    for row in worker_rows:
+        by_worker.setdefault(row["labels"]["worker"], set()).add(row["name"])
+    # Several racing engines (winner *and* cancelled losers) merged their
+    # registries home under their own label.
+    assert len(by_worker) >= 2, sorted(by_worker)
+    merged_names = set().union(*by_worker.values())
+    assert any(name.startswith("sat.") for name in merged_names), merged_names
+    assert any(name.startswith("bdd.") for name in merged_names), merged_names
+    # The collector's own bookkeeping rode along.
+    assert any(row["name"] == "obs.collect.series" for row in worker_rows)
+
+
+def test_portfolio_trace_spans_processes_and_repro_obs_reads_it(
+    tmp_path, monkeypatch, capsys
+):
+    import json
+
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    trace_file = tmp_path / "race.json"
+    exit_code = main(
+        [
+            "--engine",
+            "portfolio",
+            "--system",
+            "mutex",
+            "--size",
+            "3",
+            "--trace",
+            str(trace_file),
+        ]
+    )
+    assert exit_code == 0
+    document = json.loads(trace_file.read_text())
+    events = document["traceEvents"]
+    [race] = [e for e in events if e["ph"] == "X" and e["name"] == "portfolio.race"]
+    race_id = race["args"]["span_id"]
+    # Worker spans from at least two distinct processes were re-parented
+    # under the race span, on their own Perfetto lanes.
+    reparented_pids = {
+        e["pid"]
+        for e in events
+        if e["ph"] == "X"
+        and e["args"].get("parent_id") == race_id
+        and e["args"].get("worker")
+        and e["pid"] != race["pid"]
+    }
+    assert len(reparented_pids) >= 2, reparented_pids
+    lanes = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert "coordinator" in lanes
+    assert sum(1 for lane in lanes if lane.startswith("worker:")) >= 2, lanes
+    capsys.readouterr()  # drop the portfolio run's own output
+    from repro.obs.analyze import main as obs_main
+
+    assert obs_main(["report", str(trace_file), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["critical_path"], "empty critical path"
+    [autopsy] = payload["portfolio"]
+    assert autopsy["winner"]
+    assert len(autopsy["engines"]) >= 2
 
 
 def test_buggy_flag_refutes_the_seeded_bug(capsys):

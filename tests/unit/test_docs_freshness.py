@@ -136,6 +136,8 @@ def test_observability_doc_names_the_cli_flags_and_span_vocabulary():
         "bdd.fixpoint.eu",
         "bitset.eu",
         "portfolio.race",
+        "obs.collect",
+        "worker.heartbeat",
     ):
         assert span_name in text, "span %r is undocumented" % span_name
     for metric_name in (
@@ -147,8 +149,16 @@ def test_observability_doc_names_the_cli_flags_and_span_vocabulary():
         "worker.hangs",
         "worker.garbled",
         "worker.oom",
+        "obs.collect.batches",
+        "obs.collect.spans",
+        "obs.collect.series",
+        "obs.collect.dropped",
     ):
         assert metric_name in text, "metric %r is undocumented" % metric_name
+    # The cross-process vocabulary: the worker label, the histogram
+    # percentile columns, and the offline analysis entry point.
+    for term in ("worker=", "p50", "p90", "p99", "repro-obs", "coordinator"):
+        assert term in text, "%r is undocumented" % term
 
 
 def test_resilience_doc_names_the_cli_flags_and_chaos_knobs():

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import (
@@ -64,12 +65,16 @@ def test_chrome_trace_sink_emits_perfetto_loadable_document(tmp_path):
     assert set(document) == {"traceEvents", "displayTimeUnit"}
     assert document["displayTimeUnit"] == "ms"
     events = document["traceEvents"]
-    assert [e["name"] for e in events] == ["mc.check", "bdd.fixpoint.eu", "bdd.gc"]
-    complete = [e for e in events if e["ph"] == "X"]
+    timed = [e for e in events if e["ph"] != "M"]
+    assert [e["name"] for e in timed] == ["mc.check", "bdd.fixpoint.eu", "bdd.gc"]
+    complete = [e for e in timed if e["ph"] == "X"]
     for e in complete:
         assert set(e) == {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
         assert e["ts"] >= 0 and e["dur"] > 0
-    [instant] = [e for e in events if e["ph"] == "i"]
+        # This process's events land on this process's pid, resolved per
+        # event (never captured at sink construction).
+        assert e["pid"] == os.getpid()
+    [instant] = [e for e in timed if e["ph"] == "i"]
     assert instant["s"] == "t"
     assert instant["args"] == {"reclaimed": 17}
     # Events are sorted by timestamp and nested spans sit inside their
@@ -77,13 +82,16 @@ def test_chrome_trace_sink_emits_perfetto_loadable_document(tmp_path):
     outer, inner = complete
     assert outer["ts"] <= inner["ts"]
     assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+    # The exact span tree is embedded in args, so analysis tools never
+    # have to infer nesting from interval containment.
+    assert inner["args"]["parent_id"] == outer["args"]["span_id"]
 
 
 def test_chrome_trace_sink_accepts_caller_owned_stream():
     stream = io.StringIO()
     _trace_some_spans(ChromeTraceSink(stream))
     document = json.loads(stream.getvalue())
-    assert len(document["traceEvents"]) == 3
+    assert len([e for e in document["traceEvents"] if e["ph"] != "M"]) == 3
     stream.write("")  # stream was left open for the caller
 
 
@@ -94,9 +102,82 @@ def test_chrome_trace_args_are_json_clean(tmp_path):
         with span("weird") as sp:
             sp.set(formula=frozenset({1}), pair=(1, 2))
     document = json.loads(path.read_text())
-    args = document["traceEvents"][0]["args"]
+    [event_] = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    args = event_["args"]
     assert args["pair"] == [1, 2]
     assert isinstance(args["formula"], str)  # repr'd, not a crash
+
+
+class _RemoteSpan:
+    """A record shaped like collect.RemoteSpanRecord (pid + lane carried)."""
+
+    def __init__(self, span_id, parent_id, name, start_ns, end_ns, pid, lane):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.duration_ns = end_ns - start_ns
+        self.attrs = {"worker": lane}
+        self.status = "ok"
+        self.pid = pid
+        self.lane = lane
+
+
+def test_chrome_trace_sink_renders_worker_lanes():
+    stream = io.StringIO()
+    sink = ChromeTraceSink(stream)
+    with recording(sinks=[sink], clock_ns=FakeClock()):
+        with span("portfolio.race"):
+            sink.on_span(_RemoteSpan(901, 1, "mc.check", 100, 900, 4242, "bmc"))
+            sink.on_span(_RemoteSpan(902, 1, "mc.check", 100, 800, 4243, "bdd"))
+    document = json.loads(stream.getvalue())
+    events = document["traceEvents"]
+    spans = {e["args"].get("span_id"): e for e in events if e["ph"] == "X"}
+    assert spans[901]["pid"] == 4242
+    assert spans[902]["pid"] == 4243
+    names = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names[4242] == "worker:bmc"
+    assert names[4243] == "worker:bdd"
+    assert names[os.getpid()] == "coordinator"
+    threads = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert threads[4242] == "bmc"
+    # The coordinator lane sorts first.
+    order = {
+        e["pid"]: e["args"]["sort_index"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_sort_index"
+    }
+    assert order[os.getpid()] == 0
+    assert order[4242] > 0 and order[4243] > 0
+
+
+def test_chrome_trace_sink_marks_non_ok_status():
+    stream = io.StringIO()
+    sink = ChromeTraceSink(stream)
+    with recording(sinks=[sink], clock_ns=FakeClock()):
+        try:
+            with span("doomed"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+    document = json.loads(stream.getvalue())
+    [event_] = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert event_["args"]["status"] == "error:ValueError"
+
+
+def test_perfetto_sink_is_the_chrome_trace_sink():
+    from repro.obs.sinks import PerfettoSink
+
+    assert PerfettoSink is ChromeTraceSink
 
 
 def test_summary_sink_aggregates_per_name():
